@@ -1,0 +1,26 @@
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/cityguide.exe
+	dune exec examples/goingout.exe
+	dune exec examples/pushdemo.exe
+	dune exec examples/tooling.exe
+
+doc:
+	# requires odoc (opam install odoc)
+	dune build @doc
+
+clean:
+	dune clean
