@@ -1,0 +1,625 @@
+(* Benchmark harness: regenerates every experiment of the reproduction
+   (see DESIGN.md §3 and EXPERIMENTS.md). Each experiment prints one
+   table; a final Bechamel section micro-benchmarks the core operation
+   behind each table.
+
+   Usage: main.exe [e1|e2|e3|e4|e5|e6|micro]...   (default: everything) *)
+
+module Doc = Axml_doc
+module P = Axml_query.Pattern
+module Eval = Axml_query.Eval
+module Schema = Axml_schema.Schema
+module Sat = Axml_schema.Sat
+module Registry = Axml_services.Registry
+module Witness = Axml_services.Witness
+module Relevance = Axml_core.Relevance
+module Nfq = Axml_core.Nfq
+module Lpq = Axml_core.Lpq
+module Influence = Axml_core.Influence
+module Typing = Axml_core.Typing
+module Fguide = Axml_core.Fguide
+module Naive = Axml_core.Naive
+module Lazy_eval = Axml_core.Lazy_eval
+module City = Axml_workload.City
+module Goingout = Axml_workload.Goingout
+module Synthetic = Axml_workload.Synthetic
+
+(* ------------------------------------------------------------------ *)
+(* Small table printer *)
+
+let print_table ~title ~header rows =
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let line c =
+    print_string "+";
+    List.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
+    print_newline ()
+  in
+  let print_row row =
+    print_string "|";
+    List.iter2 (fun w cell -> Printf.printf " %-*s |" w cell) widths row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s ==\n" title;
+  line '-';
+  print_row header;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let secs f = Printf.sprintf "%.3f" f
+let ms f = Printf.sprintf "%.2f" (f *. 1000.0)
+
+(* A horizontal grouped bar chart — the textual analogue of the paper's
+   evaluation figures. Bars are log-scaled when the series spans more
+   than two decades (the naive/lazy gap does). *)
+let print_figure ~title ~unit rows =
+  Printf.printf "\n== %s ==\n" title;
+  let values = List.concat_map (fun (_, series) -> List.map snd series) rows in
+  let vmax = List.fold_left Float.max 1e-12 values in
+  let vmin_pos =
+    List.fold_left (fun acc v -> if v > 0.0 then Float.min acc v else acc) vmax values
+  in
+  let log_scale = vmax /. Float.max 1e-12 vmin_pos > 100.0 in
+  let width = 46 in
+  let bar v =
+    let frac =
+      if v <= 0.0 then 0.0
+      else if log_scale then
+        let lo = log10 vmin_pos -. 0.3 and hi = log10 vmax in
+        (log10 v -. lo) /. Float.max 1e-9 (hi -. lo)
+      else v /. vmax
+    in
+    let n = max (if v > 0.0 then 1 else 0) (int_of_float (frac *. float_of_int width)) in
+    String.make (min width n) '#'
+  in
+  let name_width =
+    List.fold_left
+      (fun acc (_, series) ->
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) acc series)
+      0 rows
+  in
+  List.iter
+    (fun (label, series) ->
+      List.iteri
+        (fun i (name, v) ->
+          Printf.printf "%8s | %-*s %-*s %g %s\n"
+            (if i = 0 then label else "")
+            name_width name width (bar v) v unit)
+        series;
+      print_newline ())
+    rows;
+  if log_scale then print_endline "         (log scale)"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let tuples answers =
+  List.map (fun (b : Eval.binding) -> b.Eval.vars) answers |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* E1: naive materialization vs lazy NFQA, sweeping document scale.
+   Claim (abstract, §1): pruning irrelevant calls cuts evaluation time by
+   orders of magnitude. Both sides invoke sequentially here; parallelism
+   is studied separately in E5. *)
+
+let e1 () =
+  let sequential = { Lazy_eval.nfqa_typed with Lazy_eval.parallel = false } in
+  (* A selective query over a call-rich document: few hotels are "Best
+     Western", most data is intensional — the regime the paper's claim is
+     about. *)
+  let series = ref [] in
+  let rows =
+    List.map
+      (fun hotels ->
+        let cfg =
+          {
+            City.default_config with
+            City.hotels;
+            target_fraction = 0.05;
+            intensional_rating_fraction = 0.7;
+            intensional_nearby_fraction = 0.7;
+            museums_per_hotel = 4;
+            restaurants_per_hotel = 6;
+          }
+        in
+        let naive_inst = City.generate cfg in
+        let initial_calls = Doc.count_calls naive_inst.City.doc in
+        let naive =
+          Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query
+            naive_inst.City.doc
+        in
+        let lazy_inst = City.generate cfg in
+        let lzy =
+          Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
+            ~strategy:sequential lazy_inst.City.query lazy_inst.City.doc
+        in
+        assert (tuples naive.Naive.answers = tuples lzy.Lazy_eval.answers);
+        let speedup =
+          naive.Naive.simulated_seconds /. Float.max 1e-9 lzy.Lazy_eval.simulated_seconds
+        in
+        series :=
+          ( string_of_int hotels,
+            [
+              ("naive", naive.Naive.simulated_seconds);
+              ("lazy", lzy.Lazy_eval.simulated_seconds);
+            ] )
+          :: !series;
+        [
+          string_of_int hotels;
+          string_of_int initial_calls;
+          string_of_int naive.Naive.invoked;
+          secs naive.Naive.simulated_seconds;
+          string_of_int lzy.Lazy_eval.invoked;
+          secs lzy.Lazy_eval.simulated_seconds;
+          Printf.sprintf "%.1fx" speedup;
+          string_of_int (List.length (tuples lzy.Lazy_eval.answers));
+        ])
+      [ 10; 20; 40; 80; 160; 320 ]
+  in
+  print_table ~title:"E1: naive vs lazy (sequential invocations, typed NFQA)"
+    ~header:
+      [
+        "hotels";
+        "doc calls";
+        "naive calls";
+        "naive time(s)";
+        "lazy calls";
+        "lazy time(s)";
+        "speedup";
+        "answers";
+      ]
+    rows;
+  print_figure ~title:"Figure E1: total evaluation time vs document size" ~unit:"s"
+    (List.rev !series)
+
+(* ------------------------------------------------------------------ *)
+(* E2: accuracy/efficiency of relevance detection (§3, §5, §6.1):
+   LPQ vs NFQ vs lenient-typed vs exact-typed NFQ. *)
+
+let e2 () =
+  let cfg = { City.default_config with City.hotels = 50 } in
+  let strategies =
+    [
+      ("LPQ", Lazy_eval.lpq_only);
+      ("NFQ", Lazy_eval.nfqa);
+      ("NFQ+relaxed joins", { Lazy_eval.nfqa with Lazy_eval.relax_joins = true });
+      ("NFQ+lenient types", Lazy_eval.nfqa_lenient);
+      ("NFQ+exact types", Lazy_eval.nfqa_typed);
+    ]
+  in
+  let naive_inst = City.generate cfg in
+  let naive =
+    Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query naive_inst.City.doc
+  in
+  let rows =
+    List.map
+      (fun (name, strategy) ->
+        let strategy = { strategy with Lazy_eval.parallel = false } in
+        let inst = City.generate cfg in
+        let r =
+          Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
+            inst.City.query inst.City.doc
+        in
+        assert (tuples r.Lazy_eval.answers = tuples naive.Naive.answers);
+        [
+          name;
+          string_of_int r.Lazy_eval.invoked;
+          string_of_int r.Lazy_eval.relevance_evals;
+          ms r.Lazy_eval.analysis_seconds;
+          secs r.Lazy_eval.simulated_seconds;
+        ])
+      strategies
+  in
+  let naive_row =
+    [
+      "naive (all calls)";
+      string_of_int naive.Naive.invoked;
+      "0";
+      "0.00";
+      secs naive.Naive.simulated_seconds;
+    ]
+  in
+  print_table ~title:"E2: relevance detection strategies (50 hotels)"
+    ~header:[ "strategy"; "calls"; "detections"; "analysis(ms)"; "service time(s)" ]
+    (naive_row :: rows)
+
+(* ------------------------------------------------------------------ *)
+(* E3: F-guide speedup for relevance detection (§6.2), sweeping document
+   size. Detection = evaluate every NFQ of the query once. *)
+
+let e3 () =
+  let series = ref [] in
+  let rows =
+    List.map
+      (fun nodes ->
+        let inst = Synthetic.generate { Synthetic.default_config with Synthetic.nodes } in
+        let doc = inst.Synthetic.doc in
+        let rqs = Nfq.of_query inst.Synthetic.query in
+        let top_down, t_top =
+          wall (fun () ->
+              List.concat_map (fun rq -> Relevance.relevant_calls rq doc) rqs
+              |> List.map (fun (n : Doc.node) -> n.Doc.id)
+              |> List.sort_uniq compare)
+        in
+        (* a third engine: PathStack streaming over the LPQ chains,
+           followed by the anchored NFQ filter *)
+        let pathstacked, t_ps =
+          wall (fun () ->
+              List.concat_map
+                (fun rq ->
+                  let steps =
+                    List.map
+                      (fun (axis, label) -> { Axml_query.Pathstack.axis; label })
+                      (Relevance.guide_steps rq)
+                  in
+                  Axml_query.Pathstack.matches steps doc
+                  |> List.filter (fun c -> Relevance.retrieves rq c))
+                rqs
+              |> List.map (fun (n : Doc.node) -> n.Doc.id)
+              |> List.sort_uniq compare)
+        in
+        let guide, t_build = wall (fun () -> Fguide.build doc) in
+        let guided, t_guide =
+          wall (fun () ->
+              List.concat_map
+                (fun rq ->
+                  Fguide.candidates guide (Relevance.guide_steps rq)
+                  |> List.filter (fun c -> Relevance.retrieves rq c))
+                rqs
+              |> List.map (fun (n : Doc.node) -> n.Doc.id)
+              |> List.sort_uniq compare)
+        in
+        assert (top_down = guided);
+        assert (top_down = pathstacked);
+        series :=
+          ( string_of_int (Doc.size doc),
+            [ ("tree walk", t_top); ("pathstack", t_ps); ("f-guide", t_build +. t_guide) ] )
+          :: !series;
+        [
+          string_of_int (Doc.size doc);
+          string_of_int (Doc.count_calls doc);
+          string_of_int (List.length top_down);
+          ms t_top;
+          ms t_ps;
+          ms t_build;
+          ms t_guide;
+          Printf.sprintf "%.1fx" (t_top /. Float.max 1e-9 t_guide);
+        ])
+      [ 1_000; 5_000; 20_000; 50_000; 100_000 ]
+  in
+  print_table ~title:"E3: relevance detection: tree walk vs PathStack vs F-guide"
+    ~header:
+      [
+        "doc nodes";
+        "calls";
+        "relevant";
+        "top-down(ms)";
+        "pathstack(ms)";
+        "guide build(ms)";
+        "guided(ms)";
+        "speedup";
+      ]
+    rows;
+  print_figure ~title:"Figure E3: relevance detection time vs document size" ~unit:"s"
+    (List.rev !series)
+
+(* ------------------------------------------------------------------ *)
+(* E4: query pushing (§7): bytes shipped and service time with and
+   without pushing, sweeping the selectivity of the query constant. *)
+
+let e4 () =
+  let series = ref [] in
+  let rows =
+    List.map
+      (fun five_star_fraction ->
+        let cfg =
+          { City.default_config with City.hotels = 50; blurb_bytes = 2048; five_star_fraction }
+        in
+        let run strategy =
+          let inst = City.generate cfg in
+          Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
+            inst.City.query inst.City.doc
+        in
+        let plain = run Lazy_eval.nfqa_typed in
+        let pushed = run (Lazy_eval.with_push Lazy_eval.nfqa_typed) in
+        assert (tuples plain.Lazy_eval.answers = tuples pushed.Lazy_eval.answers);
+        series :=
+          ( Printf.sprintf "%.0f%%" (five_star_fraction *. 100.0),
+            [
+              ("full results", float_of_int plain.Lazy_eval.bytes_transferred);
+              ("pushed", float_of_int pushed.Lazy_eval.bytes_transferred);
+            ] )
+          :: !series;
+        [
+          Printf.sprintf "%.0f%%" (five_star_fraction *. 100.0);
+          string_of_int plain.Lazy_eval.bytes_transferred;
+          string_of_int pushed.Lazy_eval.bytes_transferred;
+          Printf.sprintf "%.1fx"
+            (float_of_int plain.Lazy_eval.bytes_transferred
+            /. Float.max 1.0 (float_of_int pushed.Lazy_eval.bytes_transferred));
+          secs plain.Lazy_eval.simulated_seconds;
+          secs pushed.Lazy_eval.simulated_seconds;
+          string_of_int (List.length (tuples pushed.Lazy_eval.answers));
+        ])
+      [ 0.05; 0.2; 0.5; 0.9 ]
+  in
+  print_table ~title:"E4: query pushing (50 hotels, 2 KiB review blurbs)"
+    ~header:
+      [ "5-star rate"; "bytes"; "bytes(push)"; "reduction"; "time(s)"; "time(s, push)"; "answers" ]
+    rows;
+  print_figure ~title:"Figure E4: bytes transferred vs query selectivity" ~unit:"B"
+    (List.rev !series)
+
+(* ------------------------------------------------------------------ *)
+(* E5: sequencing optimizations (§4): layering, parallel invocation,
+   after-layer simplification, vs plain NFQA. *)
+
+let e5 () =
+  let cfg =
+    {
+      City.default_config with
+      City.hotels = 40;
+      extensional_fraction = 0.3;
+      intensional_rating_fraction = 0.8;
+      intensional_nearby_fraction = 0.8;
+    }
+  in
+  let base = { Lazy_eval.nfqa with Lazy_eval.layering = false; parallel = false } in
+  let variants =
+    [
+      ("plain NFQA", base);
+      ("+ layering", { base with Lazy_eval.layering = true });
+      ("+ parallel (*)", { base with Lazy_eval.layering = true; parallel = true });
+      ( "+ simplify",
+        { base with Lazy_eval.layering = true; parallel = true; simplify_after_layer = true } );
+      ( "no shared ctx",
+        { base with Lazy_eval.layering = true; parallel = true; share_contexts = false } );
+      ( "+ dedup",
+        { base with Lazy_eval.layering = true; parallel = true; containment_dedup = true } );
+      ( "speculative",
+        { base with Lazy_eval.layering = true; parallel = true; speculative = true } );
+    ]
+  in
+  let reference = ref None in
+  let rows =
+    List.map
+      (fun (name, strategy) ->
+        let inst = City.generate cfg in
+        let r =
+          Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
+            inst.City.query inst.City.doc
+        in
+        (match !reference with
+        | None -> reference := Some (tuples r.Lazy_eval.answers)
+        | Some t -> assert (t = tuples r.Lazy_eval.answers));
+        [
+          name;
+          string_of_int r.Lazy_eval.layer_count;
+          string_of_int r.Lazy_eval.relevance_evals;
+          string_of_int r.Lazy_eval.rounds;
+          string_of_int r.Lazy_eval.invoked;
+          ms r.Lazy_eval.analysis_seconds;
+          secs r.Lazy_eval.simulated_seconds;
+        ])
+      variants
+  in
+  print_table ~title:"E5: call sequencing (40 hotels, mostly intensional)"
+    ~header:
+      [ "variant"; "layers"; "detections"; "rounds"; "calls"; "analysis(ms)"; "service time(s)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6: exact vs lenient type analysis (§5 complexity vs §6.1), sweeping
+   schema size. *)
+
+let inflate_schema base extra =
+  let s = ref base in
+  for i = 1 to extra do
+    let name = Printf.sprintf "extra%d" i in
+    s :=
+      Schema.add_element !s name
+        (Axml_automata.Regex.of_string
+           (Printf.sprintf "name.address.extra%d?" (1 + (i mod max 1 extra))));
+    s :=
+      Schema.add_function !s
+        (Printf.sprintf "getextra%d" i)
+        {
+          Schema.input = Axml_automata.Regex.Sym "data";
+          output = Axml_automata.Regex.of_string (name ^ "*");
+        }
+  done;
+  !s
+
+let e6 () =
+  let cfg = { City.default_config with City.hotels = 30 } in
+  let rows =
+    List.map
+      (fun extra ->
+        let inst = City.generate cfg in
+        let schema = inflate_schema inst.City.schema extra in
+        let symbol_count = List.length (Schema.all_symbols schema) in
+        let time_mode mode =
+          let inst = City.generate cfg in
+          let strategy =
+            match mode with
+            | `Exact -> Lazy_eval.nfqa_typed
+            | `Lenient -> { Lazy_eval.nfqa_typed with Lazy_eval.typing = Lazy_eval.Lenient_types }
+          in
+          let r =
+            Lazy_eval.run ~registry:inst.City.registry ~schema ~strategy inst.City.query
+              inst.City.doc
+          in
+          (r.Lazy_eval.analysis_seconds, r.Lazy_eval.invoked)
+        in
+        let exact_t, exact_calls = time_mode `Exact in
+        let lenient_t, lenient_calls = time_mode `Lenient in
+        [
+          string_of_int extra;
+          string_of_int symbol_count;
+          ms exact_t;
+          string_of_int exact_calls;
+          ms lenient_t;
+          string_of_int lenient_calls;
+        ])
+      [ 0; 10; 50; 200 ]
+  in
+  print_table ~title:"E6: exact vs lenient type analysis (30 hotels)"
+    ~header:[ "extra defs"; "symbols"; "exact(ms)"; "calls"; "lenient(ms)"; "calls(len)" ]
+    rows;
+  (* Accuracy half of the trade-off: a disjunctive content model
+     (menu = veg | meat) can never provide both children of the pattern,
+     which the exact single-word test sees and the lenient graph-schema
+     test does not — so lenient invokes calls that exact prunes. *)
+  let disjunctive_schema =
+    Schema.of_string
+      {|functions:
+  getmenu = [in: data, out: menu]
+elements:
+  shop = menu | getmenu
+  menu = veg | meat
+  veg  = data
+  meat = data
+|}
+  in
+  let accuracy_rows =
+    List.map
+      (fun shops ->
+        let xml =
+          "<street>"
+          ^ String.concat ""
+              (List.init shops (fun i ->
+                   Printf.sprintf
+                     {|<shop><axml:call name="getmenu"><k>%d</k></axml:call></shop>|} i))
+          ^ "</street>"
+        in
+        let query =
+          Axml_query.Parser.parse {|/street/shop/menu[veg="lettuce"][meat="beef"]|}
+        in
+        let run typing =
+          let doc = Doc.parse xml in
+          let registry = Registry.create () in
+          Registry.register registry ~name:"getmenu" (fun _ ->
+              [ Axml_xml.Tree.element "menu" [ Axml_xml.Tree.element "veg" [ Axml_xml.Tree.text "lettuce" ] ] ]);
+          let strategy = { Lazy_eval.nfqa with Lazy_eval.typing } in
+          Lazy_eval.run ~registry ~schema:disjunctive_schema ~strategy query doc
+        in
+        let exact = run Lazy_eval.Exact_types in
+        let lenient = run Lazy_eval.Lenient_types in
+        [
+          string_of_int shops;
+          string_of_int exact.Lazy_eval.invoked;
+          string_of_int lenient.Lazy_eval.invoked;
+          secs exact.Lazy_eval.simulated_seconds;
+          secs lenient.Lazy_eval.simulated_seconds;
+        ])
+      [ 10; 50; 200 ]
+  in
+  print_table ~title:"E6b: pruning accuracy on a disjunctive content model"
+    ~header:[ "pending calls"; "exact invokes"; "lenient invokes"; "exact time(s)"; "lenient time(s)" ]
+    accuracy_rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the inner operation of each table. *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* Prepared inputs, shared across iterations. *)
+  let small_city = City.generate { City.default_config with City.hotels = 10 } in
+  let nfqs = Nfq.of_query small_city.City.query in
+  let synth = Synthetic.generate { Synthetic.default_config with Synthetic.nodes = 20_000 } in
+  let synth_rqs = Nfq.of_query synth.Synthetic.query in
+  let synth_guide = Fguide.build synth.Synthetic.doc in
+  let resto_forest =
+    List.init 20 (fun i ->
+        Axml_xml.Parse.tree
+          (Printf.sprintf
+             "<restaurant><name>R%d</name><address>A</address><rating>%d</rating><review>%s</review></restaurant>"
+             i
+             (1 + (i mod 5))
+             (String.make 512 'x')))
+  in
+  let push_pattern =
+    Nfq.optimistic (Axml_query.Parser.parse {|/restaurant[name=$X!][address=$Y!][rating="5"]|}).P.root
+  in
+  let sat_query = small_city.City.query in
+  let tests =
+    [
+      Test.make ~name:"e1:lazy-run(10 hotels)"
+        (Staged.stage (fun () ->
+             let inst = City.generate { City.default_config with City.hotels = 10 } in
+             Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema
+               ~strategy:Lazy_eval.nfqa_typed inst.City.query inst.City.doc));
+      Test.make ~name:"e2:nfq-detection"
+        (Staged.stage (fun () ->
+             List.concat_map (fun rq -> Relevance.relevant_calls rq small_city.City.doc) nfqs));
+      Test.make ~name:"e3:fguide-candidates(20k)"
+        (Staged.stage (fun () ->
+             List.concat_map
+               (fun rq -> Fguide.candidates synth_guide (Relevance.guide_steps rq))
+               synth_rqs));
+      Test.make ~name:"e3:pathstack(20k)"
+        (Staged.stage
+           (let chains =
+              List.map
+                (fun rq ->
+                  List.map
+                    (fun (axis, label) -> { Axml_query.Pathstack.axis; label })
+                    (Relevance.guide_steps rq))
+                synth_rqs
+            in
+            fun () ->
+              List.concat_map
+                (fun steps -> Axml_query.Pathstack.matches steps synth.Synthetic.doc)
+                chains));
+      Test.make ~name:"e4:witness-prune"
+        (Staged.stage (fun () -> Witness.prune push_pattern resto_forest));
+      Test.make ~name:"e5:layering" (Staged.stage (fun () -> Influence.layers nfqs));
+      Test.make ~name:"e6:sat-exact"
+        (Staged.stage (fun () ->
+             Sat.create (Schema.of_string City.schema_src) [ sat_query.P.root ]));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"axml" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      rows := [ name; Printf.sprintf "%.0f" estimate; Printf.sprintf "%.4f" r2 ] :: !rows)
+    results;
+  print_table ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+    ~header:[ "benchmark"; "ns/run"; "r^2" ]
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S (available: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 2)
+    requested

@@ -1,0 +1,531 @@
+(* The axml command-line tool: snapshot queries, lazy evaluation over the
+   built-in simulated workloads, relevance inspection, NFQ layers, and
+   F-guide dumps. *)
+
+module Doc = Axml_doc
+module P = Axml_query.Pattern
+module Eval = Axml_query.Eval
+module Parser = Axml_query.Parser
+module Schema = Axml_schema.Schema
+module Registry = Axml_services.Registry
+module Relevance = Axml_core.Relevance
+module Nfq = Axml_core.Nfq
+module Lpq = Axml_core.Lpq
+module Influence = Axml_core.Influence
+module Typing = Axml_core.Typing
+module Fguide = Axml_core.Fguide
+module Naive = Axml_core.Naive
+module Lazy_eval = Axml_core.Lazy_eval
+module City = Axml_workload.City
+module Goingout = Axml_workload.Goingout
+module Synthetic = Axml_workload.Synthetic
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_flag =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the evaluator's decisions.")
+
+let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let load_doc path =
+  try Ok (Doc.of_xml (Axml_xml.Parse.tree_of_file path)) with
+  | Sys_error m -> Error m
+  | e -> (
+    match Axml_xml.Parse.error_to_string e with
+    | Some m -> Error (path ^ ": " ^ m)
+    | None -> raise e)
+
+let parse_query src =
+  try Ok (Parser.parse src) with Parser.Error m -> Error ("query: " ^ m)
+
+let print_bindings ?(xml = false) (answers : Eval.binding list) =
+  if xml then
+    (* the paper's §7 wire format: one <tuple> per binding *)
+    print_endline (Axml_xml.Print.forest_to_string ~indent:2 (Eval.bindings_to_xml answers))
+  else if answers = [] then print_endline "(no answers)"
+  else
+    List.iteri
+      (fun i (b : Eval.binding) ->
+        Printf.printf "answer %d:\n" (i + 1);
+        List.iter (fun (x, v) -> Printf.printf "  $%s = %S\n" x v) b.Eval.vars;
+        List.iter
+          (fun (_, n) ->
+            Printf.printf "  %s\n" (Axml_xml.Print.to_string (Doc.node_to_xml n)))
+          b.Eval.results)
+      answers
+
+let xml_flag =
+  Arg.(value & flag & info [ "xml" ] ~doc:"Print answers as <tuple> elements (the §7 format).")
+
+let flwr_flag =
+  Arg.(
+    value & flag
+    & info [ "flwr" ]
+        ~doc:"Read QUERY as a FLWR expression (for/where/return) instead of a tree pattern.")
+
+(* ---------------- common arguments ---------------- *)
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Tree-pattern query.")
+
+let doc_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"AXML document (XML with <axml:call> elements).")
+
+let schema_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"Schema file (functions/elements sections).")
+
+let load_schema = function
+  | None -> Ok None
+  | Some path -> (
+    try Ok (Some (Schema.of_file path)) with
+    | Schema.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+    | Sys_error m -> Error m)
+
+(* ---------------- snapshot ---------------- *)
+
+let snapshot doc_path query_src xml flwr =
+  match load_doc doc_path with
+  | Error m -> fail "%s" m
+  | Ok doc ->
+    if flwr then
+      match Axml_query.Xquery.compile query_src with
+      | exception Axml_query.Xquery.Error m -> fail "flwr: %s" m
+      | q ->
+        print_endline
+          (Axml_xml.Print.forest_to_string ~indent:2 (Axml_query.Xquery.run q doc));
+        `Ok ()
+    else (
+      match parse_query query_src with
+      | Error m -> fail "%s" m
+      | Ok query ->
+        print_bindings ~xml (Eval.eval query doc);
+        `Ok ())
+
+let snapshot_cmd =
+  let doc = "Evaluate the snapshot result (Def. 1): no service call is invoked." in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc)
+    Term.(ret (const snapshot $ doc_arg $ query_arg $ xml_flag $ flwr_flag))
+
+(* ---------------- relevant ---------------- *)
+
+let relevant doc_path schema_path query_src use_lpq =
+  match load_doc doc_path, parse_query query_src, load_schema schema_path with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> fail "%s" m
+  | Ok doc, Ok query, Ok schema ->
+    let rqs = if use_lpq then Lpq.of_query query else Nfq.of_query query in
+    let rqs =
+      match schema with
+      | None -> rqs
+      | Some s ->
+        let ty = Typing.create s query in
+        List.filter_map (Typing.refine ty ~known_functions:(Schema.function_names s)) rqs
+    in
+    let calls =
+      List.concat_map (fun rq -> Relevance.relevant_calls rq doc) rqs
+      |> List.sort_uniq (fun (a : Doc.node) b -> compare a.Doc.id b.Doc.id)
+    in
+    if calls = [] then print_endline "(no relevant calls)"
+    else
+      List.iter
+        (fun (c : Doc.node) ->
+          match c.Doc.label with
+          | Doc.Call { fname; call_id } ->
+            Printf.printf "[%d] %s at /%s\n" call_id fname
+              (String.concat "/" (Doc.label_path c))
+          | _ -> ())
+        calls;
+    `Ok ()
+
+let lpq_flag =
+  Arg.(value & flag & info [ "lpq" ] ~doc:"Use linear path queries instead of NFQs (relaxed).")
+
+let relevant_cmd =
+  let doc =
+    "List the service calls of the document that are relevant for the query (§3), optionally \
+     refined by a schema (§5)."
+  in
+  Cmd.v
+    (Cmd.info "relevant" ~doc)
+    Term.(ret (const relevant $ doc_arg $ schema_arg $ query_arg $ lpq_flag))
+
+(* ---------------- layers ---------------- *)
+
+let layers query_src =
+  match parse_query query_src with
+  | Error m -> fail "%s" m
+  | Ok query ->
+    let rqs = Nfq.of_query query in
+    List.iteri
+      (fun i layer ->
+        Printf.printf "layer %d:\n" i;
+        List.iter
+          (fun rq ->
+            let independent = Influence.independent_in_layer rq layer in
+            Printf.printf "  %s%s\n"
+              (Format.asprintf "%a" P.pp rq.Relevance.query)
+              (if independent then "   (independent *)" else ""))
+          layer)
+      (Influence.layers rqs);
+    `Ok ()
+
+let layers_cmd =
+  let doc = "Show the query's NFQs grouped into may-influence layers (§4.3), in processing order." in
+  Cmd.v (Cmd.info "layers" ~doc) Term.(ret (const layers $ query_arg))
+
+(* ---------------- guide ---------------- *)
+
+let guide doc_path =
+  match load_doc doc_path with
+  | Error m -> fail "%s" m
+  | Ok doc ->
+    let g = Fguide.build doc in
+    Printf.printf "%d call(s) under %d distinct path(s):\n" (Fguide.call_count g)
+      (List.length (Fguide.paths g));
+    List.iter (fun path -> Printf.printf "  /%s\n" (String.concat "/" path)) (Fguide.paths g);
+    `Ok ()
+
+let guide_cmd =
+  let doc = "Build and print the document's function-call guide (§6.2)." in
+  Cmd.v (Cmd.info "guide" ~doc) Term.(ret (const guide $ doc_arg))
+
+(* ---------------- run (built-in workloads) ---------------- *)
+
+type workload = W_city | W_goingout | W_synthetic
+
+let workload_conv =
+  Arg.enum [ ("city", W_city); ("goingout", W_goingout); ("synthetic", W_synthetic) ]
+
+let strategy_conv =
+  Arg.enum
+    [
+      ("nfqa", `Nfqa);
+      ("nfqa-typed", `Typed);
+      ("nfqa-lenient", `Lenient);
+      ("lpq", `Lpq);
+      ("naive", `Naive);
+    ]
+
+let run_workload verbose workload strategy scale seed push fguide xml query_override =
+  setup_logs verbose;
+  let instance =
+    match workload with
+    | W_city ->
+      let i = City.generate { City.default_config with City.hotels = scale; seed } in
+      (i.City.doc, i.City.registry, i.City.schema, i.City.query)
+    | W_goingout ->
+      let i = Goingout.generate { Goingout.default_config with Goingout.theaters = scale; seed } in
+      (i.Goingout.doc, i.Goingout.registry, i.Goingout.schema, i.Goingout.query)
+    | W_synthetic ->
+      let i =
+        Synthetic.generate { Synthetic.default_config with Synthetic.nodes = scale * 100; seed }
+      in
+      (i.Synthetic.doc, i.Synthetic.registry, i.Synthetic.schema, i.Synthetic.query)
+  in
+  let doc, registry, schema, default_query = instance in
+  let query =
+    match query_override with
+    | None -> Ok default_query
+    | Some src -> parse_query src
+  in
+  match query with
+  | Error m -> fail "%s" m
+  | Ok query -> (
+    Printf.printf "document: %d nodes, %d calls\nquery:    %s\n\n" (Doc.size doc)
+      (Doc.count_calls doc)
+      (P.to_string query);
+    match strategy with
+    | `Naive ->
+      let r = Naive.run registry query doc in
+      print_bindings ~xml r.Naive.answers;
+      Printf.printf "\ninvoked %d call(s) in %d round(s), %.3f s simulated, %d bytes\n"
+        r.Naive.invoked r.Naive.rounds r.Naive.simulated_seconds r.Naive.bytes_transferred;
+      `Ok ()
+    | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
+      let base =
+        match s with
+        | `Nfqa -> Lazy_eval.nfqa
+        | `Typed -> Lazy_eval.nfqa_typed
+        | `Lenient -> Lazy_eval.nfqa_lenient
+        | `Lpq -> Lazy_eval.lpq_only
+      in
+      let base = if push then Lazy_eval.with_push base else base in
+      let strategy = if fguide then Lazy_eval.with_fguide base else base in
+      let r = Lazy_eval.run ~registry ~schema ~strategy query doc in
+      print_bindings ~xml r.Lazy_eval.answers;
+      Printf.printf
+        "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
+        r.Lazy_eval.invoked r.Lazy_eval.pushed r.Lazy_eval.rounds r.Lazy_eval.relevance_evals
+        r.Lazy_eval.layer_count;
+      Printf.printf "%.3f s simulated service time, %.1f ms analysis, %d bytes, complete=%b\n"
+        r.Lazy_eval.simulated_seconds
+        (r.Lazy_eval.analysis_seconds *. 1000.0)
+        r.Lazy_eval.bytes_transferred r.Lazy_eval.complete;
+      `Ok ())
+
+let run_cmd =
+  let doc =
+    "Run a query lazily (or naively) over a built-in simulated workload: $(b,city) (the paper's \
+     running example, scaled), $(b,goingout) (the introduction's scenario) or $(b,synthetic)."
+  in
+  let workload_arg =
+    Arg.(value & opt workload_conv W_city & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv `Typed
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:"Evaluation strategy: nfqa, nfqa-typed, nfqa-lenient, lpq or naive.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 20 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale (hotels/theaters/…).")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  let push_arg = Arg.(value & flag & info [ "push" ] ~doc:"Push subqueries to providers (§7).") in
+  let fguide_arg = Arg.(value & flag & info [ "fguide" ] ~doc:"Use a function-call guide (§6.2).") in
+  let query_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Override the workload query.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
+       $ push_arg $ fguide_arg $ xml_flag $ query_arg))
+
+(* ---------------- generate ---------------- *)
+
+let generate workload scale seed output =
+  let doc, schema =
+    match workload with
+    | W_city ->
+      let i = City.generate { City.default_config with City.hotels = scale; seed } in
+      (i.City.doc, City.schema_src)
+    | W_goingout ->
+      let i = Goingout.generate { Goingout.default_config with Goingout.theaters = scale; seed } in
+      (i.Goingout.doc, Goingout.schema_src)
+    | W_synthetic ->
+      let i =
+        Synthetic.generate { Synthetic.default_config with Synthetic.nodes = scale * 100; seed }
+      in
+      (i.Synthetic.doc, "")
+  in
+  let xml = Doc.to_string ~indent:2 doc in
+  (match output with
+  | None -> print_endline xml
+  | Some path ->
+    let oc = open_out path in
+    output_string oc xml;
+    close_out oc;
+    if schema <> "" then begin
+      let oc = open_out (path ^ ".schema") in
+      output_string oc schema;
+      close_out oc
+    end;
+    Printf.eprintf "wrote %s (%d nodes, %d calls)\n" path (Doc.size doc) (Doc.count_calls doc));
+  `Ok ()
+
+let generate_cmd =
+  let doc = "Generate a workload document as XML (plus its .schema when written to a file)." in
+  let workload_arg =
+    Arg.(value & opt workload_conv W_city & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 20 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(ret (const generate $ workload_arg $ scale_arg $ seed_arg $ output_arg))
+
+(* ---------------- eval (user files) ---------------- *)
+
+let eval_files verbose doc_path schema_path services_path strategy push fguide xml flwr query_src =
+  setup_logs verbose;
+  let flwr_query =
+    if not flwr then Ok None
+    else
+      match Axml_query.Xquery.compile query_src with
+      | q -> Ok (Some q)
+      | exception Axml_query.Xquery.Error m -> Error ("flwr: " ^ m)
+  in
+  let parsed_query =
+    match flwr_query with
+    | Error m -> Error m
+    | Ok (Some q) -> Ok (Axml_query.Xquery.pattern q)
+    | Ok None -> parse_query query_src
+  in
+  match load_doc doc_path, parsed_query, load_schema schema_path with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> fail "%s" m
+  | Ok doc, Ok query, Ok schema -> (
+    let registry = Registry.create () in
+    match Option.map (Axml_services.Spec.load_file registry) services_path with
+    | exception Axml_services.Spec.Error m -> fail "services: %s" m
+    | names -> (
+      (match names with
+      | Some names -> Printf.eprintf "registered services: %s\n%!" (String.concat ", " names)
+      | None -> ());
+      match strategy with
+      | `Naive ->
+        let r = Naive.run registry query doc in
+        print_bindings ~xml r.Naive.answers;
+        Printf.printf "\ninvoked %d call(s), %.3f s simulated\n" r.Naive.invoked
+          r.Naive.simulated_seconds;
+        `Ok ()
+      | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
+        let base =
+          match s with
+          | `Nfqa -> Lazy_eval.nfqa
+          | `Typed -> Lazy_eval.nfqa_typed
+          | `Lenient -> Lazy_eval.nfqa_lenient
+          | `Lpq -> Lazy_eval.lpq_only
+        in
+        let base = if push then Lazy_eval.with_push base else base in
+        let strategy = if fguide then Lazy_eval.with_fguide base else base in
+        let r = Lazy_eval.run ?schema ~registry ~strategy query doc in
+        (match flwr_query with
+        | Ok (Some q) ->
+          print_endline
+            (Axml_xml.Print.forest_to_string ~indent:2
+               (Axml_query.Xquery.instantiate q r.Lazy_eval.answers))
+        | _ -> print_bindings ~xml r.Lazy_eval.answers);
+        Printf.printf "\ninvoked %d call(s) in %d round(s), %.3f s simulated, complete=%b\n"
+          r.Lazy_eval.invoked r.Lazy_eval.rounds r.Lazy_eval.simulated_seconds
+          r.Lazy_eval.complete;
+        `Ok ()))
+
+let eval_cmd =
+  let doc =
+    "Lazily evaluate a query over your own AXML document, with services defined in a \
+     declarative XML spec (see $(b,Axml_services.Spec))."
+  in
+  let services_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "services" ] ~docv:"FILE" ~doc:"Table-driven service definitions.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv `Typed
+      & info [ "strategy" ] ~docv:"NAME" ~doc:"nfqa, nfqa-typed, nfqa-lenient, lpq or naive.")
+  in
+  let push_arg = Arg.(value & flag & info [ "push" ] ~doc:"Push subqueries (\xc2\xa77).") in
+  let fguide_arg = Arg.(value & flag & info [ "fguide" ] ~doc:"Use a function-call guide.") in
+  Cmd.v
+    (Cmd.info "eval" ~doc)
+    Term.(
+      ret
+        (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ strategy_arg
+       $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ query_arg))
+
+(* ---------------- validate ---------------- *)
+
+let validate doc_path schema_path =
+  match load_doc doc_path, load_schema (Some schema_path) with
+  | Error m, _ | _, Error m -> fail "%s" m
+  | Ok _, Ok None -> fail "a schema is required"
+  | Ok doc, Ok (Some schema) -> (
+    match Axml_schema.Validate.document schema doc with
+    | [] ->
+      print_endline "document conforms to the schema";
+      `Ok ()
+    | issues ->
+      List.iter
+        (fun i -> Format.printf "%a@." Axml_schema.Validate.pp_issue i)
+        issues;
+      Printf.eprintf "%d issue(s)\n" (List.length issues);
+      `Error (false, "the document does not conform"))
+
+let validate_cmd =
+  let doc = "Validate an AXML document against a schema (content models and call signatures)." in
+  let schema_required =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"Schema file.")
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(ret (const validate $ doc_arg $ schema_required))
+
+(* ---------------- termination ---------------- *)
+
+let termination schema_path doc_path =
+  match load_schema (Some schema_path) with
+  | Error m -> fail "%s" m
+  | Ok None -> fail "a schema is required"
+  | Ok (Some schema) -> (
+    let verdict =
+      match doc_path with
+      | None -> Ok (Axml_core.Termination.analyze schema)
+      | Some path -> (
+        match load_doc path with
+        | Error m -> Error m
+        | Ok doc -> Ok (Axml_core.Termination.analyze_doc schema doc))
+    in
+    match verdict with
+    | Error m -> fail "%s" m
+    | Ok v ->
+      Format.printf "%a@." Axml_core.Termination.pp_verdict v;
+      List.iter
+        (fun (f, targets) ->
+          Printf.printf "  %s -> %s\n" f
+            (if targets = [] then "(nothing)" else String.concat ", " targets))
+        (Axml_core.Termination.call_graph schema);
+      `Ok ())
+
+let termination_cmd =
+  let doc =
+    "Check the sufficient termination condition for rewritings: is the service call graph \
+     (restricted to the document's calls, if one is given) acyclic?"
+  in
+  let schema_required =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"Schema file.")
+  in
+  let doc_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"Restrict to this document's calls.")
+  in
+  Cmd.v (Cmd.info "termination" ~doc) Term.(ret (const termination $ schema_required $ doc_opt))
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "lazy query evaluation for Active XML documents" in
+  let info = Cmd.info "axml" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            snapshot_cmd;
+            relevant_cmd;
+            layers_cmd;
+            guide_cmd;
+            run_cmd;
+            eval_cmd;
+            generate_cmd;
+            validate_cmd;
+            termination_cmd;
+          ]))

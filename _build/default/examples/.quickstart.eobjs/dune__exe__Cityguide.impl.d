@@ -1,0 +1,1 @@
+examples/cityguide.ml: Axml_core Axml_doc Axml_query Axml_schema Axml_workload Format List Printf String

@@ -1,0 +1,1 @@
+examples/cityguide.mli:

@@ -1,0 +1,1 @@
+examples/goingout.ml: Axml_core Axml_doc Axml_query Axml_services Axml_workload Axml_xml List Printf String

@@ -1,0 +1,1 @@
+examples/pushdemo.ml: Axml_core Axml_query Axml_services Axml_workload Axml_xml List Printf

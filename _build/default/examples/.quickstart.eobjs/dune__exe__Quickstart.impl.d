@@ -1,0 +1,1 @@
+examples/quickstart.ml: Axml_core Axml_doc Axml_query Axml_services Axml_xml List Printf

@@ -1,0 +1,1 @@
+examples/tooling.ml: Axml_core Axml_doc Axml_query Axml_schema Axml_services Axml_workload Axml_xml Format List Printf

@@ -1,0 +1,1 @@
+examples/tooling.mli:

@@ -1,0 +1,75 @@
+(* The companion tools around the lazy evaluator: schema validation,
+   termination analysis, query containment, F-guide serialization, and
+   service-result memoization.
+
+     dune exec examples/tooling.exe *)
+
+module Doc = Axml_doc
+module Parser = Axml_query.Parser
+module Containment = Axml_query.Containment
+module Schema = Axml_schema.Schema
+module Validate = Axml_schema.Validate
+module Registry = Axml_services.Registry
+module Fguide = Axml_core.Fguide
+module Termination = Axml_core.Termination
+module City = Axml_workload.City
+
+let () =
+  let instance = City.figure1 () in
+  let schema = instance.City.schema in
+
+  (* 1. Validation: the running example conforms to the Fig. 2 schema;
+     a mangled document does not. *)
+  print_endline "-- validation --";
+  Printf.printf "figure 1 conforms: %b\n" (Validate.conforms schema instance.City.doc);
+  let broken = Doc.parse "<guide><hotel><rating>5</rating></hotel></guide>" in
+  List.iter
+    (fun issue -> Format.printf "  issue: %a@." Validate.pp_issue issue)
+    (Validate.document schema broken);
+
+  (* 2. Termination: the city schema's call graph is acyclic, so every
+     rewriting terminates; a service returning its own host type would
+     not. *)
+  print_endline "\n-- termination --";
+  Format.printf "city schema: %a@." Termination.pp_verdict (Termination.analyze schema);
+  let cyclic =
+    Schema.of_string
+      {|functions:
+  crawl = [in: data, out: page]
+elements:
+  page = link*
+  link = crawl?
+|}
+  in
+  Format.printf "crawler schema: %a@." Termination.pp_verdict (Termination.analyze cyclic);
+
+  (* 3. Containment: the relevance machinery uses it to drop redundant
+     queries. *)
+  print_endline "\n-- containment --";
+  let pairs =
+    [
+      ("/guide/hotel/name", "/guide//name");
+      ("/guide//name", "/guide/hotel/name");
+      ({|/guide/hotel[rating="5"][name]|}, "/guide/hotel[name]");
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "  %-34s ⊆ %-24s : %b\n" a b
+        (Containment.contained (Parser.parse a) (Parser.parse b)))
+    pairs;
+
+  (* 4. The F-guide is itself an XML document (§6.2). *)
+  print_endline "\n-- F-guide as XML --";
+  print_endline
+    (Axml_xml.Print.to_string ~indent:2 (Fguide.to_xml (Fguide.build instance.City.doc)));
+
+  (* 5. Memoized services answer repeated calls for free. *)
+  print_endline "\n-- memoization --";
+  let registry = Registry.create () in
+  Registry.register registry ~name:"quote" ~memoize:true (fun _ ->
+      [ Axml_xml.Tree.text "42" ]);
+  let _, first = Registry.invoke registry ~name:"quote" ~params:[ Axml_xml.Tree.text "q" ] () in
+  let _, second = Registry.invoke registry ~name:"quote" ~params:[ Axml_xml.Tree.text "q" ] () in
+  Printf.printf "first call: %.3fs, second (cached): %.3fs\n" first.Registry.cost
+    second.Registry.cost

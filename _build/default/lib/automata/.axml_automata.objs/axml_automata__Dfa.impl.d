@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Fun Hashtbl Int List Nfa Queue Set

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Hashtbl List Printf Queue Regex

@@ -1,0 +1,1 @@
+lib/automata/nfa.mli: Regex

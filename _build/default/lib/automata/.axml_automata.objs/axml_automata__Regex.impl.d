@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Format Int List Printf String

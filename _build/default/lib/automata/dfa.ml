@@ -1,0 +1,177 @@
+type t = {
+  alphabet : string array;
+  sym_index : (string, int) Hashtbl.t;
+  start : int;
+  accepting : bool array;
+  (* next.(state).(symbol); every state is total (an explicit rejecting
+     sink is materialized when needed) *)
+  next : int array array;
+}
+
+let alphabet d = Array.to_list d.alphabet
+let size d = Array.length d.accepting
+
+module Int_set = Set.Make (Int)
+
+let of_nfa nfa =
+  let alpha = Array.of_list (Nfa.alphabet nfa) in
+  let nsyms = Array.length alpha in
+  let sym_index = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace sym_index s i) alpha;
+  let subset_id : (Int_set.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let states = ref [] in
+  let nstates = ref 0 in
+  let todo = Queue.create () in
+  let intern set =
+    match Hashtbl.find_opt subset_id set with
+    | Some id -> id
+    | None ->
+      let id = !nstates in
+      incr nstates;
+      Hashtbl.replace subset_id set id;
+      states := set :: !states;
+      Queue.add (id, set) todo;
+      id
+  in
+  let start = intern (Int_set.singleton (Nfa.start nfa)) in
+  let rows = ref [] in
+  let accs = ref [] in
+  while not (Queue.is_empty todo) do
+    let id, set = Queue.pop todo in
+    let row = Array.make nsyms 0 in
+    for i = 0 to nsyms - 1 do
+      let succ =
+        Int_set.fold
+          (fun s acc -> List.fold_left (fun acc q -> Int_set.add q acc) acc (Nfa.successors nfa s i))
+          set Int_set.empty
+      in
+      row.(i) <- intern succ
+    done;
+    let accepting = Int_set.exists (Nfa.is_accepting nfa) set in
+    rows := (id, row) :: !rows;
+    accs := (id, accepting) :: !accs
+  done;
+  let n = !nstates in
+  let next = Array.make n [||] in
+  let accepting = Array.make n false in
+  List.iter (fun (id, row) -> next.(id) <- row) !rows;
+  List.iter (fun (id, a) -> accepting.(id) <- a) !accs;
+  { alphabet = alpha; sym_index; start; accepting; next }
+
+let of_regex ~alphabet r = of_nfa (Nfa.of_regex ~alphabet r)
+
+let accepts d word =
+  let rec go state = function
+    | [] -> d.accepting.(state)
+    | sym :: rest -> (
+      match Hashtbl.find_opt d.sym_index sym with
+      | None -> false
+      | Some i -> go d.next.(state).(i) rest)
+  in
+  go d.start word
+
+let reachable d =
+  let n = size d in
+  let seen = Array.make n false in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter visit d.next.(s)
+    end
+  in
+  visit d.start;
+  seen
+
+let is_empty d =
+  let seen = reachable d in
+  not (Array.exists Fun.id (Array.mapi (fun i r -> r && d.accepting.(i)) seen))
+
+let complement d = { d with accepting = Array.map not d.accepting }
+
+let minimize d =
+  (* Restrict to reachable states, then refine partitions (Moore). *)
+  let seen = reachable d in
+  let old_of_new = ref [] in
+  let count = ref 0 in
+  let new_of_old = Array.make (size d) (-1) in
+  Array.iteri
+    (fun i r ->
+      if r then begin
+        new_of_old.(i) <- !count;
+        incr count;
+        old_of_new := i :: !old_of_new
+      end)
+    seen;
+  let olds = Array.of_list (List.rev !old_of_new) in
+  let n = Array.length olds in
+  let next = Array.init n (fun i -> Array.map (fun q -> new_of_old.(q)) d.next.(olds.(i))) in
+  let accepting = Array.init n (fun i -> d.accepting.(olds.(i))) in
+  (* Partition refinement: class.(s) starts as accepting/rejecting and is
+     refined until the signature (class of each successor) stabilizes. *)
+  let cls = Array.init n (fun i -> if accepting.(i) then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signature s = (cls.(s), Array.to_list (Array.map (fun q -> cls.(q)) next.(s))) in
+    let table = Hashtbl.create n in
+    let fresh = ref 0 in
+    let new_cls = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let sg = signature s in
+      match Hashtbl.find_opt table sg with
+      | Some c -> new_cls.(s) <- c
+      | None ->
+        Hashtbl.replace table sg !fresh;
+        new_cls.(s) <- !fresh;
+        incr fresh
+    done;
+    if new_cls <> cls then begin
+      Array.blit new_cls 0 cls 0 n;
+      changed := true
+    end
+  done;
+  let nclasses = Array.fold_left (fun m c -> max m (c + 1)) 0 cls in
+  let rep = Array.make nclasses (-1) in
+  for s = n - 1 downto 0 do
+    rep.(cls.(s)) <- s
+  done;
+  {
+    alphabet = d.alphabet;
+    sym_index = d.sym_index;
+    start = cls.(new_of_old.(d.start));
+    accepting = Array.init nclasses (fun c -> accepting.(rep.(c)));
+    next = Array.init nclasses (fun c -> Array.map (fun q -> cls.(q)) next.(rep.(c)));
+  }
+
+let check_same_alphabet a b =
+  if a.alphabet <> b.alphabet then invalid_arg "Dfa: automata have different alphabets"
+
+(* Product with a boolean combiner on acceptance. *)
+let combine op a b =
+  check_same_alphabet a b;
+  let na = size a and nb = size b in
+  let nsyms = Array.length a.alphabet in
+  let idx s t = (s * nb) + t in
+  let next =
+    Array.init (na * nb) (fun st ->
+        let s = st / nb and t = st mod nb in
+        Array.init nsyms (fun i -> idx a.next.(s).(i) b.next.(t).(i)))
+  in
+  let accepting =
+    Array.init (na * nb) (fun st ->
+        let s = st / nb and t = st mod nb in
+        op a.accepting.(s) b.accepting.(t))
+  in
+  {
+    alphabet = a.alphabet;
+    sym_index = a.sym_index;
+    start = idx a.start b.start;
+    accepting;
+    next;
+  }
+
+let subset a b =
+  (* L(a) ⊆ L(b)  iff  L(a) ∩ co-L(b) = ∅ *)
+  is_empty (combine (fun x y -> x && not y) a b)
+
+let equal a b = subset a b && subset b a

@@ -1,0 +1,33 @@
+(** Deterministic finite automata, by subset construction from {!Nfa}.
+
+    The lazy-evaluation algorithms only need NFA products and emptiness;
+    DFAs provide language-level equality and complementation, used by the
+    test suite to validate the NFA layer and by the schema tools for
+    content-model diagnostics. *)
+
+type t
+
+val of_nfa : Nfa.t -> t
+(** Subset construction; only reachable subsets are materialized. *)
+
+val of_regex : alphabet:string list -> Regex.t -> t
+
+val size : t -> int
+(** Number of states (including the sink, if reachable). *)
+
+val alphabet : t -> string list
+val accepts : t -> string list -> bool
+val is_empty : t -> bool
+
+val complement : t -> t
+(** Language complement over the automaton's alphabet. *)
+
+val minimize : t -> t
+(** Moore's partition-refinement minimization of the reachable part. *)
+
+val equal : t -> t -> bool
+(** [equal a b] is language equality. The automata must share an alphabet
+    (raise [Invalid_argument] otherwise). *)
+
+val subset : t -> t -> bool
+(** [subset a b] holds iff L(a) ⊆ L(b); same alphabet requirement. *)

@@ -1,0 +1,263 @@
+type t =
+  | Empty
+  | Epsilon
+  | Sym of string
+  | Any
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+let seq2 a b =
+  match a, b with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | a, b -> Seq (a, b)
+
+let alt2 a b =
+  match a, b with
+  | Empty, r | r, Empty -> r
+  | a, b -> Alt (a, b)
+
+let seq rs = List.fold_right seq2 rs Epsilon
+let alt rs = List.fold_right alt2 rs Empty
+
+let rec nullable = function
+  | Empty | Sym _ | Any -> false
+  | Epsilon | Star _ | Opt _ -> true
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Plus a -> nullable a
+
+let rec is_empty_language = function
+  | Empty -> true
+  | Epsilon | Sym _ | Any | Star _ | Opt _ -> false
+  | Seq (a, b) -> is_empty_language a || is_empty_language b
+  | Alt (a, b) -> is_empty_language a && is_empty_language b
+  | Plus a -> is_empty_language a
+
+let symbols r =
+  let rec go acc = function
+    | Empty | Epsilon | Any -> acc
+    | Sym s -> if List.mem s acc then acc else s :: acc
+    | Seq (a, b) | Alt (a, b) ->
+      let acc = go acc a in
+      go acc b
+    | Star a | Plus a | Opt a -> go acc a
+  in
+  List.rev (go [] r)
+
+let occurring_symbols r =
+  (* A symbol occurs in some word iff it survives pruning of ∅
+     sub-languages. *)
+  let rec prune r =
+    match r with
+    | Empty | Epsilon | Sym _ | Any -> r
+    | Seq (a, b) -> seq2 (prune a) (prune b)
+    | Alt (a, b) -> alt2 (prune a) (prune b)
+    | Star a -> ( match prune a with Empty -> Epsilon | a -> Star a)
+    | Plus a -> ( match prune a with Empty -> Empty | a -> Plus a)
+    | Opt a -> ( match prune a with Empty -> Epsilon | a -> Opt a)
+  in
+  symbols (prune r)
+
+(* Brzozowski derivative with respect to one symbol. *)
+let rec derive r s =
+  match r with
+  | Empty | Epsilon -> Empty
+  | Sym x -> if String.equal x s then Epsilon else Empty
+  | Any -> Epsilon
+  | Seq (a, b) ->
+    let da_b = seq2 (derive a s) b in
+    if nullable a then alt2 da_b (derive b s) else da_b
+  | Alt (a, b) -> alt2 (derive a s) (derive b s)
+  | Star a -> seq2 (derive a s) (Star a)
+  | Plus a -> seq2 (derive a s) (Star a)
+  | Opt a -> derive a s
+
+let matches r w = nullable (List.fold_left derive r w)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax.                                                    *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = ':'
+
+type token =
+  | Tname of string
+  | Tlpar
+  | Trpar
+  | Tdot
+  | Tbar
+  | Tstar
+  | Tplus
+  | Topt
+  | Tany
+  | Teps
+  | Tnone
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1) acc
+      | '(' -> loop (i + 1) (Tlpar :: acc)
+      | ')' -> loop (i + 1) (Trpar :: acc)
+      | '.' -> loop (i + 1) (Tdot :: acc)
+      | '|' -> loop (i + 1) (Tbar :: acc)
+      | '*' -> loop (i + 1) (Tstar :: acc)
+      | '+' -> loop (i + 1) (Tplus :: acc)
+      | '?' -> loop (i + 1) (Topt :: acc)
+      | '_' -> loop (i + 1) (Tany :: acc)
+      | '%' ->
+        let j = ref (i + 1) in
+        while !j < n && is_name_char src.[!j] do
+          incr j
+        done;
+        let kw = String.sub src (i + 1) (!j - i - 1) in
+        (match kw with
+        | "empty" -> loop !j (Teps :: acc)
+        | "none" -> loop !j (Tnone :: acc)
+        | _ -> failwith (Printf.sprintf "regex: unknown keyword %%%s" kw))
+      | c when is_name_char c ->
+        let j = ref i in
+        while !j < n && is_name_char src.[!j] do
+          incr j
+        done;
+        loop !j (Tname (String.sub src i (!j - i)) :: acc)
+      | c -> failwith (Printf.sprintf "regex: unexpected character %C" c)
+  in
+  loop 0 []
+
+let of_string src =
+  let tokens = ref (tokenize src) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some Tbar ->
+      advance ();
+      alt2 left (parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let left = parse_postfix () in
+    match peek () with
+    | Some Tdot ->
+      advance ();
+      seq2 left (parse_seq ())
+    | _ -> left
+  and parse_postfix () =
+    let r = ref (parse_atom ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some Tstar ->
+        advance ();
+        r := Star !r
+      | Some Tplus ->
+        advance ();
+        r := Plus !r
+      | Some Topt ->
+        advance ();
+        r := Opt !r
+      | _ -> continue := false
+    done;
+    !r
+  and parse_atom () =
+    match peek () with
+    | Some (Tname s) ->
+      advance ();
+      Sym s
+    | Some Tany ->
+      advance ();
+      Any
+    | Some Teps ->
+      advance ();
+      Epsilon
+    | Some Tnone ->
+      advance ();
+      Empty
+    | Some Tlpar ->
+      advance ();
+      let r = parse_alt () in
+      (match peek () with
+      | Some Trpar -> advance ()
+      | _ -> failwith "regex: expected ')'");
+      r
+    | _ -> failwith "regex: expected an atom"
+  in
+  match peek () with
+  | None -> Epsilon
+  | Some _ ->
+    let r = parse_alt () in
+    if !tokens <> [] then failwith "regex: trailing tokens";
+    r
+
+let rec to_string r =
+  (* Precedence levels: alt(0) < seq(1) < postfix(2) < atom(3). *)
+  let paren needed inner s = if inner < needed then "(" ^ s ^ ")" else s in
+  let rec go r =
+    match r with
+    | Empty -> (3, "%none")
+    | Epsilon -> (3, "%empty")
+    | Sym s -> (3, s)
+    | Any -> (3, "_")
+    | Alt (a, b) ->
+      (* associative: same-level operands print without parentheses *)
+      let la, sa = go a and lb, sb = go b in
+      (0, paren 0 la sa ^ " | " ^ paren 0 lb sb)
+    | Seq (a, b) ->
+      let la, sa = go a and lb, sb = go b in
+      (1, paren 1 la sa ^ "." ^ paren 1 lb sb)
+    | Star a ->
+      let la, sa = go a in
+      (2, paren 3 la sa ^ "*")
+    | Plus a ->
+      let la, sa = go a in
+      (2, paren 3 la sa ^ "+")
+    | Opt a ->
+      let la, sa = go a in
+      (2, paren 3 la sa ^ "?")
+  in
+  snd (go r)
+
+and pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let equal = ( = )
+
+let compare_words a b =
+  let c = Int.compare (List.length a) (List.length b) in
+  if c <> 0 then c else List.compare String.compare a b
+
+let enumerate ?(max_len = 4) ?(limit = 1000) ~alphabet r =
+  (* Breadth-first over derivatives; exact on the finite alphabet. *)
+  let results = ref [] in
+  let count = ref 0 in
+  let rec bfs frontier len =
+    if len > max_len || !count >= limit || frontier = [] then ()
+    else begin
+      let next = ref [] in
+      List.iter
+        (fun (word, r) ->
+          if nullable r && !count < limit then begin
+            results := List.rev word :: !results;
+            incr count
+          end;
+          List.iter
+            (fun s ->
+              let d = derive r s in
+              if not (is_empty_language d) then next := ((s :: word), d) :: !next)
+            alphabet)
+        frontier;
+      bfs (List.rev !next) (len + 1)
+    end
+  in
+  bfs [ ([], r) ] 0;
+  List.sort compare_words (List.rev !results)

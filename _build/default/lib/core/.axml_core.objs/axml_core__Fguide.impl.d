@@ -1,0 +1,1 @@
+lib/core/fguide.ml: Axml_doc Axml_query Axml_xml Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/fguide.mli: Axml_doc Axml_query Axml_xml

@@ -1,0 +1,1 @@
+lib/core/influence.ml: Array Axml_automata List Relevance

@@ -1,0 +1,1 @@
+lib/core/influence.mli: Relevance

@@ -1,0 +1,1 @@
+lib/core/lazy_eval.ml: Axml_doc Axml_query Axml_schema Axml_services Fguide Float Hashtbl Influence List Logs Lpq Naive Nfq Option Relevance Sys Typing

@@ -1,0 +1,1 @@
+lib/core/lazy_eval.mli: Axml_doc Axml_query Axml_schema Axml_services

@@ -1,0 +1,1 @@
+lib/core/lpq.ml: Axml_query Hashtbl List Relevance

@@ -1,0 +1,1 @@
+lib/core/lpq.mli: Axml_query Relevance

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Axml_doc Axml_query Axml_services Float List

@@ -1,0 +1,1 @@
+lib/core/naive.mli: Axml_doc Axml_query Axml_services Axml_xml

@@ -1,0 +1,1 @@
+lib/core/nfq.ml: Axml_query List Relevance

@@ -1,0 +1,1 @@
+lib/core/nfq.mli: Axml_query Relevance

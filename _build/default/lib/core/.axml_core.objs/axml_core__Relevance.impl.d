@@ -1,0 +1,1 @@
+lib/core/relevance.ml: Axml_doc Axml_query Format List

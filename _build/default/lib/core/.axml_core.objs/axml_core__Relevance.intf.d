@@ -1,0 +1,1 @@
+lib/core/relevance.mli: Axml_automata Axml_doc Axml_query Format

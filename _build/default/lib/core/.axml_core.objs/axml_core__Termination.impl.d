@@ -1,0 +1,1 @@
+lib/core/termination.ml: Axml_automata Axml_doc Axml_schema Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/termination.mli: Axml_doc Axml_schema Format

@@ -1,0 +1,1 @@
+lib/core/typing.ml: Axml_query Axml_schema Hashtbl List Relevance

@@ -1,0 +1,1 @@
+lib/core/typing.mli: Axml_query Axml_schema Relevance

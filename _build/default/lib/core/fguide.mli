@@ -1,0 +1,49 @@
+(** Function-call guides (§6.2).
+
+    A dataguide-style trie summarizing only the label paths of a document
+    that lead to query-visible function calls, each trie node keeping the
+    {e extent}: the call nodes sitting at that path. Linear path queries
+    yield the same result on the F-guide as on the document, so relevance
+    detection can collect candidates here and filter them with the
+    anchored NFQ check ({!Relevance.retrieves}).
+
+    Built in one document-order traversal; maintained incrementally as
+    calls are invoked ({!update_after_replace}) or the document is edited
+    ({!add_subtree}, {!remove_subtree}). *)
+
+type t
+
+val build : Axml_doc.t -> t
+
+val candidates :
+  t -> (Axml_query.Pattern.axis * Axml_query.Pattern.label) list -> Axml_doc.node list
+(** [candidates g steps] — the calls reachable by the linear steps (the
+    last step carries the function label; see {!Relevance.guide_steps}),
+    deduplicated, in no particular order. *)
+
+val update_after_replace : t -> invoked:Axml_doc.node -> added:Axml_doc.node list -> unit
+(** Maintenance after {!Axml_doc.replace_call}: the invoked call leaves
+    the guide, the spliced-in nodes are indexed under their paths. *)
+
+val add_subtree : t -> Axml_doc.node -> unit
+(** Indexes the visible calls of a subtree that was just attached to the
+    document (the node must already have its final position). *)
+
+val remove_subtree : t -> Axml_doc.node -> unit
+(** Forgets the visible calls of a subtree about to be detached. *)
+
+val call_count : t -> int
+(** Number of calls currently indexed. *)
+
+val node_count : t -> int
+(** Number of trie nodes — the guide's size, typically far smaller than
+    the document. *)
+
+val paths : t -> string list list
+(** The distinct label paths that currently hold calls, in insertion
+    order. *)
+
+val to_xml : t -> Axml_xml.Tree.t
+(** The guide as an XML tree (§6.2: F-guides "can naturally be
+    represented as XML documents"); each trie node carries a [calls]
+    attribute with its extent size. *)

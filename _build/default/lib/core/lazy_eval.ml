@@ -1,0 +1,448 @@
+(** The lazy query evaluator: the NFQA algorithm of §4.1 with every
+    refinement of the paper available as a strategy switch —
+
+    - relevance detection by NFQs (exact, §3.2) or LPQs (relaxed, §3.1 /
+      §6.1),
+    - type-based pruning with exact or lenient satisfiability (§5, §6.1),
+    - relaxed variable joins (§6.1),
+    - F-guide candidate retrieval with anchored filtering (§6.2),
+    - NFQ layering by the may-influence relation (§4.3),
+    - parallel invocation under the independence condition ★ (§4.4),
+    - after-layer simplification of remaining NFQs (§4.3),
+    - query pushing (§7).
+
+    The evaluator mutates the document in place (invoked calls are
+    replaced by their results) and returns the exact snapshot result of
+    the original query on the final document, together with the
+    measurements the benchmarks report. *)
+
+module P = Axml_query.Pattern
+module Eval = Axml_query.Eval
+
+let log_src = Logs.Src.create "axml.lazy" ~doc:"NFQA lazy evaluation trace"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+module Schema = Axml_schema.Schema
+module Sat = Axml_schema.Sat
+
+type relevance_mode =
+  | Nfq_relevance  (** node-focused queries: exact relevant-call detection *)
+  | Lpq_relevance  (** linear path queries: cheaper, superset *)
+
+type typing_mode =
+  | No_types
+  | Lenient_types  (** graph-schema satisfiability (§6.1) *)
+  | Exact_types  (** single-word satisfiability (§5) *)
+
+type strategy = {
+  relevance : relevance_mode;
+  typing : typing_mode;
+  relax_joins : bool;  (** ignore variable joins during detection (§6.1) *)
+  use_fguide : bool;  (** candidates from the F-guide, then anchored checks (§6.2) *)
+  layering : bool;  (** process NFQs layer by layer (§4.3) *)
+  parallel : bool;  (** batch-invoke for independent NFQs (§4.4) *)
+  speculative : bool;
+      (** batch-invoke even without independence — §4.4's "calling
+          functions in parallel just in case": fewer rounds, possibly
+          some unnecessary calls *)
+  simplify_after_layer : bool;
+      (** drop the OR/() branches of finished layers from the remaining
+          NFQs (§4.3) *)
+  push : bool;  (** ship [sub_q_v] with the calls (§7) *)
+  containment_dedup : bool;
+      (** drop relevance queries contained in another one (§4.1's
+          redundant-query elimination); only applied without typing, where
+          it is provably answer-preserving *)
+  share_contexts : bool;
+      (** share one evaluation context across the NFQs of a detection
+          sweep (multi-query optimization, §4.1) *)
+  materialize_results : bool;
+      (** invoke the calls remaining below answer images, so answers ship
+          fully extensional instead of "possibly intensionally" (§2) *)
+  max_calls : int;
+  max_passes : int;
+}
+
+let default =
+  {
+    relevance = Nfq_relevance;
+    typing = No_types;
+    relax_joins = false;
+    use_fguide = false;
+    layering = true;
+    parallel = true;
+    speculative = false;
+    simplify_after_layer = false;
+    push = false;
+    containment_dedup = false;
+    share_contexts = true;
+    materialize_results = false;
+    max_calls = 100_000;
+    max_passes = 1_000_000;
+  }
+
+(** The naive strategy is in {!Naive}; these are the named configurations
+    the benchmarks compare. *)
+let nfqa = default
+
+let nfqa_typed = { default with typing = Exact_types }
+let nfqa_lenient = { default with typing = Lenient_types; relax_joins = true }
+let lpq_only = { default with relevance = Lpq_relevance }
+let with_fguide s = { s with use_fguide = true }
+let with_push s = { s with push = true }
+
+type report = {
+  answers : Eval.binding list;
+  invoked : int;
+  pushed : int;
+  rounds : int;  (** invocation rounds (batches or single calls) *)
+  passes : int;  (** full evaluation sweeps over a layer *)
+  relevance_evals : int;  (** NFQ/LPQ evaluations performed *)
+  candidates_checked : int;  (** F-guide candidates filtered *)
+  layer_count : int;
+  simulated_seconds : float;  (** service latency + transfer, aggregated *)
+  analysis_seconds : float;  (** CPU time spent detecting relevant calls *)
+  bytes_transferred : int;
+  complete : bool;  (** the document is complete for the query (Def. 3) *)
+}
+
+type state = {
+  strategy : strategy;
+  registry : Registry.t;
+  doc : Doc.t;
+
+  sub_of : (int, P.node) Hashtbl.t;  (* original-query pid -> subtree *)
+  push_of : (int, P.node) Hashtbl.t;  (* cached optimistic push patterns *)
+  typing : Typing.t option;
+  fguide : Fguide.t option;
+  mutable known_functions : string list;
+  known_set : (string, unit) Hashtbl.t;
+  mutable refinement_dirty : bool;
+  refined : (int, Relevance.t option) Hashtbl.t;  (* source pid -> refined rq *)
+  mutable finished_sources : int list;  (* sources of finished layers *)
+  (* evaluation context shared across detections, reset on doc change *)
+  mutable shared_ctx : Eval.context option;
+  (* counters *)
+  mutable invoked : int;
+  mutable pushed : int;
+  mutable rounds : int;
+  mutable passes : int;
+  mutable relevance_evals : int;
+  mutable candidates_checked : int;
+  mutable simulated_seconds : float;
+  mutable analysis_seconds : float;
+  mutable bytes : int;
+}
+
+let add_known st name =
+  if not (Hashtbl.mem st.known_set name) then begin
+    Hashtbl.replace st.known_set name ();
+    st.known_functions <- st.known_functions @ [ name ];
+    st.refinement_dirty <- true
+  end
+
+let scan_new_functions st (nodes : Doc.node list) =
+  List.iter
+    (fun n ->
+      Doc.iter_node
+        (fun m -> match m.Doc.label with Doc.Call { fname; _ } -> add_known st fname | _ -> ())
+        n)
+    nodes
+
+(* The effective relevance query used for evaluation: refined by types and
+   pruned of finished layers' branches, cached until invalidated. *)
+let effective st (rq : Relevance.t) : Relevance.t option =
+  if st.refinement_dirty then begin
+    Hashtbl.reset st.refined;
+    st.refinement_dirty <- false
+  end;
+  match Hashtbl.find_opt st.refined rq.Relevance.source with
+  | Some cached -> cached
+  | None ->
+    let refined =
+      match st.typing with
+      | None -> Some rq
+      | Some ty -> Typing.refine ty ~known_functions:st.known_functions rq
+    in
+    let refined =
+      if st.strategy.simplify_after_layer && st.finished_sources <> [] then
+        Option.bind refined (fun rq' ->
+            Relevance.rewrite_funs rq' ~f:(fun ~fun_pid ~source ->
+                if fun_pid = rq'.Relevance.target then `Keep
+                else if List.mem source st.finished_sources then `Drop
+                else `Keep))
+      else refined
+    in
+    Hashtbl.replace st.refined rq.Relevance.source refined;
+    refined
+
+let timed st f =
+  let t0 = Sys.time () in
+  let r = f () in
+  st.analysis_seconds <- st.analysis_seconds +. (Sys.time () -. t0);
+  r
+
+(* Relevant calls the query currently retrieves. *)
+let detect st (rq : Relevance.t) : Doc.node list =
+  timed st (fun () ->
+      st.relevance_evals <- st.relevance_evals + 1;
+      match effective st rq with
+      | None -> []
+      | Some r -> (
+        let relax_joins = st.strategy.relax_joins in
+        match st.fguide with
+        | None ->
+          if st.strategy.share_contexts then begin
+            let ctx =
+              match st.shared_ctx with
+              | Some ctx -> ctx
+              | None ->
+                let ctx = Eval.context ~relax_joins () in
+                st.shared_ctx <- Some ctx;
+                ctx
+            in
+            Relevance.relevant_calls_in ctx r st.doc
+          end
+          else Relevance.relevant_calls ~relax_joins r st.doc
+        | Some guide ->
+          let candidates = Fguide.candidates guide (Relevance.guide_steps r) in
+          st.candidates_checked <- st.candidates_checked + List.length candidates;
+          (match st.strategy.relevance with
+          | Lpq_relevance ->
+            (* an LPQ is exactly its linear path: guide answers are final *)
+            candidates
+          | Nfq_relevance ->
+            List.filter (fun c -> Relevance.retrieves ~relax_joins r c) candidates)))
+
+let push_pattern st (rq : Relevance.t) =
+  if not st.strategy.push then None
+  else
+    match Hashtbl.find_opt st.push_of rq.Relevance.source with
+    | Some p -> Some p
+    | None ->
+      Option.map
+        (fun sub ->
+          let p = Nfq.optimistic sub in
+          Hashtbl.replace st.push_of rq.Relevance.source p;
+          p)
+        (Hashtbl.find_opt st.sub_of rq.Relevance.source)
+
+let invoke_one st ?push (call : Doc.node) =
+  let name = Naive.call_name_exn call in
+  let result, inv =
+    Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push ()
+  in
+  Log.debug (fun m ->
+      m "invoke [%d]%s%s"
+        (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
+        name
+        (if push = None then "" else " (pushed)"));
+  let added = Doc.replace_call st.doc call result in
+  st.shared_ctx <- None;
+  (match st.fguide with
+  | None -> ()
+  | Some guide -> Fguide.update_after_replace guide ~invoked:call ~added);
+  scan_new_functions st added;
+  st.invoked <- st.invoked + 1;
+  if inv.Registry.pushed then st.pushed <- st.pushed + 1;
+  st.bytes <- st.bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
+  inv.Registry.cost
+
+let within_budget st =
+  st.invoked < st.strategy.max_calls && st.passes < st.strategy.max_passes
+
+(* Visible calls inside a subtree (reached through data nodes only). *)
+let pending_calls_below (n : Doc.node) =
+  let out = ref [] in
+  let rec go (m : Doc.node) =
+    match m.Doc.label with
+    | Doc.Call _ -> out := m :: !out
+    | Doc.Data _ -> ()
+    | Doc.Elem _ -> List.iter go m.Doc.children
+  in
+  go n;
+  List.rev !out
+
+(* §2: calls below a result image do not contribute to any embedding, so
+   they are never relevant; when the consumer wants fully extensional
+   answers, invoke them until the answer subtrees are call-free. *)
+let materialize_answers st (q : P.t) =
+  let continue = ref true in
+  while !continue && within_budget st do
+    st.passes <- st.passes + 1;
+    let answers = Eval.eval q st.doc in
+    let seen = Hashtbl.create 16 in
+    let pending =
+      List.concat_map
+        (fun (b : Eval.binding) ->
+          List.concat_map (fun (_, n) -> pending_calls_below n) b.Eval.results)
+        answers
+      |> List.filter (fun (c : Doc.node) ->
+             if Hashtbl.mem seen c.Doc.id then false
+             else begin
+               Hashtbl.replace seen c.Doc.id ();
+               true
+             end)
+    in
+    if pending = [] then continue := false
+    else begin
+      st.rounds <- st.rounds + 1;
+      let batch_cost =
+        List.fold_left
+          (fun worst call ->
+            if st.invoked < st.strategy.max_calls then Float.max worst (invoke_one st call)
+            else worst)
+          0.0 pending
+      in
+      st.simulated_seconds <- st.simulated_seconds +. batch_cost
+    end
+  done
+
+(* NFQA over one layer: repeatedly sweep the layer's queries; on the first
+   query that retrieves calls, invoke (all in parallel if independent,
+   otherwise one) and sweep again. The layer is done when a full sweep
+   retrieves nothing. *)
+let process_layer st (layer : Relevance.t list) =
+  let independent =
+    List.map
+      (fun rq -> (rq.Relevance.source, Influence.independent_in_layer rq layer))
+      layer
+  in
+  let is_independent rq = List.assoc rq.Relevance.source independent in
+  let continue = ref true in
+  while !continue && within_budget st do
+    st.passes <- st.passes + 1;
+    continue := false;
+    let rec sweep = function
+      | [] -> ()
+      | rq :: rest -> (
+        match detect st rq with
+        | [] -> sweep rest
+        | calls ->
+          Log.debug (fun m ->
+              m "NFQ(v=%d) retrieves %d call(s)" rq.Relevance.source (List.length calls));
+          continue := true;
+          st.rounds <- st.rounds + 1;
+          if st.strategy.parallel && (st.strategy.speculative || is_independent rq) then begin
+            (* batch: parallel invocation, accounted at the slowest call *)
+            let batch_cost =
+              List.fold_left
+                (fun worst call ->
+                  if st.invoked < st.strategy.max_calls then
+                    Float.max worst (invoke_one st ?push:(push_pattern st rq) call)
+                  else worst)
+                0.0 calls
+            in
+            st.simulated_seconds <- st.simulated_seconds +. batch_cost
+          end
+          else begin
+            match calls with
+            | call :: _ ->
+              st.simulated_seconds <-
+                st.simulated_seconds +. invoke_one st ?push:(push_pattern st rq) call
+            | [] -> ()
+          end)
+    in
+    sweep layer
+  done
+
+let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
+
+  let rqs =
+    match strategy.relevance with
+    | Nfq_relevance -> Nfq.of_query q
+    | Lpq_relevance -> Lpq.of_query q
+  in
+  let rqs =
+    (* Containment dedup is only sound for the union of *unrefined*
+       results: a dropped query's calls are retrieved by its container.
+       Type refinement is per-source, so with typing on we keep all. *)
+    if strategy.containment_dedup && strategy.typing = No_types then begin
+      let kept_queries =
+        Axml_query.Containment.drop_contained
+          (List.map (fun rq -> rq.Relevance.query) rqs)
+      in
+      let kept_roots =
+        List.map (fun (kq : P.t) -> kq.P.root.P.pid) kept_queries
+      in
+      List.filter (fun rq -> List.mem rq.Relevance.query.P.root.P.pid kept_roots) rqs
+    end
+    else rqs
+  in
+  let typing =
+    match strategy.typing, schema with
+    | No_types, _ | _, None -> None
+    | Lenient_types, Some s -> Some (Typing.create ~mode:Sat.Lenient s q)
+    | Exact_types, Some s -> Some (Typing.create ~mode:Sat.Exact s q)
+  in
+  let sub_of = Hashtbl.create 32 in
+  List.iter (fun (n : P.node) -> Hashtbl.replace sub_of n.P.pid n) (P.nodes q);
+  let st =
+    {
+      strategy;
+      registry;
+      doc = d;
+
+      sub_of;
+      push_of = Hashtbl.create 16;
+      typing;
+      fguide = (if strategy.use_fguide then Some (Fguide.build d) else None);
+      known_functions = [];
+      known_set = Hashtbl.create 16;
+      refinement_dirty = false;
+      refined = Hashtbl.create 16;
+      finished_sources = [];
+      shared_ctx = None;
+      invoked = 0;
+      pushed = 0;
+      rounds = 0;
+      passes = 0;
+      relevance_evals = 0;
+      candidates_checked = 0;
+      simulated_seconds = 0.0;
+      analysis_seconds = 0.0;
+      bytes = 0;
+    }
+  in
+  (match schema with
+  | Some s -> List.iter (add_known st) (Schema.function_names s)
+  | None -> ());
+  List.iter
+    (fun c -> match c.Doc.label with Doc.Call { fname; _ } -> add_known st fname | _ -> ())
+    (Doc.function_nodes d);
+  st.refinement_dirty <- true;
+  let layers =
+    if strategy.layering then timed st (fun () -> Influence.layers rqs) else [ rqs ]
+  in
+  Log.info (fun m ->
+      m "%d relevance queries in %d layer(s)" (List.length rqs) (List.length layers));
+  List.iter
+    (fun layer ->
+      process_layer st layer;
+      if strategy.simplify_after_layer then begin
+        st.finished_sources <-
+          st.finished_sources @ List.map (fun rq -> rq.Relevance.source) layer;
+        st.refinement_dirty <- true
+      end)
+    layers;
+  if strategy.materialize_results then materialize_answers st q;
+  let complete = within_budget st in
+  let answers = Eval.eval q st.doc in
+
+
+  {
+    answers;
+    invoked = st.invoked;
+    pushed = st.pushed;
+    rounds = st.rounds;
+    passes = st.passes;
+    relevance_evals = st.relevance_evals;
+    candidates_checked = st.candidates_checked;
+    layer_count = List.length layers;
+    simulated_seconds = st.simulated_seconds;
+    analysis_seconds = st.analysis_seconds;
+    bytes_transferred = st.bytes;
+    complete;
+  }

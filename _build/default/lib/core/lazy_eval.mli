@@ -1,0 +1,88 @@
+(** The lazy query evaluator: the NFQA algorithm of §4.1 with every
+    refinement of the paper available as a strategy switch.
+
+    The evaluator mutates the document in place (invoked calls are
+    replaced by their results) and returns the exact snapshot result of
+    the original query on the final document, together with the
+    measurements the benchmarks report. *)
+
+type relevance_mode =
+  | Nfq_relevance  (** node-focused queries: exact relevant-call detection (§3.2) *)
+  | Lpq_relevance  (** linear path queries: cheaper, superset (§3.1) *)
+
+type typing_mode =
+  | No_types
+  | Lenient_types  (** graph-schema satisfiability (§6.1) *)
+  | Exact_types  (** single-word satisfiability (§5) *)
+
+type strategy = {
+  relevance : relevance_mode;
+  typing : typing_mode;
+  relax_joins : bool;  (** ignore variable joins during detection (§6.1) *)
+  use_fguide : bool;  (** candidates from the F-guide, then anchored checks (§6.2) *)
+  layering : bool;  (** process NFQs layer by layer (§4.3) *)
+  parallel : bool;  (** batch-invoke for independent NFQs (§4.4, condition ★) *)
+  speculative : bool;
+      (** batch-invoke even without independence — §4.4's "calling
+          functions in parallel just in case": fewer rounds, possibly
+          some unnecessary calls; answers are unaffected (extra calls are
+          safe, Def. 4's leniency) *)
+  simplify_after_layer : bool;
+      (** drop the OR/() branches of finished layers from the remaining
+          NFQs (§4.3) *)
+  push : bool;  (** ship the optimistic [sub_q_v] with the calls (§7) *)
+  containment_dedup : bool;
+      (** drop relevance queries contained in another one (§4.1's
+          redundant-query elimination); only applied without typing, where
+          it is provably answer-preserving *)
+  share_contexts : bool;
+      (** share one evaluation context across the NFQs of a detection
+          sweep (multi-query optimization, §4.1) *)
+  materialize_results : bool;
+      (** also invoke the calls remaining below answer images, so answers
+          ship fully extensional instead of "possibly intensionally" (§2) *)
+  max_calls : int;  (** invocation budget (rewritings may not terminate, §2) *)
+  max_passes : int;
+}
+
+val default : strategy
+(** NFQ relevance, no types, layering and ★-parallelism on, no guide, no
+    push; budgets of 100k calls / 1M passes. *)
+
+(** Named configurations compared by the benchmarks. *)
+
+val nfqa : strategy
+val nfqa_typed : strategy
+val nfqa_lenient : strategy
+val lpq_only : strategy
+val with_fguide : strategy -> strategy
+val with_push : strategy -> strategy
+
+type report = {
+  answers : Axml_query.Eval.binding list;
+  invoked : int;
+  pushed : int;
+  rounds : int;  (** invocation rounds (batches or single calls) *)
+  passes : int;  (** full evaluation sweeps over a layer *)
+  relevance_evals : int;  (** NFQ/LPQ evaluations performed *)
+  candidates_checked : int;  (** F-guide candidates filtered *)
+  layer_count : int;
+  simulated_seconds : float;  (** service latency + transfer, aggregated *)
+  analysis_seconds : float;  (** CPU time spent detecting relevant calls *)
+  bytes_transferred : int;
+  complete : bool;  (** the document is complete for the query (Def. 3) *)
+}
+
+val run :
+  ?strategy:strategy ->
+  ?schema:Axml_schema.Schema.t ->
+  registry:Axml_services.Registry.t ->
+  Axml_query.Pattern.t ->
+  Axml_doc.t ->
+  report
+(** [run ~registry q d] finds a complete relevant rewriting of [d] for
+    [q] (invoking only relevant calls, in an order compatible with the
+    NFQ layers) and evaluates [q] on the result. A schema is required for
+    the typing modes (silently ignored otherwise). Parallel batches are
+    accounted at the cost of their slowest invocation; sequential
+    invocations add up. *)

@@ -1,0 +1,45 @@
+(** Linear path queries (§3.1).
+
+    The relaxed relevance queries: for each node [v] of the original
+    query, keep only the linear path from the root to [v] and put a
+    star-labeled function node at [v]'s position. They retrieve a
+    superset of the calls the NFQs retrieve (all filtering conditions are
+    dropped), but are much cheaper to evaluate — and can be answered
+    directly on an F-guide (§6.2). *)
+
+module P = Axml_query.Pattern
+
+let of_node (q : P.t) (v : P.node) : Relevance.t =
+  let lin = P.linear_part q v in
+  let out = P.make ~axis:v.P.axis ~result:true (P.Fun P.Any_fun) [] in
+  let root =
+    List.fold_right
+      (fun (axis, label) continuation -> P.make ~axis label [ continuation ])
+      lin out
+  in
+  (* [fold_right] builds bottom-up, so the axes end up attached to the
+     right nodes: each step's axis belongs to the node it labels. *)
+  {
+    Relevance.query = P.query root;
+    source = v.P.pid;
+    target = out.P.pid;
+    target_axis = v.P.axis;
+    fun_sources = [ (out.P.pid, v.P.pid) ];
+    lin;
+  }
+
+(* Two LPQs are redundant when they have the same steps and the same
+   final axis; keep the first (its [source] is then one representative
+   original node). *)
+let of_query (q : P.t) : Relevance.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun v ->
+      let lpq = of_node q v in
+      let key = (lpq.Relevance.lin, lpq.Relevance.target_axis) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        Some lpq
+      end)
+    (P.nodes q)

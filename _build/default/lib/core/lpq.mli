@@ -1,0 +1,13 @@
+(** Linear path queries (§3.1): the relaxed relevance queries.
+
+    For each node [v] of the original query, keep only the linear path
+    from the root and put a star function node at [v]'s position. They
+    retrieve a superset of what the NFQs retrieve (all filtering
+    conditions are dropped) but are much cheaper — and can be answered
+    directly on an F-guide (§6.2). *)
+
+val of_node : Axml_query.Pattern.t -> Axml_query.Pattern.node -> Relevance.t
+
+val of_query : Axml_query.Pattern.t -> Relevance.t list
+(** One LPQ per node, with duplicates (same steps, same final axis)
+    removed. *)

@@ -1,0 +1,67 @@
+(** The naive baseline (§1): invoke every call in the document
+    recursively until a fixpoint (or a budget) is reached, then evaluate
+    the query over the fully materialized document. *)
+
+module P = Axml_query.Pattern
+module Eval = Axml_query.Eval
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+
+type report = {
+  answers : Eval.binding list;
+  invoked : int;
+  rounds : int;  (** fixpoint iterations *)
+  simulated_seconds : float;
+  bytes_transferred : int;
+  complete : bool;  (** the fixpoint was reached within the budget *)
+}
+
+let call_params (call : Doc.node) = List.map Doc.node_to_xml call.Doc.children
+
+let call_name_exn (call : Doc.node) =
+  match call.Doc.label with
+  | Doc.Call { fname; _ } -> fname
+  | Doc.Elem _ | Doc.Data _ -> invalid_arg "not a function node"
+
+(** Materializes the document in place. With [parallel:true] each round of
+    visible calls is accounted as one parallel batch (max cost); otherwise
+    invocations are sequential (summed costs). *)
+let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) =
+  let invoked = ref 0 in
+  let rounds = ref 0 in
+  let seconds = ref 0.0 in
+  let bytes = ref 0 in
+  let budget_hit = ref false in
+  let continue = ref true in
+  while !continue do
+    let calls = Doc.visible_function_nodes d in
+    if calls = [] then continue := false
+    else begin
+      incr rounds;
+      let round_cost = ref 0.0 in
+      List.iter
+        (fun call ->
+          if !invoked >= max_calls then budget_hit := true
+          else begin
+            let result, inv =
+              Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call) ()
+            in
+            ignore (Doc.replace_call d call result);
+            incr invoked;
+            bytes := !bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
+            if parallel then round_cost := Float.max !round_cost inv.Registry.cost
+            else round_cost := !round_cost +. inv.Registry.cost
+          end)
+        calls;
+      seconds := !seconds +. !round_cost;
+      if !budget_hit then continue := false
+    end
+  done;
+  (!invoked, !rounds, !seconds, !bytes, not !budget_hit)
+
+let run ?max_calls ?parallel registry (q : P.t) (d : Doc.t) : report =
+  let invoked, rounds, simulated_seconds, bytes_transferred, complete =
+    materialize ?max_calls ?parallel registry d
+  in
+  let answers = Eval.eval q d in
+  { answers; invoked; rounds; simulated_seconds; bytes_transferred; complete }

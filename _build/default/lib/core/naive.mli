@@ -1,0 +1,38 @@
+(** The naive baseline (§1): invoke every call in the document
+    recursively until a fixpoint (or a budget) is reached, then evaluate
+    the query over the fully materialized document. *)
+
+type report = {
+  answers : Axml_query.Eval.binding list;
+  invoked : int;
+  rounds : int;  (** fixpoint iterations *)
+  simulated_seconds : float;
+  bytes_transferred : int;
+  complete : bool;  (** the fixpoint was reached within the budget *)
+}
+
+val call_params : Axml_doc.node -> Axml_xml.Tree.forest
+(** A call's parameter forest, serialized (nested calls included as
+    [<axml:call>] elements). *)
+
+val call_name_exn : Axml_doc.node -> string
+(** Raises [Invalid_argument] on data nodes. *)
+
+val materialize :
+  ?max_calls:int ->
+  ?parallel:bool ->
+  Axml_services.Registry.t ->
+  Axml_doc.t ->
+  int * int * float * int * bool
+(** Materializes the document in place; returns
+    [(invoked, rounds, simulated_seconds, bytes, complete)]. With
+    [parallel:true] (default) each round of visible calls is accounted as
+    one parallel batch (max cost); otherwise costs add up. *)
+
+val run :
+  ?max_calls:int ->
+  ?parallel:bool ->
+  Axml_services.Registry.t ->
+  Axml_query.Pattern.t ->
+  Axml_doc.t ->
+  report

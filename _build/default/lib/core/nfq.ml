@@ -1,0 +1,69 @@
+(** Node-focused queries (§3.2, Fig. 5).
+
+    For each node [v] of the original query [q], the NFQ [q_v] retrieves
+    the function calls found at [v]'s position such that all the other
+    filtering conditions of [q] could be satisfied either by existing
+    data or by a {e future} call result: every off-path node [u] of [q]
+    is replaced by an OR between [u]'s (recursively transformed) subtree
+    and a bare star function node; [v]'s subtree is erased and replaced
+    by the output function node; OR nodes on the root→v path are omitted
+    (Prop. 1's construction). *)
+
+module P = Axml_query.Pattern
+
+(* Wraps an off-path subtree: OR(transformed u, ()) at u's position.
+   Records which original node each fresh function node stands for. *)
+let rec or_wrap fun_sources (u : P.node) =
+  let star = P.make (P.Fun P.Any_fun) [] in
+  fun_sources := (star.P.pid, u.P.pid) :: !fun_sources;
+  P.make ~axis:u.P.axis P.Or [ copy fun_sources u; star ]
+
+and copy fun_sources (u : P.node) =
+  P.make ~axis:u.P.axis u.P.label (List.map (or_wrap fun_sources) u.P.children)
+
+let of_node (q : P.t) (v : P.node) : Relevance.t =
+  let path = P.path_to q v in
+  if List.exists (fun (n : P.node) -> n.P.label = P.Or) path then
+    invalid_arg "Nfq.of_query: OR nodes in the source query are not supported";
+  let fun_sources = ref [] in
+  let target = ref (-1) in
+  let rec build = function
+    | [] -> assert false
+    | [ (last : P.node) ] ->
+      (* v itself: erased, replaced by the output function node. *)
+      let out = P.make ~axis:last.P.axis ~result:true (P.Fun P.Any_fun) [] in
+      target := out.P.pid;
+      fun_sources := (out.P.pid, last.P.pid) :: !fun_sources;
+      out
+    | (u : P.node) :: (next :: _ as rest) ->
+      let continuation = build rest in
+      let others =
+        List.filter_map
+          (fun (c : P.node) ->
+            if c.P.pid = next.P.pid then None else Some (or_wrap fun_sources c))
+          u.P.children
+      in
+      P.make ~axis:u.P.axis u.P.label (others @ [ continuation ])
+  in
+  let root = build path in
+  {
+    Relevance.query = P.query root;
+    source = v.P.pid;
+    target = !target;
+    target_axis = v.P.axis;
+    fun_sources = !fun_sources;
+    lin = P.linear_part q v;
+  }
+
+let of_query (q : P.t) : Relevance.t list = List.map (of_node q) (P.nodes q)
+
+(** The optimistic version of a query subtree, used as the pattern pushed
+    with a call (§7): every node below the root is OR-ed with a bare
+    function node, and the root itself may be a pending call, so that
+    provider-side witness pruning keeps the parts of the result that
+    might {e later} satisfy the subtree — results are AXML too, and a
+    condition can be met by a nested call's future output. *)
+let optimistic (v : P.node) : P.node =
+  let sources = ref [] in
+  let star = P.make (P.Fun P.Any_fun) [] in
+  P.make ~axis:v.P.axis P.Or [ copy sources v; star ]

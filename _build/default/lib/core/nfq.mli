@@ -1,0 +1,26 @@
+(** Node-focused queries (§3.2, Fig. 5, Prop. 1).
+
+    For each node [v] of the original query [q], the NFQ [q_v] retrieves
+    the function calls found at [v]'s position such that every other
+    filtering condition of [q] could be satisfied either by existing
+    data or by a {e future} call result: each off-path node [u] is
+    replaced by an OR between [u]'s transformed subtree and a bare star
+    function node; [v]'s subtree is erased and replaced by the output
+    function node; OR nodes on the root→v path are omitted.
+
+    Assuming arbitrary output types, the calls retrieved by the NFQs of
+    [q] are {e precisely} the calls relevant for [q] (Prop. 1); with
+    signatures, {!Typing.refine} restricts them further. *)
+
+val of_node : Axml_query.Pattern.t -> Axml_query.Pattern.node -> Relevance.t
+(** [of_node q v] is [q_v]. Raises [Invalid_argument] if the root→v path
+    crosses an OR node (source queries are OR-free). *)
+
+val of_query : Axml_query.Pattern.t -> Relevance.t list
+(** One NFQ per node of the query, in preorder. *)
+
+val optimistic : Axml_query.Pattern.node -> Axml_query.Pattern.node
+(** The optimistic version of a query subtree: every node is OR-ed with a
+    bare function node (the root included). Pushed with calls (§7) so
+    that provider-side witness pruning keeps result parts that a nested
+    call could still complete. *)

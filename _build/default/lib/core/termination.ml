@@ -1,0 +1,111 @@
+module Regex = Axml_automata.Regex
+module Schema = Axml_schema.Schema
+module Doc = Axml_doc
+
+type verdict = Terminates | May_diverge of string list
+
+let pp_verdict ppf = function
+  | Terminates -> Format.pp_print_string ppf "terminates"
+  | May_diverge cycle ->
+    Format.fprintf ppf "may diverge (%s)" (String.concat " -> " cycle)
+
+(* Symbols directly producible by a symbol: an element exposes its content
+   model's symbols, a declared function those of its output type. *)
+let successors schema symbol =
+  if String.equal symbol Schema.data_keyword then []
+  else
+    match Schema.find_function schema symbol with
+    | Some { Schema.output; _ } -> Regex.occurring_symbols output
+    | None -> (
+      match Schema.find_element schema symbol with
+      | Some re -> Regex.occurring_symbols re
+      | None -> [])
+
+let is_unconstrained schema symbol =
+  (not (String.equal symbol Schema.data_keyword))
+  && (not (Schema.is_function_symbol schema symbol))
+  && not (Schema.is_element_symbol schema symbol)
+
+(* Declared services reachable from a symbol (through elements and other
+   services); [`Unknown s] if an unconstrained symbol is reachable. *)
+let reachable_services schema start =
+  let seen = Hashtbl.create 16 in
+  let services = ref [] in
+  let unknown = ref None in
+  let rec visit symbol =
+    if not (Hashtbl.mem seen symbol) then begin
+      Hashtbl.replace seen symbol ();
+      if is_unconstrained schema symbol then begin
+        if !unknown = None then unknown := Some symbol
+      end
+      else begin
+        if Schema.is_function_symbol schema symbol then services := symbol :: !services;
+        List.iter visit (successors schema symbol)
+      end
+    end
+  in
+  visit start;
+  match !unknown with
+  | Some s -> Error s
+  | None -> Ok (List.rev !services)
+
+let call_graph schema =
+  List.map
+    (fun f ->
+      let targets =
+        match reachable_services schema f with
+        | Ok services -> List.filter (fun g -> not (String.equal g f)) services
+        | Error _ -> []
+      in
+      (f, targets))
+    (Schema.function_names schema)
+
+(* DFS cycle detection over services, returning a witness chain. *)
+let find_cycle schema (roots : string list) =
+  let color = Hashtbl.create 16 in
+  (* 0 = in progress, 1 = done *)
+  let exception Cycle of string list in
+  let exception Unknown of string in
+  let rec visit stack symbol =
+    if is_unconstrained schema symbol then raise (Unknown symbol);
+    match Hashtbl.find_opt color symbol with
+    | Some 1 -> ()
+    | Some _ ->
+      (* Back edge: the loop runs from the earlier occurrence of [symbol]
+         on the stack down to here. Only loops carrying at least one
+         service can grow the document forever — element recursion in a
+         type (as in "part = part star") describes finite documents, it
+         does not produce them. *)
+      (* the stack is most-recent-first, so collecting up to the earlier
+         occurrence yields the cycle in invocation order *)
+      let rec cut acc = function
+        | [] -> None
+        | s :: rest -> if String.equal s symbol then Some (s :: acc) else cut (s :: acc) rest
+      in
+      (match cut [] stack with
+      | Some cycle when List.exists (Schema.is_function_symbol schema) cycle ->
+        raise (Cycle (cycle @ [ symbol ]))
+      | Some _ | None -> ())
+    | None ->
+      Hashtbl.replace color symbol 0;
+      List.iter (visit (symbol :: stack)) (successors schema symbol);
+      Hashtbl.replace color symbol 1
+  in
+  try
+    List.iter (visit []) roots;
+    Terminates
+  with
+  | Cycle chain -> May_diverge chain
+  | Unknown s -> May_diverge [ s ^ " (unconstrained)" ]
+
+let analyze schema = find_cycle schema (Schema.function_names schema)
+
+let analyze_doc schema d =
+  let roots =
+    List.filter_map
+      (fun (n : Doc.node) ->
+        match n.Doc.label with Doc.Call { fname; _ } -> Some fname | _ -> None)
+      (Doc.function_nodes d)
+    |> List.sort_uniq String.compare
+  in
+  find_cycle schema roots

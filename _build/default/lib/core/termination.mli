@@ -1,0 +1,33 @@
+(** Sufficient conditions for termination of rewritings (§2 defers this
+    to the companion work [2]; the evaluator otherwise relies on call
+    budgets).
+
+    A rewriting can only diverge when invoking calls keeps producing new
+    calls forever. Over the schema this is visible in the {e call graph}:
+    service [f] has an edge to service [g] when [g] may appear
+    (transitively, through element content models) in a forest derived
+    from [f]'s output type. If the portion of the call graph reachable
+    from a document's calls is acyclic, every rewriting of that document
+    terminates. The converse does not hold (a cyclic signature may still
+    always bottom out at run time), so the analysis answers
+    [May_diverge], never "diverges". *)
+
+type verdict =
+  | Terminates
+  | May_diverge of string list
+      (** a witness: a cyclic chain of services [f1; f2; …; f1], or a
+          single unconstrained symbol whose content is unknown *)
+
+val call_graph : Axml_schema.Schema.t -> (string * string list) list
+(** For each declared service, the declared services its output may
+    (transitively) bring into the document. *)
+
+val analyze : Axml_schema.Schema.t -> verdict
+(** Over all declared services. *)
+
+val analyze_doc : Axml_schema.Schema.t -> Axml_doc.t -> verdict
+(** Restricted to the services reachable from the calls present in the
+    document. Conservatively reports [May_diverge] when an undeclared
+    service is reachable (its output is unconstrained). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

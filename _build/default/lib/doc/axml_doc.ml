@@ -1,0 +1,190 @@
+module Tree = Axml_xml.Tree
+
+type node = {
+  id : int;
+  mutable label : label;
+  mutable attrs : (string * string) list;
+  mutable children : node list;
+  mutable parent : node option;
+}
+
+and label =
+  | Elem of string
+  | Data of string
+  | Call of call
+
+and call = { fname : string; call_id : int }
+
+type t = {
+  mutable root : node;
+  mutable next_id : int;
+  mutable next_call_id : int;
+}
+
+let fresh_id d =
+  let id = d.next_id in
+  d.next_id <- id + 1;
+  id
+
+let mk d label = { id = fresh_id d; label; attrs = []; children = []; parent = None }
+
+let adopt parent child =
+  match child.parent with
+  | Some _ -> invalid_arg "Doc: node already has a parent"
+  | None -> child.parent <- Some parent
+
+let elem d ?(attrs = []) name children =
+  let n = mk d (Elem name) in
+  n.attrs <- attrs;
+  List.iter (adopt n) children;
+  n.children <- children;
+  n
+
+let data d value = mk d (Data value)
+
+let call d fname params =
+  let call_id = d.next_call_id in
+  d.next_call_id <- call_id + 1;
+  let n = mk d (Call { fname; call_id }) in
+  List.iter (adopt n) params;
+  n.children <- params;
+  n
+
+let create () =
+  let dummy_root = { id = 0; label = Elem "root"; attrs = []; children = []; parent = None } in
+  { root = dummy_root; next_id = 1; next_call_id = 1 }
+
+let set_root d n =
+  (match n.parent with
+  | Some _ -> invalid_arg "Doc.set_root: node has a parent"
+  | None -> ());
+  d.root <- n
+
+let root d = d.root
+
+(* ------------------------------------------------------------------ *)
+
+let call_elem_name = "axml:call"
+
+let rec import d (t : Tree.t) : node =
+  match t with
+  | Tree.Text s -> data d s
+  | Tree.Element { name; attrs; children } when String.equal name call_elem_name -> (
+    match List.assoc_opt "name" attrs with
+    | None -> invalid_arg "Doc.of_xml: <axml:call> without a name attribute"
+    | Some fname -> call d fname (List.map (import d) children))
+  | Tree.Element { name; attrs; children } ->
+    elem d ~attrs name (List.map (import d) children)
+
+let forest_of_xml d forest = List.map (import d) forest
+
+let of_xml t =
+  let d = create () in
+  set_root d (import d t);
+  d
+
+let parse s = of_xml (Axml_xml.Parse.tree s)
+
+let rec node_to_xml n =
+  match n.label with
+  | Data s -> Tree.Text s
+  | Elem name -> Tree.Element { name; attrs = n.attrs; children = List.map node_to_xml n.children }
+  | Call { fname; _ } ->
+    Tree.Element
+      {
+        name = call_elem_name;
+        attrs = ("name", fname) :: n.attrs;
+        children = List.map node_to_xml n.children;
+      }
+
+let to_xml d = node_to_xml d.root
+let to_string ?indent d = Axml_xml.Print.to_string ?indent (to_xml d)
+
+(* ------------------------------------------------------------------ *)
+
+let append_child _d parent child =
+  adopt parent child;
+  parent.children <- parent.children @ [ child ]
+
+let remove_node _d n =
+  match n.parent with
+  | None -> invalid_arg "Doc.remove_node: cannot detach the root"
+  | Some p ->
+    p.children <- List.filter (fun c -> c.id <> n.id) p.children;
+    n.parent <- None
+
+let replace_call d fnode result =
+  (match fnode.label with
+  | Call _ -> ()
+  | Elem _ | Data _ -> invalid_arg "Doc.replace_call: not a function node");
+  match fnode.parent with
+  | None -> invalid_arg "Doc.replace_call: function node has no parent"
+  | Some parent ->
+    let fresh = List.map (import d) result in
+    List.iter (adopt parent) fresh;
+    let rec splice = function
+      | [] -> invalid_arg "Doc.replace_call: node not among its parent's children"
+      | c :: rest -> if c.id = fnode.id then fresh @ rest else c :: splice rest
+    in
+    parent.children <- splice parent.children;
+    fnode.parent <- None;
+    fresh
+
+(* ------------------------------------------------------------------ *)
+
+let rec iter_node f n =
+  f n;
+  List.iter (iter_node f) n.children
+
+let iter f d = iter_node f d.root
+
+let fold f acc d =
+  let acc = ref acc in
+  iter (fun n -> acc := f !acc n) d;
+  !acc
+
+let is_data n = match n.label with Elem _ | Data _ -> true | Call _ -> false
+let is_call n = match n.label with Call _ -> true | Elem _ | Data _ -> false
+let call_name n = match n.label with Call { fname; _ } -> Some fname | Elem _ | Data _ -> None
+
+let function_nodes d = List.rev (fold (fun acc n -> if is_call n then n :: acc else acc) [] d)
+
+let visible_function_nodes d =
+  (* Traverse without descending into function nodes' parameters. *)
+  let out = ref [] in
+  let rec go n =
+    match n.label with
+    | Call _ -> out := n :: !out
+    | Elem _ | Data _ -> List.iter go n.children
+  in
+  go d.root;
+  List.rev !out
+
+let ancestors n =
+  let rec up acc n = match n.parent with None -> List.rev acc | Some p -> up (p :: acc) p in
+  up [] n
+
+let label_path n =
+  let labels =
+    List.filter_map
+      (fun a -> match a.label with Elem name -> Some name | Data _ | Call _ -> None)
+      (ancestors n)
+  in
+  List.rev labels
+
+let size d = fold (fun n _ -> n + 1) 0 d
+let count_calls d = List.length (function_nodes d)
+let data_children n = List.filter is_data n.children
+let text_value n = match n.label with Data v -> Some v | Elem _ | Call _ -> None
+
+let rec pp_node ppf n =
+  match n.label with
+  | Data s -> Format.fprintf ppf "%S" s
+  | Elem name ->
+    Format.fprintf ppf "@[<hv 2><%s>%a</%s>@]" name
+      (Format.pp_print_list pp_node) n.children name
+  | Call { fname; call_id } ->
+    Format.fprintf ppf "@[<hv 2>[%d]%s(%a)@]" call_id fname
+      (Format.pp_print_list pp_node) n.children
+
+let pp ppf d = pp_node ppf d.root

@@ -1,0 +1,129 @@
+(** Active XML documents (§2 of the paper).
+
+    An AXML document is an ordered labeled tree with {e data nodes}
+    (elements and data-value leaves) and {e function nodes} (embedded
+    calls to Web services). The children of a function node are the call's
+    parameters. Invoking a call replaces the function node, in place, by
+    the forest the service returned ({!replace_call}).
+
+    Nodes are mutable and carry parent pointers: call invocation splices
+    results in O(|result|), and bottom-up query checking / F-guide
+    maintenance walk ancestors cheaply. Every node has an identity ([id])
+    unique within its document; function nodes additionally carry a
+    [call_id] numbering them in creation order (matching the numbered
+    calls of Fig. 1). *)
+
+type node = private {
+  id : int;
+  mutable label : label;
+  mutable attrs : (string * string) list;
+      (** preserved for XML round-trips; invisible to queries *)
+  mutable children : node list;
+  mutable parent : node option;
+}
+
+and label =
+  | Elem of string  (** element data node *)
+  | Data of string  (** data-value leaf *)
+  | Call of call  (** function node *)
+
+and call = { fname : string; call_id : int }
+
+type t
+(** A document: a root node plus id generators. *)
+
+(** {2 Construction} *)
+
+val create : unit -> t
+(** An empty document whose root is an [Elem "root"] placeholder; use
+    {!set_root} or the node builders below. *)
+
+val elem : t -> ?attrs:(string * string) list -> string -> node list -> node
+(** [elem d name children] allocates an element node in [d]. Children must
+    belong to [d] and be parentless (raise [Invalid_argument]). *)
+
+val data : t -> string -> node
+val call : t -> string -> node list -> node
+
+val set_root : t -> node -> unit
+val root : t -> node
+
+(** {2 The [axml:call] XML syntax} *)
+
+val call_elem_name : string
+(** ["axml:call"] — the element name encoding function nodes in plain
+    XML. The service name is its ["name"] attribute. *)
+
+val of_xml : Axml_xml.Tree.t -> t
+(** Imports a plain XML tree; [<axml:call name="f">…</axml:call>]
+    elements become function nodes. Raises [Invalid_argument] if such an
+    element lacks a [name] attribute. *)
+
+val to_xml : t -> Axml_xml.Tree.t
+val node_to_xml : node -> Axml_xml.Tree.t
+val forest_of_xml : t -> Axml_xml.Tree.forest -> node list
+(** [forest_of_xml d f] imports trees as parentless nodes of [d] (for
+    splicing service results). *)
+
+val parse : string -> t
+(** [parse s] = [of_xml (Axml_xml.Parse.tree s)]. *)
+
+val to_string : ?indent:int -> t -> string
+
+(** {2 Mutation} *)
+
+val replace_call : t -> node -> Axml_xml.Tree.forest -> node list
+(** [replace_call d fnode result] implements the rewriting step
+    [d →v d'] (Def. 2): [fnode] (which must be a function node of [d]
+    with a parent; raise [Invalid_argument] otherwise) is removed and the
+    imported [result] forest is spliced at its position. Returns the
+    spliced-in nodes. *)
+
+val append_child : t -> node -> node -> unit
+(** [append_child d parent child] attaches a parentless node. *)
+
+val remove_node : t -> node -> unit
+(** Detaches a non-root node from its parent. *)
+
+(** {2 Traversal and access} *)
+
+val iter : (node -> unit) -> t -> unit
+(** Document-order traversal of the whole tree (parameters of calls
+    included). *)
+
+val iter_node : (node -> unit) -> node -> unit
+(** Like {!iter} but over one subtree. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+
+val function_nodes : t -> node list
+(** All live function nodes, in document order — including those nested
+    inside call parameters. *)
+
+val visible_function_nodes : t -> node list
+(** Function nodes all of whose proper ancestors are data nodes — the
+    only ones an NFQ can retrieve (queries match data nodes only, so a
+    call buried in another call's parameters is invisible until its host
+    is invoked). *)
+
+val ancestors : node -> node list
+(** From the parent up to the root (nearest first). *)
+
+val label_path : node -> string list
+(** Labels of element ancestors from the root down to (and excluding) the
+    node itself — the node's dataguide path. *)
+
+val size : t -> int
+val count_calls : t -> int
+val is_data : node -> bool
+val is_call : node -> bool
+val call_name : node -> string option
+
+val data_children : node -> node list
+(** Children that are data nodes (elements or values). *)
+
+val text_value : node -> string option
+(** [text_value n] is [Some v] when [n] is a [Data v] leaf. *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit

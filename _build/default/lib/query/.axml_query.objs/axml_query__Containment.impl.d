@@ -1,0 +1,1 @@
+lib/query/containment.ml: Array Hashtbl List Pattern String

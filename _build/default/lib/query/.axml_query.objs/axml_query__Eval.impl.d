@@ -1,0 +1,1 @@
+lib/query/eval.ml: Array Axml_doc Axml_xml Hashtbl List Option Pattern String

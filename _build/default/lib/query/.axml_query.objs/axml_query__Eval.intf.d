@@ -1,0 +1,1 @@
+lib/query/eval.mli: Axml_doc Axml_xml Pattern

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Buffer List Pattern Printf String

@@ -1,0 +1,1 @@
+lib/query/parser.mli: Pattern

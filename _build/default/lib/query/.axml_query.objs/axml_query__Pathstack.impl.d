@@ -1,0 +1,1 @@
+lib/query/pathstack.ml: Array Axml_doc List Option Pattern String

@@ -1,0 +1,1 @@
+lib/query/pathstack.mli: Axml_doc Pattern

@@ -1,0 +1,1 @@
+lib/query/pattern.ml: Axml_automata Format Hashtbl List String

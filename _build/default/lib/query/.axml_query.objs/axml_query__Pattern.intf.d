@@ -1,0 +1,1 @@
+lib/query/pattern.mli: Axml_automata Format

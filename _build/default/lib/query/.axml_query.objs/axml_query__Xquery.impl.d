@@ -1,0 +1,1 @@
+lib/query/xquery.ml: Axml_doc Axml_xml Eval Hashtbl List Pattern Printf String

@@ -1,0 +1,1 @@
+lib/query/xquery.mli: Axml_doc Axml_xml Eval Pattern

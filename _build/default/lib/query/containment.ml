@@ -1,0 +1,83 @@
+module P = Pattern
+
+(* Can a node of the container pattern (q') be mapped onto a node of the
+   contained pattern (q)? Wildcards and variables of the container accept
+   anything (variables' join semantics make the test slightly lenient,
+   still sound for variable-free containers; see the mli). *)
+let label_covers (outer : P.label) (inner : P.label) =
+  match outer, inner with
+  | (P.Wildcard | P.Var _), (P.Const _ | P.Value _ | P.Var _ | P.Wildcard) -> true
+  | P.Const a, P.Const b -> String.equal a b
+  | P.Value a, P.Value b -> String.equal a b
+  | P.Fun P.Any_fun, P.Fun _ -> true
+  | P.Fun (P.Named outer_names), P.Fun (P.Named inner_names) ->
+    (* every call the inner node accepts must be accepted by the outer *)
+    List.for_all (fun f -> List.mem f outer_names) inner_names
+  | P.Fun (P.Named _), P.Fun P.Any_fun -> false
+  | P.Or, _ | _, P.Or -> false (* extended queries: handled structurally below *)
+  | (P.Const _ | P.Value _), _ -> false
+  | P.Fun _, _ | _, P.Fun _ -> false
+
+let homomorphism ~from ~into =
+  (* memo on (from pid, into pid) *)
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let rec maps (outer : P.node) (inner : P.node) =
+    let key = (outer.P.pid, inner.P.pid) in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      (* break cycles defensively (patterns are trees, so none arise) *)
+      Hashtbl.replace memo key false;
+      let r =
+        match outer.P.label, inner.P.label with
+        | P.Or, _ ->
+          (* an OR container node maps when one alternative maps *)
+          List.exists (fun alt -> maps alt inner) outer.P.children
+        | _, P.Or ->
+          (* mapping onto an OR: must map onto every alternative to be
+             sound (the document may satisfy only one) *)
+          List.for_all (fun alt -> maps outer alt) inner.P.children
+        | _ ->
+          label_covers outer.P.label inner.P.label
+          && List.for_all (fun oc -> child_maps oc inner) outer.P.children
+      in
+      Hashtbl.replace memo key r;
+      r
+  and child_maps (oc : P.node) (inner : P.node) =
+    match oc.P.axis with
+    | P.Child ->
+      (* a child edge (distance exactly 1) can only map onto a child edge
+         of the contained pattern — an inner descendant edge may stand
+         for a longer path *)
+      List.exists
+        (fun (ic : P.node) -> ic.P.axis = P.Child && maps oc ic)
+        inner.P.children
+    | P.Descendant ->
+      (* map to any strict descendant of the inner node; crossing a
+         descendant edge of the inner pattern is fine (paths only get
+         longer) *)
+      let rec below (ic : P.node) = maps oc ic || List.exists below ic.P.children in
+      List.exists below inner.P.children
+  in
+  maps from into
+
+let contained (q : P.t) (q' : P.t) = homomorphism ~from:q'.P.root ~into:q.P.root
+
+let equivalent q q' = contained q q' && contained q' q
+
+let drop_contained queries =
+  let arr = Array.of_list queries in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    if keep.(i) then
+      for j = 0 to n - 1 do
+        if i <> j && keep.(i) && keep.(j) && contained arr.(i) arr.(j) then
+          if contained arr.(j) arr.(i) then begin
+            (* equivalent: keep the earlier one *)
+            if j > i then keep.(j) <- false else keep.(i) <- false
+          end
+          else keep.(i) <- false
+      done
+  done;
+  List.filteri (fun i _ -> keep.(i)) queries

@@ -1,0 +1,333 @@
+module Doc = Axml_doc
+
+module P = Pattern
+
+type binding = {
+  results : (int * Doc.node) list;
+  vars : (string * string) list;
+}
+
+let empty_binding = { results = []; vars = [] }
+
+let doc_label (n : Doc.node) =
+  match n.Doc.label with
+  | Doc.Elem name -> Some name
+  | Doc.Data value -> Some value
+  | Doc.Call _ -> None
+
+let label_matches (ql : P.label) (n : Doc.node) =
+  match ql, n.Doc.label with
+  | P.Const s, Doc.Elem e -> String.equal s e
+  | P.Value v, Doc.Data d -> String.equal v d
+  | (P.Var _ | P.Wildcard), (Doc.Elem _ | Doc.Data _) -> true
+  | P.Fun P.Any_fun, Doc.Call _ -> true
+  | P.Fun (P.Named fs), Doc.Call c -> List.mem c.Doc.fname fs
+  | P.Or, _ -> invalid_arg "Eval.label_matches: OR node"
+  | (P.Const _ | P.Value _ | P.Var _ | P.Wildcard), Doc.Call _ -> false
+  | (P.Const _ | P.Value _), (Doc.Elem _ | Doc.Data _) -> false
+  | P.Fun _, (Doc.Elem _ | Doc.Data _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* Bindings as small sorted association lists, with consistent merge.   *)
+
+let rec merge_sorted ~conflict xs ys =
+  match xs, ys with
+  | [], zs | zs, [] -> Some zs
+  | (kx, vx) :: xs', (ky, vy) :: ys' ->
+    let c = compare kx ky in
+    if c < 0 then
+      Option.map (fun rest -> (kx, vx) :: rest) (merge_sorted ~conflict xs' ys)
+    else if c > 0 then
+      Option.map (fun rest -> (ky, vy) :: rest) (merge_sorted ~conflict xs ys')
+    else if conflict vx vy then
+      Option.map (fun rest -> (kx, vx) :: rest) (merge_sorted ~conflict xs' ys')
+    else None
+
+let join ~relax_joins b1 b2 =
+  (* Result keys (pids) are unique per query node, so equal keys always
+     carry the same image; variables must agree on their labels unless
+     joins are relaxed. *)
+  match merge_sorted ~conflict:(fun (x : Doc.node) y -> x.Doc.id = y.Doc.id) b1.results b2.results with
+  | None -> None
+  | Some results -> (
+    match
+      merge_sorted
+        ~conflict:(fun x y -> relax_joins || String.equal x y)
+        b1.vars b2.vars
+    with
+    | None -> None
+    | Some vars -> Some { results; vars })
+
+let binding_key b =
+  (List.map (fun (pid, (n : Doc.node)) -> (pid, n.Doc.id)) b.results, b.vars)
+
+let dedup bindings =
+  match bindings with
+  | [] | [ _ ] -> bindings
+  | _ ->
+    let seen = Hashtbl.create (List.length bindings) in
+    List.filter
+      (fun b ->
+        let key = binding_key b in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      bindings
+
+let join_lists ~relax_joins l1 l2 =
+  match l1, l2 with
+  | [], _ | _, [] -> []
+  | [ b1 ], l2 when b1 == empty_binding -> l2
+  | l1, [ b2 ] when b2 == empty_binding -> l1
+  | l1, l2 ->
+    dedup
+      (List.concat_map (fun b1 -> List.filter_map (fun b2 -> join ~relax_joins b1 b2) l2) l1)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation context: per-run memo tables.                             *)
+
+type ctx = {
+  relax_joins : bool;
+  record_images : bool;
+  (* (pattern pid, doc id) -> bindings with the pattern node mapped to
+     that doc node *)
+  memo_at : (int * int, binding list) Hashtbl.t;
+  (* (pattern pid, doc id) -> bindings with the pattern node mapped
+     strictly below that doc node *)
+  memo_below : (int * int, binding list) Hashtbl.t;
+  (* pattern pid -> subtree contains result nodes or variables *)
+  interesting : (int, bool) Hashtbl.t;
+}
+
+let make_ctx ?(record_images = false) ~relax_joins () =
+  {
+    relax_joins;
+    record_images;
+    memo_at = Hashtbl.create 256;
+    memo_below = Hashtbl.create 256;
+    interesting = Hashtbl.create 64;
+  }
+
+let rec is_interesting ctx (p : P.node) =
+  match Hashtbl.find_opt ctx.interesting p.P.pid with
+  | Some v -> v
+  | None ->
+    let v =
+      ctx.record_images || p.P.result
+      || (match p.P.label with P.Var _ -> true | _ -> false)
+      || List.exists (is_interesting ctx) p.P.children
+    in
+    Hashtbl.replace ctx.interesting p.P.pid v;
+    v
+
+let self_binding ctx (p : P.node) (n : Doc.node) =
+  let results =
+    if p.P.result || ctx.record_images then [ (p.P.pid, n) ] else []
+  in
+  let vars =
+    match p.P.label with
+    | P.Var x -> ( match doc_label n with Some l -> [ (x, l) ] | None -> [])
+    | _ -> []
+  in
+  { results; vars }
+
+(* Matches pattern node [p] with image exactly [n]. *)
+let rec match_at_ctx ctx (p : P.node) (n : Doc.node) : binding list =
+  let key = (p.P.pid, n.Doc.id) in
+  match Hashtbl.find_opt ctx.memo_at key with
+  | Some r -> r
+  | None ->
+    let r =
+      match p.P.label with
+      | P.Or ->
+        (* The OR node itself has no image; its chosen alternative is
+           matched at this position. *)
+        dedup (List.concat_map (fun alt -> match_alternative ctx alt n) p.P.children)
+      | _ -> match_concrete ctx p n
+    in
+    let r = if is_interesting ctx p then r else if r = [] then [] else [ empty_binding ] in
+    Hashtbl.replace ctx.memo_at key r;
+    r
+
+and match_alternative ctx (alt : P.node) (n : Doc.node) =
+  (* Alternatives are matched at the OR's position; their own axis is
+     ignored. Nested ORs are permitted. *)
+  match alt.P.label with
+  | P.Or -> dedup (List.concat_map (fun a -> match_alternative ctx a n) alt.P.children)
+  | _ -> match_concrete ctx alt n
+
+and match_concrete ctx (p : P.node) (n : Doc.node) =
+  if not (label_matches p.P.label n) then []
+  else begin
+    let self = [ self_binding ctx p n ] in
+    List.fold_left
+      (fun acc child ->
+        if acc = [] then []
+        else join_lists ~relax_joins:ctx.relax_joins acc (match_child ctx child n))
+      self p.P.children
+  end
+
+(* Matches pattern node [p] with image a child of [n] (Child axis) or any
+   node strictly below [n] reachable through data nodes (Descendant). *)
+and match_child ctx (p : P.node) (n : Doc.node) =
+  match p.P.axis with
+  | P.Child ->
+    dedup (List.concat_map (fun c -> match_at_ctx ctx p c) (positions_under n))
+  | P.Descendant -> match_below ctx p n
+
+and match_below ctx (p : P.node) (n : Doc.node) =
+  let key = (p.P.pid, n.Doc.id) in
+  match Hashtbl.find_opt ctx.memo_below key with
+  | Some r -> r
+  | None ->
+    let r =
+      dedup
+        (List.concat_map
+           (fun c ->
+             let here = match_at_ctx ctx p c in
+             let deeper = if Doc.is_data c then match_below ctx p c else [] in
+             here @ deeper)
+           (positions_under n))
+    in
+    let r = if is_interesting ctx p then r else if r = [] then [] else [ empty_binding ] in
+    Hashtbl.replace ctx.memo_below key r;
+    r
+
+(* Children visible to queries: all children of a data node; none for a
+   function node (parameters are not document content). *)
+and positions_under (n : Doc.node) =
+  if Doc.is_data n then n.Doc.children else []
+
+(* ------------------------------------------------------------------ *)
+
+type context = ctx
+
+let context ?(relax_joins = false) () = make_ctx ~relax_joins ()
+
+let match_at ?(relax_joins = false) p n =
+  let ctx = make_ctx ~relax_joins () in
+  match_at_ctx ctx p n
+
+let eval_in ctx (q : P.t) (d : Doc.t) = match_at_ctx ctx q.P.root (Doc.root d)
+
+let eval ?(relax_joins = false) (q : P.t) (d : Doc.t) =
+  eval_in (make_ctx ~relax_joins ()) q d
+
+let matches_of_in ctx (q : P.t) (d : Doc.t) ~target =
+  (match P.find q target with
+  | Some n when n.P.result -> ()
+  | Some _ -> invalid_arg "Eval.matches_of: target is not a result node"
+  | None -> invalid_arg "Eval.matches_of: no such pattern node");
+  let bindings = eval_in ctx q d in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (pid, n) ->
+          if pid = target && not (Hashtbl.mem seen n.Doc.id) then begin
+            Hashtbl.replace seen n.Doc.id ();
+            out := n :: !out
+          end)
+        b.results)
+    bindings;
+  List.rev !out
+
+let matches_of ?(relax_joins = false) (q : P.t) (d : Doc.t) ~target =
+  matches_of_in (make_ctx ~relax_joins ()) q d ~target
+
+(* ------------------------------------------------------------------ *)
+(* Candidate-anchored matching (§6.2).                                  *)
+
+let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.node) =
+  let target_node =
+    match P.find q target with
+    | Some n -> n
+    | None -> invalid_arg "Eval.anchored_matches: no such pattern node"
+  in
+  let path = P.path_to q target_node in
+  if List.exists (fun (p : P.node) -> p.P.label = P.Or) path then
+    invalid_arg "Eval.anchored_matches: OR node on the path to the target";
+  (* The document chain the path must align with: root … candidate. *)
+  let chain = Array.of_list (List.rev (candidate :: Doc.ancestors candidate)) in
+  let ctx = make_ctx ~relax_joins () in
+  let m = Array.length chain in
+  (* Conditions of a path node, excluding the continuation to the next
+     path node. *)
+  let side_conditions p next =
+    List.filter (fun (c : P.node) -> c.P.pid <> next.P.pid) p.P.children
+  in
+  (* Walk the pattern path and the chain in lock step; descendant edges
+     may skip chain nodes. At each alignment, the side conditions are
+     checked with the regular (downward) evaluator and joined. *)
+  let rec align steps j acc =
+    if acc = [] then false
+    else
+      match steps with
+      | [] -> true
+      | (p : P.node) :: rest ->
+        let last = rest = [] in
+        let try_at j =
+          if j >= m then false
+          else if last && j <> m - 1 then false
+          else if not (label_matches_or ctx p chain.(j)) then false
+          else begin
+            let conds =
+              match rest with
+              | [] -> p.P.children (* the target keeps all its conditions *)
+              | next :: _ -> side_conditions p next
+            in
+            let here =
+              List.fold_left
+                (fun acc c ->
+                  if acc = [] then []
+                  else join_lists ~relax_joins acc (match_child ctx c chain.(j)))
+                acc conds
+            in
+            align rest (j + 1) here
+          end
+        in
+        (match p.P.axis with
+        | P.Child -> try_at j
+        | P.Descendant ->
+          let rec try_from j = j < m && (try_at j || try_from (j + 1)) in
+          try_from j)
+
+  and label_matches_or ctx p n =
+    match p.P.label with
+    | P.Or -> List.exists (fun alt -> label_matches_or ctx alt n) p.P.children
+    | _ -> label_matches p.P.label n
+  in
+  (* The pattern root must align with the document root (chain.(0)); the
+     root's own axis is irrelevant, as in the top-down evaluator. *)
+  match path with
+  | [] -> false
+  | root :: rest -> align (P.with_axis root P.Child :: rest) 0 [ empty_binding ]
+
+(* ------------------------------------------------------------------ *)
+(* Complete homomorphisms, for witnesses (query pushing) and oracles.   *)
+
+type embedding = (int * Doc.node) list
+
+let embeddings ?(relax_joins = false) ?(limit = 10_000) p n =
+  let ctx = make_ctx ~record_images:true ~relax_joins () in
+  let bindings = match_at_ctx ctx p n in
+  let bindings = if List.length bindings > limit then List.filteri (fun i _ -> i < limit) bindings else bindings in
+  List.map (fun b -> b.results) bindings
+
+let label_matches_exposed = label_matches
+
+let bindings_to_xml bindings =
+  let module Tree = Axml_xml.Tree in
+  List.map
+    (fun b ->
+      let var_elems =
+        List.map
+          (fun (x, v) -> Tree.element (String.lowercase_ascii x) [ Tree.text v ])
+          b.vars
+      in
+      let result_elems = List.map (fun (_, n) -> Doc.node_to_xml n) b.results in
+      Tree.element "tuple" (var_elems @ result_elems))
+    bindings

@@ -1,0 +1,79 @@
+(** Embedding evaluation: the snapshot semantics of Definition 1.
+
+    An embedding is a tree {e homomorphism} (not necessarily injective)
+    from the pattern to the document, mapping the pattern root to the
+    document root, preserving child / ancestor-descendant edges, matching
+    constants exactly, and binding every occurrence of a variable to data
+    nodes with identical labels. Function nodes of extended queries map to
+    function nodes of the document; OR nodes are a choice between their
+    children. Queries never traverse {e into} a function node (a call's
+    parameters are invisible to queries until the call is invoked).
+
+    The evaluator is memoized on (pattern node, document node) pairs, and
+    collapses sub-patterns that contain neither result nodes nor variables
+    to pure existence tests. *)
+
+type binding = {
+  results : (int * Axml_doc.node) list;  (** result-node pid → image, sorted by pid *)
+  vars : (string * string) list;  (** variable → label of its image, sorted *)
+}
+
+type context
+(** A reusable evaluation context: memo tables keyed by (pattern node,
+    document node) pairs. Pattern-node ids are globally unique, so one
+    context can be shared across {e different} queries over the same
+    document state — the multi-query optimization the paper's §4.1 calls
+    essential. The context must be discarded whenever the document
+    changes. *)
+
+val context : ?relax_joins:bool -> unit -> context
+
+val eval_in : context -> Pattern.t -> Axml_doc.t -> binding list
+val matches_of_in : context -> Pattern.t -> Axml_doc.t -> target:int -> Axml_doc.node list
+
+val eval : ?relax_joins:bool -> Pattern.t -> Axml_doc.t -> binding list
+(** [eval q d] is the snapshot result [q(d)]: the distinct bindings of
+    result nodes and variables over all embeddings. With
+    [relax_joins:true], occurrences of the same variable need not agree
+    (the lenient §6.1 approximation — a superset of the exact result). *)
+
+val matches_of : ?relax_joins:bool -> Pattern.t -> Axml_doc.t -> target:int -> Axml_doc.node list
+(** [matches_of q d ~target] lists the distinct document nodes that the
+    result node with pid [target] takes over all embeddings, in document
+    order. The node must be marked [result] (raise [Invalid_argument]
+    otherwise). This is how NFQs retrieve relevant calls. *)
+
+val match_at : ?relax_joins:bool -> Pattern.node -> Axml_doc.node -> binding list
+(** [match_at p n] matches the pattern subtree [p] with its root mapped
+    exactly to [n] (used by services evaluating pushed queries, where the
+    pattern root is tried against each tree of the result forest). *)
+
+val anchored_matches : ?relax_joins:bool -> Pattern.t -> target:int -> Axml_doc.node -> bool
+(** [anchored_matches q ~target n] tests whether some embedding of [q]
+    maps the result node [target] to the specific node [n] — the
+    candidate-driven check used after F-guide filtering (§6.2). Matching
+    starts from [n]'s ancestor chain rather than from the document root,
+    so it is fast when [q] would otherwise scan a large document. *)
+
+type embedding = (int * Axml_doc.node) list
+(** Total images: pattern pid → document node, for every pattern node on
+    the chosen OR branches, sorted by pid. *)
+
+val embeddings : ?relax_joins:bool -> ?limit:int -> Pattern.node -> Axml_doc.node -> embedding list
+(** [embeddings p n] enumerates complete homomorphisms of [p] rooted at
+    [n] (at most [limit], default 10_000) — used to build witness trees
+    for query pushing and by the test oracle. *)
+
+val doc_label : Axml_doc.node -> string option
+(** The label string used for variable-consistency comparisons: element
+    name or data value; [None] on function nodes. *)
+
+val bindings_to_xml : binding list -> Axml_xml.Tree.forest
+(** Serializes answers in the paper's §7 wire format: one [<tuple>] per
+    binding, with one child per variable (lower-cased variable name as
+    element name, label as content) and the full subtree of every result
+    image. *)
+
+val label_matches_exposed : Pattern.label -> Axml_doc.node -> bool
+(** Single-node label matching (no children), exposed for test oracles.
+    Raises [Invalid_argument] on OR labels. *)

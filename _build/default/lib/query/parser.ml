@@ -1,0 +1,220 @@
+exception Error of string
+
+type token =
+  | Tslash
+  | Tdslash
+  | Tname of string
+  | Tstring of string
+  | Tvar of string
+  | Tstar
+  | Tbang
+  | Tlbracket
+  | Trbracket
+  | Tlpar
+  | Trpar
+  | Teq
+  | Tbar
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = ':' || c = '.'
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1) acc
+      | '/' ->
+        if i + 1 < n && src.[i + 1] = '/' then loop (i + 2) (Tdslash :: acc)
+        else loop (i + 1) (Tslash :: acc)
+      | '*' -> loop (i + 1) (Tstar :: acc)
+      | '!' -> loop (i + 1) (Tbang :: acc)
+      | '[' -> loop (i + 1) (Tlbracket :: acc)
+      | ']' -> loop (i + 1) (Trbracket :: acc)
+      | '(' -> loop (i + 1) (Tlpar :: acc)
+      | ')' -> loop (i + 1) (Trpar :: acc)
+      | '=' -> loop (i + 1) (Teq :: acc)
+      | '|' -> loop (i + 1) (Tbar :: acc)
+      | '$' ->
+        let j = ref (i + 1) in
+        while !j < n && is_name_char src.[!j] do
+          incr j
+        done;
+        if !j = i + 1 then raise (Error "expected a variable name after '$'");
+        loop !j (Tvar (String.sub src (i + 1) (!j - i - 1)) :: acc)
+      | '"' ->
+        let buf = Buffer.create 8 in
+        let rec scan j =
+          if j >= n then raise (Error "unterminated string literal")
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' && j + 1 < n then begin
+            Buffer.add_char buf src.[j + 1];
+            scan (j + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        loop next (Tstring (Buffer.contents buf) :: acc)
+      | c when is_name_char c ->
+        let j = ref i in
+        while !j < n && is_name_char src.[!j] do
+          incr j
+        done;
+        loop !j (Tname (String.sub src i (!j - i)) :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  in
+  loop 0 []
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+let peek2 st = match st.tokens with _ :: t :: _ -> Some t | _ -> None
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st t what =
+  match peek st with
+  | Some t' when t' = t -> advance st
+  | _ -> raise (Error (Printf.sprintf "expected %s" what))
+
+(* A parsed step before node construction. *)
+let parse_test st =
+  match peek st, peek2 st with
+  | Some (Tname f), Some Tlpar ->
+    advance st;
+    advance st;
+    expect st Trpar "')'";
+    Pattern.Fun (Pattern.Named [ f ])
+  | Some Tstar, Some Tlpar ->
+    advance st;
+    advance st;
+    expect st Trpar "')'";
+    Pattern.Fun Pattern.Any_fun
+  | Some (Tname s), _ ->
+    advance st;
+    Pattern.Const s
+  | Some Tstar, _ ->
+    advance st;
+    Pattern.Wildcard
+  | Some (Tvar x), _ ->
+    advance st;
+    Pattern.Var x
+  | Some (Tstring v), _ ->
+    advance st;
+    Pattern.Value v
+  | _ -> raise (Error "expected a node test")
+
+let parse_bang st =
+  match peek st with
+  | Some Tbang ->
+    advance st;
+    true
+  | _ -> false
+
+(* A step of a path chain, before the chain is folded into nested
+   pattern nodes. *)
+type raw_step = {
+  axis : Pattern.axis;
+  label : Pattern.label;
+  result : bool;
+  predicates : Pattern.node list;
+}
+
+(* Parses [test '!'? predicate*] followed by '/' or '//' continuations,
+   returning the chain top-down. *)
+let rec parse_chain st ~axis =
+  let label = parse_test st in
+  let result = parse_bang st in
+  let predicates = parse_predicates st [] in
+  let step = { axis; label; result; predicates } in
+  match peek st with
+  | Some Tslash ->
+    advance st;
+    step :: parse_chain st ~axis:Pattern.Child
+  | Some Tdslash ->
+    advance st;
+    step :: parse_chain st ~axis:Pattern.Descendant
+  | _ -> [ step ]
+
+and parse_predicates st acc =
+  match peek st with
+  | Some Tlbracket ->
+    advance st;
+    let axis =
+      match peek st with
+      | Some Tdslash ->
+        advance st;
+        Pattern.Descendant
+      | _ -> Pattern.Child
+    in
+    let chain = parse_chain st ~axis in
+    let extra = parse_eq_sugar st in
+    expect st Trbracket "']'";
+    parse_predicates st (acc @ [ fold_chain chain ~extra ])
+  | _ -> acc
+
+(* [name = "v"] and [name = $X] sugar: the rhs becomes an extra child of
+   the {e deepest} step of the predicate chain ([a/b="5"] is [a/b/"5"]). *)
+and parse_eq_sugar st =
+  match peek st with
+  | Some Teq -> (
+    advance st;
+    match peek st with
+    | Some (Tstring v) ->
+      advance st;
+      [ Pattern.make (Pattern.Value v) [] ]
+    | Some (Tvar x) ->
+      advance st;
+      let result = parse_bang st in
+      [ Pattern.make ~result (Pattern.Var x) [] ]
+    | _ -> raise (Error "expected a string or variable after '='"))
+  | _ -> []
+
+(* Folds a top-down chain into nested nodes; [extra] children are attached
+   to the deepest step. *)
+and fold_chain chain ~extra =
+  match chain with
+  | [] -> raise (Error "empty path")
+  | [ step ] -> Pattern.make ~axis:step.axis ~result:step.result step.label (step.predicates @ extra)
+  | step :: rest ->
+    let child = fold_chain rest ~extra in
+    Pattern.make ~axis:step.axis ~result:step.result step.label (step.predicates @ [ child ])
+
+(* Definition 1 maps the pattern root to the document root, so [/a…] makes
+   [a] the pattern root, while [//a…] puts a wildcard root above a
+   descendant step. *)
+let parse_absolute st =
+  match peek st with
+  | Some Tslash ->
+    advance st;
+    fold_chain (parse_chain st ~axis:Pattern.Child) ~extra:[]
+  | Some Tdslash ->
+    advance st;
+    let inner = fold_chain (parse_chain st ~axis:Pattern.Descendant) ~extra:[] in
+    Pattern.make Pattern.Wildcard [ inner ]
+  | _ -> raise (Error "a query must start with '/' or '//'")
+
+let parse src =
+  let st = { tokens = tokenize src } in
+  let root = parse_absolute st in
+  if st.tokens <> [] then raise (Error "trailing tokens after the query");
+  Pattern.query root
+
+let parse_relative src =
+  let st = { tokens = tokenize src } in
+  let axis =
+    match peek st with
+    | Some Tdslash ->
+      advance st;
+      Pattern.Descendant
+    | _ -> Pattern.Child
+  in
+  let node = fold_chain (parse_chain st ~axis) ~extra:[] in
+  if st.tokens <> [] then raise (Error "trailing tokens after the path");
+  [ node ]

@@ -1,0 +1,36 @@
+(** XPath-like concrete syntax for tree-pattern queries.
+
+    Grammar (whitespace is insignificant):
+    {v
+    query     ::= step+
+    step      ::= ('/' | '//') test '!'? predicate-list
+    predicate ::= '[' relpath ('=' rhs)? ']'
+    relpath   ::= '//'? substep (('/' | '//') substep)...
+    substep   ::= test '!'? predicate-list
+    rhs       ::= STRING | '$' NAME '!'?
+    test      ::= NAME            element name
+                | '*'             wildcard
+                | '$' NAME        variable
+                | STRING          data value  (e.g. "5")
+                | NAME '(' ')'    named function node
+                | '*' '(' ')'     star function node
+    v}
+
+    ['!'] marks a result node. The [=] form is sugar: [[price="5"]] is
+    [[price["5"]]] and [[name=$X!]] is [[name[$X!]]].
+
+    Examples from the paper:
+    - [/goingout/movies//show[title="The Hours"]/schedule!]
+    - [/guide/hotel[name="Best Western"][rating="5"]
+       //restaurant[name=$X!][address=$Y!][rating="5"]]
+    - [//rating/getrating()] (an extended query with a function node). *)
+
+exception Error of string
+
+val parse : string -> Pattern.t
+(** Raises {!Error} on invalid syntax. *)
+
+val parse_relative : string -> Pattern.node list
+(** Parses a relative path (no leading [/]); returns the chain's topmost
+    node as a single-element list. Used for building predicates
+    programmatically. *)

@@ -1,0 +1,72 @@
+module P = Pattern
+module Doc = Axml_doc
+
+type step = { axis : P.axis; label : P.label }
+
+let steps_of_query (q : P.t) =
+  let rec collect (n : P.node) acc =
+    match n.P.label with
+    | P.Or -> None
+    | label -> (
+      let acc = { axis = n.P.axis; label } :: acc in
+      match n.P.children with
+      | [] -> Some (List.rev acc)
+      | [ only ] -> collect only acc
+      | _ :: _ :: _ -> None)
+  in
+  collect q.P.root []
+
+let label_matches (ql : P.label) (n : Doc.node) =
+  match ql, n.Doc.label with
+  | P.Const s, Doc.Elem e -> String.equal s e
+  | P.Value v, Doc.Data d -> String.equal v d
+  | (P.Var _ | P.Wildcard), (Doc.Elem _ | Doc.Data _) -> true
+  | P.Fun P.Any_fun, Doc.Call _ -> true
+  | P.Fun (P.Named fs), Doc.Call c -> List.mem c.Doc.fname fs
+  | P.Or, _ -> invalid_arg "Pathstack: OR label"
+  | (P.Const _ | P.Value _ | P.Var _ | P.Wildcard), Doc.Call _ -> false
+  | (P.Const _ | P.Value _), (Doc.Elem _ | Doc.Data _) -> false
+  | P.Fun _, (Doc.Elem _ | Doc.Data _) -> false
+
+let matches steps (d : Doc.t) =
+  let steps = Array.of_list steps in
+  let k = Array.length steps in
+  if k = 0 then invalid_arg "Pathstack.matches: empty chain";
+  (* stacks.(i): the nodes currently on the root-to-here path that match
+     the chain prefix up to step i. *)
+  let stacks = Array.make k [] in
+  let out = ref [] in
+  let step_accepts i (n : Doc.node) =
+    label_matches steps.(i).label n
+    &&
+    if i = 0 then n.Doc.id = (Doc.root d).Doc.id
+    else
+      match steps.(i).axis with
+      | P.Descendant -> stacks.(i - 1) <> []
+      | P.Child -> (
+        (* the immediate parent must be the top of the previous stack *)
+        match stacks.(i - 1), n.Doc.parent with
+        | (top : Doc.node) :: _, Some parent -> top.Doc.id = parent.Doc.id
+        | _, _ -> false)
+  in
+  let rec visit (n : Doc.node) =
+    (* Decide top-down which stacks this node joins; scanning i in
+       decreasing order keeps a node from serving as its own ancestor. *)
+    let pushed = ref [] in
+    for i = k - 1 downto 0 do
+      if step_accepts i n then
+        if i = k - 1 then out := n :: !out
+        else begin
+          stacks.(i) <- n :: stacks.(i);
+          pushed := i :: !pushed
+        end
+    done;
+    (* queries do not traverse into function nodes *)
+    if Doc.is_data n then List.iter visit n.Doc.children;
+    List.iter (fun i -> stacks.(i) <- List.tl stacks.(i)) !pushed
+  in
+  visit (Doc.root d);
+  List.rev !out
+
+let run (q : P.t) (d : Doc.t) =
+  Option.map (fun steps -> matches steps d) (steps_of_query q)

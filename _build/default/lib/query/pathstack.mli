@@ -1,0 +1,29 @@
+(** Single-pass, stack-based evaluation of linear path queries, in the
+    style of the holistic path-join algorithms (PathStack) from the XML
+    query-processing literature the paper builds on.
+
+    The tree-walking evaluator in {!Eval} recurses per (pattern node,
+    document node) pair; for {e linear} queries — the LPQs of §3.1 and
+    the F-guide probes of §6.2 — one document-order traversal with one
+    stack per step suffices and touches every node exactly once. The
+    benchmarks compare the two engines (and the F-guide) on relevance
+    detection.
+
+    Only linear chains are supported: each step has an axis and a label
+    test, no branching, no OR nodes. *)
+
+type step = { axis : Pattern.axis; label : Pattern.label }
+
+val steps_of_query : Pattern.t -> step list option
+(** [steps_of_query q] extracts the chain if [q] is linear (every node
+    has at most one child and no OR); [None] otherwise. The result-node
+    marker is ignored — matches of the {e last} step are returned. *)
+
+val matches : step list -> Axml_doc.t -> Axml_doc.node list
+(** All document nodes the last step matches over the embeddings of the
+    chain (the first step must match the document root, as in Def. 1), in
+    document order, deduplicated. Raises [Invalid_argument] on an empty
+    chain or on OR labels. *)
+
+val run : Pattern.t -> Axml_doc.t -> Axml_doc.node list option
+(** [steps_of_query] + [matches]; [None] if the query is not linear. *)

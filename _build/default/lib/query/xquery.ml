@@ -1,0 +1,454 @@
+module P = Pattern
+module Doc = Axml_doc
+module Tree = Axml_xml.Tree
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Surface syntax.                                                     *)
+
+type test = T_name of string | T_star
+
+type source = { start : [ `Doc | `Var of string ]; steps : (P.axis * test) list }
+
+type rhs = R_literal of string | R_path of source
+
+type item = I_text of string | I_splice of source | I_elem of string * item list
+
+type ast = {
+  bindings : (string * source) list;
+  conds : (source * rhs) list;
+  template : item;
+}
+
+(* ---- lexer ---- *)
+
+type token =
+  | K_for
+  | K_in
+  | K_where
+  | K_and
+  | K_return
+  | K_doc
+  | T_var of string
+  | T_string of string
+  | T_ident of string
+  | T_slash
+  | T_dslash
+  | T_eq
+  | T_comma
+  | T_starsym
+  | T_template_start of int  (* offset of '<' starting the return template *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+(* Tokenizes the FLWR head; stops at the template (first '<' after
+   'return'), which is scanned separately. *)
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let after_return = ref false in
+  let rec loop i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '<' when !after_return ->
+        tokens := T_template_start i :: !tokens
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        tokens := T_dslash :: !tokens;
+        loop (i + 2)
+      | '/' ->
+        tokens := T_slash :: !tokens;
+        loop (i + 1)
+      | '=' ->
+        tokens := T_eq :: !tokens;
+        loop (i + 1)
+      | ',' ->
+        tokens := T_comma :: !tokens;
+        loop (i + 1)
+      | '*' ->
+        tokens := T_starsym :: !tokens;
+        loop (i + 1)
+      | '$' ->
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        if !j = i + 1 then fail "expected a variable name after '$'";
+        tokens := T_var (String.sub src (i + 1) (!j - i - 1)) :: !tokens;
+        loop !j
+      | '"' ->
+        let j = ref (i + 1) in
+        while !j < n && src.[!j] <> '"' do
+          incr j
+        done;
+        if !j >= n then fail "unterminated string literal";
+        tokens := T_string (String.sub src (i + 1) (!j - i - 1)) :: !tokens;
+        loop (!j + 1)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let word = String.sub src i (!j - i) in
+        let continue_at = ref !j in
+        let token =
+          match word with
+          | "for" -> K_for
+          | "in" -> K_in
+          | "where" -> K_where
+          | "and" -> K_and
+          | "return" ->
+            after_return := true;
+            K_return
+          | "doc" ->
+            if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = ')' then begin
+              continue_at := !j + 2;
+              K_doc
+            end
+            else T_ident word
+          | _ -> T_ident word
+        in
+        tokens := token :: !tokens;
+        loop !continue_at
+      | c -> fail "unexpected character %C" c
+  in
+  loop 0;
+  List.rev !tokens
+
+(* ---- template scanner ---- *)
+
+let scan_template src start =
+  let n = String.length src in
+  let rec skip_space i = if i < n && (src.[i] = ' ' || src.[i] = '\n' || src.[i] = '\t' || src.[i] = '\r') then skip_space (i + 1) else i in
+  let read_name i =
+    let j = ref i in
+    while !j < n && is_ident_char src.[!j] do
+      incr j
+    done;
+    if !j = i then fail "template: expected a name";
+    (String.sub src i (!j - i), !j)
+  in
+  (* parses one element starting at '<' *)
+  let rec element i =
+    if i >= n || src.[i] <> '<' then fail "template: expected '<'";
+    let name, i = read_name (i + 1) in
+    if i >= n || src.[i] <> '>' then fail "template: expected '>' after <%s" name;
+    let items, i = content (i + 1) name [] in
+    (I_elem (name, items), i)
+  and content i closing acc =
+    if i >= n then fail "template: unclosed <%s>" closing
+    else if src.[i] = '<' && i + 1 < n && src.[i + 1] = '/' then begin
+      let name, j = read_name (i + 2) in
+      if name <> closing then fail "template: </%s> closes <%s>" name closing;
+      if j >= n || src.[j] <> '>' then fail "template: expected '>'";
+      (List.rev acc, j + 1)
+    end
+    else if src.[i] = '<' then
+      let item, j = element i in
+      content j closing (item :: acc)
+    else if src.[i] = '{' then begin
+      (* {$var/steps} *)
+      let close =
+        match String.index_from_opt src i '}' with
+        | Some c -> c
+        | None -> fail "template: unclosed '{'"
+      in
+      let inner = String.trim (String.sub src (i + 1) (close - i - 1)) in
+      let splice = parse_splice inner in
+      content (close + 1) closing (I_splice splice :: acc)
+    end
+    else begin
+      let j = ref i in
+      while !j < n && src.[!j] <> '<' && src.[!j] <> '{' do
+        incr j
+      done;
+      let text = String.sub src i (!j - i) in
+      let acc = if String.trim text = "" then acc else I_text text :: acc in
+      content !j closing acc
+    end
+  and parse_splice inner =
+    if String.length inner = 0 || inner.[0] <> '$' then
+      fail "template: expected {$var/...}, got {%s}" inner
+    else begin
+      let j = ref 1 in
+      while !j < String.length inner && is_ident_char inner.[!j] do
+        incr j
+      done;
+      let var = String.sub inner 1 (!j - 1) in
+      let steps = parse_steps_src (String.sub inner !j (String.length inner - !j)) in
+      { start = `Var var; steps }
+    end
+  and parse_steps_src s =
+    (* "/a//b/*" -> steps *)
+    let m = String.length s in
+    let rec go i acc =
+      let i = skip_space i in
+      if i >= m then List.rev acc
+      else if s.[i] = '/' then begin
+        let axis, i = if i + 1 < m && s.[i + 1] = '/' then (P.Descendant, i + 2) else (P.Child, i + 1) in
+        if i < m && s.[i] = '*' then go (i + 1) ((axis, T_star) :: acc)
+        else
+          let j = ref i in
+          while !j < m && is_ident_char s.[!j] do
+            incr j
+          done;
+          if !j = i then fail "template: expected a step name";
+          go !j ((axis, T_name (String.sub s i (!j - i))) :: acc)
+      end
+      else fail "template: unexpected %C in path" s.[i]
+    in
+    go 0 []
+  in
+  let i = skip_space start in
+  let item, i = element i in
+  let rest = String.trim (String.sub src i (n - i)) in
+  if rest <> "" then fail "template: trailing content %S" rest;
+  item
+
+(* ---- parser ---- *)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let next st =
+  match st.toks with
+  | [] -> fail "unexpected end of query"
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let parse_steps st =
+  let rec go acc =
+    match peek st with
+    | Some T_slash | Some T_dslash ->
+      let axis = if next st = T_dslash then P.Descendant else P.Child in
+      (match next st with
+      | T_ident name -> go ((axis, T_name name) :: acc)
+      | T_starsym -> go ((axis, T_star) :: acc)
+      | _ -> fail "expected a step name after '/'")
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_source st =
+  match next st with
+  | K_doc -> { start = `Doc; steps = parse_steps st }
+  | T_var v -> { start = `Var v; steps = parse_steps st }
+  | _ -> fail "expected doc() or a variable"
+
+let parse src =
+  let st = { toks = tokenize src } in
+  (match next st with K_for -> () | _ -> fail "a query starts with 'for'");
+  let rec parse_bindings acc =
+    let var = match next st with T_var v -> v | _ -> fail "expected a variable after 'for'" in
+    (match next st with K_in -> () | _ -> fail "expected 'in'");
+    let source = parse_source st in
+    let acc = (var, source) :: acc in
+    match peek st with
+    | Some T_comma ->
+      ignore (next st);
+      parse_bindings acc
+    | _ -> List.rev acc
+  in
+  let bindings = parse_bindings [] in
+  let conds =
+    match peek st with
+    | Some K_where ->
+      ignore (next st);
+      let rec parse_conds acc =
+        let lhs = parse_source st in
+        (match next st with T_eq -> () | _ -> fail "expected '=' in a condition");
+        let rhs =
+          match peek st with
+          | Some (T_string s) ->
+            ignore (next st);
+            R_literal s
+          | _ -> R_path (parse_source st)
+        in
+        let acc = (lhs, rhs) :: acc in
+        match peek st with
+        | Some K_and ->
+          ignore (next st);
+          parse_conds acc
+        | _ -> List.rev acc
+      in
+      parse_conds []
+    | _ -> []
+  in
+  (match next st with K_return -> () | _ -> fail "expected 'return'");
+  let template =
+    match next st with
+    | T_template_start offset -> scan_template src offset
+    | _ -> fail "expected an element template after 'return'"
+  in
+  { bindings; conds; template }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to a tree pattern.                                      *)
+
+(* Mutable pattern skeleton, converted to an immutable Pattern at the
+   end. *)
+type bnode = {
+  mutable blabel : P.label;
+  baxis : P.axis;
+  mutable bchildren : bnode list;
+  mutable bresult : bool;
+  id : int;
+}
+
+type t = {
+  ast : ast;
+  pat : P.t;
+  var_pids : (string * int) list;  (* for-variable -> result pid *)
+}
+
+let compile src =
+  let ast = parse src in
+  let counter = ref 0 in
+  let mk ?(axis = P.Child) label =
+    incr counter;
+    { blabel = label; baxis = axis; bchildren = []; bresult = false; id = !counter }
+  in
+  let test_label = function T_name s -> P.Const s | T_star -> P.Wildcard in
+  let root = ref None in
+  let env : (string * bnode) list ref = ref [] in
+  let attach_chain (start : bnode) steps =
+    List.fold_left
+      (fun parent (axis, test) ->
+        let child = mk ~axis (test_label test) in
+        parent.bchildren <- parent.bchildren @ [ child ];
+        child)
+      start steps
+  in
+  let resolve_source { start; steps } =
+    match start with
+    | `Doc -> (
+      match steps with
+      | [] -> fail "doc() needs at least one step"
+      | (P.Child, test) :: rest -> (
+        match !root with
+        | None ->
+          let r = mk (test_label test) in
+          root := Some r;
+          attach_chain r rest
+        | Some r ->
+          (* further doc() paths must re-enter through the same root *)
+          if r.blabel = test_label test then attach_chain r rest
+          else fail "doc() paths must share the same root element")
+      | (P.Descendant, _) :: _ -> (
+        match !root with
+        | None ->
+          let r = mk P.Wildcard in
+          root := Some r;
+          attach_chain r steps
+        | Some r -> attach_chain r steps))
+    | `Var v -> (
+      match List.assoc_opt v !env with
+      | None -> fail "unbound variable $%s" v
+      | Some bn -> attach_chain bn steps)
+  in
+  List.iter
+    (fun (var, source) ->
+      if List.mem_assoc var !env then fail "variable $%s bound twice" var;
+      let bn = resolve_source source in
+      bn.bresult <- true;
+      env := !env @ [ (var, bn) ])
+    ast.bindings;
+  let join_counter = ref 0 in
+  List.iter
+    (fun (lhs, rhs) ->
+      let lnode = resolve_source lhs in
+      match rhs with
+      | R_literal v -> lnode.bchildren <- lnode.bchildren @ [ mk (P.Value v) ]
+      | R_path rsource ->
+        (* variable-to-variable equality: a shared pattern variable *)
+        incr join_counter;
+        let jvar = Printf.sprintf "#join%d" !join_counter in
+        let rnode = resolve_source rsource in
+        lnode.bchildren <- lnode.bchildren @ [ mk (P.Var jvar) ];
+        rnode.bchildren <- rnode.bchildren @ [ mk (P.Var jvar) ])
+    ast.conds;
+  (* validate the splices *)
+  let rec check_items = function
+    | I_text _ -> ()
+    | I_elem (_, items) -> List.iter check_items items
+    | I_splice { start = `Var v; _ } ->
+      if not (List.mem_assoc v !env) then fail "template: unbound variable $%s" v
+    | I_splice { start = `Doc; _ } -> fail "template splices start from a variable"
+  in
+  check_items ast.template;
+  let root = match !root with Some r -> r | None -> fail "no doc() binding" in
+  (* convert to an immutable pattern, keeping track of variable pids *)
+  let pid_of_bid = Hashtbl.create 16 in
+  let rec convert bn =
+    let children = List.map convert bn.bchildren in
+    let node = P.make ~axis:bn.baxis ~result:bn.bresult bn.blabel children in
+    Hashtbl.replace pid_of_bid bn.id node.P.pid;
+    node
+  in
+  let pat = P.query (convert root) in
+  let var_pids =
+    List.map (fun (v, bn) -> (v, Hashtbl.find pid_of_bid bn.id)) !env
+  in
+  { ast; pat; var_pids }
+
+let pattern t = t.pat
+let variables t = List.map fst t.var_pids
+
+(* ------------------------------------------------------------------ *)
+(* Return-template instantiation.                                      *)
+
+let navigate (start : Doc.node) steps =
+  let matches test (n : Doc.node) =
+    match test, n.Doc.label with
+    | T_star, (Doc.Elem _ | Doc.Data _) -> true
+    | T_name s, Doc.Elem e -> String.equal s e
+    | T_name _, _ | T_star, Doc.Call _ -> false
+  in
+  let rec descendants (n : Doc.node) =
+    if Doc.is_data n then
+      List.concat_map (fun c -> c :: descendants c) n.Doc.children
+    else []
+  in
+  List.fold_left
+    (fun nodes (axis, test) ->
+      List.concat_map
+        (fun (n : Doc.node) ->
+          let candidates =
+            match axis with
+            | P.Child -> if Doc.is_data n then n.Doc.children else []
+            | P.Descendant -> descendants n
+          in
+          List.filter (matches test) candidates)
+        nodes)
+    [ start ] steps
+
+let instantiate t answers =
+  List.map
+    (fun (b : Eval.binding) ->
+      let image var =
+        match List.assoc_opt var t.var_pids with
+        | None -> fail "unbound variable $%s" var
+        | Some pid -> (
+          match List.assoc_opt pid b.Eval.results with
+          | Some n -> n
+          | None -> fail "no image for $%s (is the binding from this query?)" var)
+      in
+      let rec build = function
+        | I_text s -> [ Tree.text s ]
+        | I_elem (name, items) -> [ Tree.element name (List.concat_map build items) ]
+        | I_splice { start = `Var v; steps } ->
+          List.map Doc.node_to_xml (navigate (image v) steps)
+        | I_splice { start = `Doc; _ } -> fail "template splices start from a variable"
+      in
+      match build t.ast.template with
+      | [ tree ] -> tree
+      | _ -> assert false)
+    answers
+
+let run t d = instantiate t (Eval.eval t.pat d)

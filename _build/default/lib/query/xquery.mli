@@ -1,0 +1,53 @@
+(** A FLWR front-end: the "core tree-pattern matching fragment of XQuery"
+    that §2 says tree patterns capture, compiled to a {!Pattern} plus a
+    return template.
+
+    Grammar (conjunctive single-block FLWR):
+    {v
+    query   ::= 'for' binding (',' binding)...
+                [ 'where' cond ('and' cond)... ]
+                'return' template
+    binding ::= VAR 'in' source
+    source  ::= 'doc()' steps | VAR steps
+    steps   ::= one or more ('/' | '//') (NAME | '*')
+    cond    ::= VAR [steps] '=' (STRING | VAR [steps])
+    template::= '<' NAME '>' items '</' NAME '>'
+    item    ::= text | '{' VAR [steps] '}' | template
+    v}
+
+    Example:
+    {v
+    for $h in doc()/guide/hotel,
+        $r in $h/nearby//restaurant
+    where $h/name = "Best Western" and $h/rating = "5"
+      and $r/rating = "5"
+    return <res>{$r/name}{$r/address}</res>
+    v}
+
+    Each [for] variable becomes a result node of the compiled pattern;
+    [where] equalities against strings become value leaves, and
+    variable-to-variable equalities become shared pattern variables
+    (joins). {!run} evaluates the pattern (snapshot semantics) and
+    instantiates the template once per distinct answer: [{$v/steps}]
+    splices the XML of the data nodes reached from [$v]'s image. *)
+
+type t
+
+exception Error of string
+
+val compile : string -> t
+(** Raises {!Error} on syntax errors or unbound variables. *)
+
+val pattern : t -> Pattern.t
+(** The compiled tree pattern — feed it to {!Eval} or to the lazy
+    evaluator ([Axml_core.Lazy_eval.run]); the calls it makes relevant
+    are exactly those of the FLWR query. *)
+
+val variables : t -> string list
+(** The [for] variables, in binding order. *)
+
+val instantiate : t -> Eval.binding list -> Axml_xml.Tree.forest
+(** Builds the return elements for the given answers of {!pattern}. *)
+
+val run : t -> Axml_doc.t -> Axml_xml.Tree.forest
+(** [Eval.eval (pattern t)] + {!instantiate} — snapshot evaluation. *)

@@ -1,0 +1,1 @@
+lib/schema/sat.ml: Array Axml_automata Axml_query Hashtbl List Queue Schema String

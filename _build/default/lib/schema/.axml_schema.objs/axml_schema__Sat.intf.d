@@ -1,0 +1,1 @@
+lib/schema/sat.mli: Axml_query Schema

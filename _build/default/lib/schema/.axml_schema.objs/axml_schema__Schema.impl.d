@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Axml_automata Buffer Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/schema/validate.ml: Axml_automata Axml_doc Format List Printf Schema String

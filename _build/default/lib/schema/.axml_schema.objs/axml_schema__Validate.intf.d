@@ -1,0 +1,1 @@
+lib/schema/validate.mli: Axml_doc Axml_xml Format Schema

@@ -1,0 +1,158 @@
+module Regex = Axml_automata.Regex
+
+type signature = { input : Regex.t; output : Regex.t }
+
+type t = {
+  functions : (string * signature) list; (* definition order, newest wins *)
+  elements : (string * Regex.t) list;
+}
+
+let empty = { functions = []; elements = [] }
+
+let add_function t name signature =
+  { t with functions = List.remove_assoc name t.functions @ [ (name, signature) ] }
+
+let add_element t name re =
+  { t with elements = List.remove_assoc name t.elements @ [ (name, re) ] }
+
+let find_function t name = List.assoc_opt name t.functions
+let find_element t name = List.assoc_opt name t.elements
+let function_names t = List.map fst t.functions
+let element_names t = List.map fst t.elements
+
+let data_keyword = "data"
+
+let is_function_symbol t name = List.mem_assoc name t.functions
+let is_element_symbol t name = List.mem_assoc name t.elements
+
+let all_symbols t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      out := s :: !out
+    end
+  in
+  add data_keyword;
+  List.iter (fun (name, _) -> add name) t.functions;
+  List.iter (fun (name, _) -> add name) t.elements;
+  List.iter
+    (fun (_, { input; output }) ->
+      List.iter add (Regex.symbols input);
+      List.iter add (Regex.symbols output))
+    t.functions;
+  List.iter (fun (_, re) -> List.iter add (Regex.symbols re)) t.elements;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax.                                                    *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+let strip_comment s =
+  match String.index_opt s '#' with None -> s | Some i -> String.sub s 0 i
+
+type section = No_section | In_functions | In_elements
+
+let parse_signature lineno rhs =
+  (* rhs has the shape [in: RE, out: RE] — the comma separating the two
+     fields is the first top-level comma. *)
+  let rhs = String.trim rhs in
+  let n = String.length rhs in
+  if n < 2 || rhs.[0] <> '[' || rhs.[n - 1] <> ']' then
+    fail lineno "expected a signature of the form [in: ..., out: ...]";
+  let body = String.sub rhs 1 (n - 2) in
+  let comma =
+    let rec find i depth =
+      if i >= String.length body then fail lineno "expected ',' between in and out"
+      else
+        match body.[i] with
+        | '(' | '[' -> find (i + 1) (depth + 1)
+        | ')' | ']' -> find (i + 1) (depth - 1)
+        | ',' when depth = 0 -> i
+        | _ -> find (i + 1) depth
+    in
+    find 0 0
+  in
+  let left = String.trim (String.sub body 0 comma) in
+  let right = String.trim (String.sub body (comma + 1) (String.length body - comma - 1)) in
+  let field prefix s =
+    let plen = String.length prefix in
+    if String.length s >= plen && String.sub s 0 plen = prefix then
+      String.trim (String.sub s plen (String.length s - plen))
+    else fail lineno (Printf.sprintf "expected '%s'" prefix)
+  in
+  let input_src = field "in:" left in
+  let output_src = field "out:" right in
+  let parse_re src =
+    try Regex.of_string src with Failure m -> fail lineno ("bad regular expression: " ^ m)
+  in
+  { input = parse_re input_src; output = parse_re output_src }
+
+let of_string src =
+  let lines = String.split_on_char '\n' src in
+  let schema = ref empty in
+  let section = ref No_section in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line = "" then ()
+      else if line = "functions:" then section := In_functions
+      else if line = "elements:" then section := In_elements
+      else
+        match String.index_opt line '=' with
+        | None -> fail lineno "expected 'name = ...' or a section header"
+        | Some eq -> (
+          let name = String.trim (String.sub line 0 eq) in
+          let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+          if name = "" then fail lineno "missing name before '='";
+          if name = data_keyword then fail lineno "'data' is a reserved keyword";
+          match !section with
+          | No_section -> fail lineno "definition outside of a section"
+          | In_functions -> schema := add_function !schema name (parse_signature lineno rhs)
+          | In_elements -> (
+            match Regex.of_string rhs with
+            | re -> schema := add_element !schema name re
+            | exception Failure m -> fail lineno ("bad regular expression: " ^ m))))
+    lines;
+  !schema
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  if t.functions <> [] then begin
+    Buffer.add_string buf "functions:\n";
+    List.iter
+      (fun (name, { input; output }) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s = [in: %s, out: %s]\n" name (Regex.to_string input)
+             (Regex.to_string output)))
+      t.functions
+  end;
+  if t.elements <> [] then begin
+    Buffer.add_string buf "elements:\n";
+    List.iter
+      (fun (name, re) ->
+        Buffer.add_string buf (Printf.sprintf "  %s = %s\n" name (Regex.to_string re)))
+      t.elements
+  end;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let check t =
+  let defined s = s = data_keyword || is_function_symbol t s || is_element_symbol t s in
+  List.filter_map
+    (fun s ->
+      if defined s then None
+      else Some (Printf.sprintf "symbol %S is referenced but not defined; treated as unconstrained" s))
+    (all_symbols t)

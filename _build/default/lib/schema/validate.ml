@@ -1,0 +1,51 @@
+module Regex = Axml_automata.Regex
+module Doc = Axml_doc
+
+type issue = { path : string list; message : string }
+
+let pp_issue ppf { path; message } =
+  Format.fprintf ppf "/%s: %s" (String.concat "/" path) message
+
+(* The symbol a child contributes to its parent's content word. *)
+let child_symbol (n : Doc.node) =
+  match n.Doc.label with
+  | Doc.Elem name -> name
+  | Doc.Data _ -> Schema.data_keyword
+  | Doc.Call { fname; _ } -> fname
+
+let check_word ~path ~what re children issues =
+  let word = List.map child_symbol children in
+  if Regex.matches re word then issues
+  else
+    let message =
+      Printf.sprintf "%s [%s] does not match %s" what (String.concat " " word)
+        (Regex.to_string re)
+    in
+    { path; message } :: issues
+
+let document schema d =
+  let issues = ref [] in
+  let rec go path (n : Doc.node) =
+    match n.Doc.label with
+    | Doc.Data _ -> ()
+    | Doc.Elem name ->
+      let path = path @ [ name ] in
+      (match Schema.find_element schema name with
+      | None -> () (* unconstrained *)
+      | Some re ->
+        issues := check_word ~path ~what:("content of <" ^ name ^ ">") re n.Doc.children !issues);
+      List.iter (go path) n.Doc.children
+    | Doc.Call { fname; _ } ->
+      let path = path @ [ fname ^ "()" ] in
+      (match Schema.find_function schema fname with
+      | None -> ()
+      | Some { Schema.input; _ } ->
+        issues :=
+          check_word ~path ~what:("parameters of " ^ fname) input n.Doc.children !issues);
+      List.iter (go path) n.Doc.children
+  in
+  go [] (Doc.root d);
+  List.rev !issues
+
+let tree schema t = document schema (Doc.of_xml t)
+let conforms schema d = document schema d = []

@@ -1,0 +1,26 @@
+(** AXML document validation against a schema τ.
+
+    The paper (§1, §2) relies on its companion work [21] for typing: a
+    document conforms to τ when every element's children — where a data
+    leaf reads as the [data] symbol and a function node reads as its
+    service name — spell a word of the element's content model, and every
+    call's parameters spell a word of the service's input type.
+
+    Names not defined by the schema are unconstrained (their content is
+    not checked), consistent with {!Sat}'s soundness convention. *)
+
+type issue = {
+  path : string list;  (** element labels from the root to the offending node *)
+  message : string;
+}
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val document : Schema.t -> Axml_doc.t -> issue list
+(** All conformance violations, in document order; [[]] means the
+    document conforms. *)
+
+val tree : Schema.t -> Axml_xml.Tree.t -> issue list
+(** Same, over plain XML (with [<axml:call>] elements read as calls). *)
+
+val conforms : Schema.t -> Axml_doc.t -> bool

@@ -1,0 +1,1 @@
+lib/services/registry.ml: Axml_xml Hashtbl List Witness

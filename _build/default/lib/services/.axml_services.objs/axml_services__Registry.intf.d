@@ -1,0 +1,1 @@
+lib/services/registry.mli: Axml_query Axml_xml

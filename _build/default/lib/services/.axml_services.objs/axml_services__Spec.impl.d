@@ -1,0 +1,1 @@
+lib/services/spec.ml: Axml_xml List Printf Registry

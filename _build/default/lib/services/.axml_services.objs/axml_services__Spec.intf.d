@@ -1,0 +1,1 @@
+lib/services/spec.mli: Axml_xml Registry

@@ -1,0 +1,1 @@
+lib/services/witness.ml: Axml_doc Axml_query Axml_xml Hashtbl List

@@ -1,0 +1,1 @@
+lib/services/witness.mli: Axml_query Axml_xml

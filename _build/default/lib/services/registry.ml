@@ -1,0 +1,87 @@
+module Tree = Axml_xml.Tree
+module Print = Axml_xml.Print
+
+type behavior = Tree.forest -> Tree.forest
+
+type cost_model = { latency : float; per_byte : float }
+
+let default_cost = { latency = 0.05; per_byte = 1e-6 }
+
+type invocation = {
+  service : string;
+  request_bytes : int;
+  response_bytes : int;
+  cost : float;
+  pushed : bool;
+  cached : bool;
+}
+
+type service = {
+  behavior : behavior;
+  cost_model : cost_model;
+  push_capable : bool;
+  cache : (string, Tree.forest) Hashtbl.t option;
+      (* memoized services: parameter serialization -> full result *)
+}
+
+type t = {
+  services : (string, service) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+  mutable history : invocation list; (* newest first *)
+}
+
+exception Unknown_service of string
+
+let create () = { services = Hashtbl.create 16; order = []; history = [] }
+
+let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = false) behavior =
+  if not (Hashtbl.mem t.services name) then t.order <- name :: t.order;
+  let cache = if memoize then Some (Hashtbl.create 16) else None in
+  Hashtbl.replace t.services name { behavior; cost_model = cost; push_capable; cache }
+
+let is_registered t name = Hashtbl.mem t.services name
+let names t = List.rev t.order
+
+let invoke t ~name ~params ?push () =
+  let service =
+    match Hashtbl.find_opt t.services name with
+    | Some s -> s
+    | None -> raise (Unknown_service name)
+  in
+  let cached, result =
+    match service.cache with
+    | None -> (false, service.behavior params)
+    | Some cache -> (
+      let key = Print.forest_to_string params in
+      match Hashtbl.find_opt cache key with
+      | Some result -> (true, result)
+      | None ->
+        let result = service.behavior params in
+        Hashtbl.replace cache key result;
+        (false, result))
+  in
+  let pushed, shipped =
+    match push with
+    | Some pattern when service.push_capable -> (true, Witness.prune pattern result)
+    | Some _ | None -> (false, result)
+  in
+  (* A cache hit answers locally: no latency, nothing crosses the wire. *)
+  let request_bytes = if cached then 0 else Print.forest_byte_size params in
+  let response_bytes = if cached then 0 else Print.forest_byte_size shipped in
+  let cost =
+    if cached then 0.0
+    else
+      service.cost_model.latency
+      +. (service.cost_model.per_byte *. float_of_int (request_bytes + response_bytes))
+  in
+  let invocation = { service = name; request_bytes; response_bytes; cost; pushed; cached } in
+  t.history <- invocation :: t.history;
+  (shipped, invocation)
+
+let history t = List.rev t.history
+let invocation_count t = List.length t.history
+
+let total_bytes t =
+  List.fold_left (fun acc i -> acc + i.request_bytes + i.response_bytes) 0 t.history
+
+let reset_history t = t.history <- []

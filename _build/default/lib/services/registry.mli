@@ -1,0 +1,71 @@
+(** Simulated Web services.
+
+    The paper's experiments run against real SOAP endpoints; here services
+    are in-process OCaml functions with a deterministic cost model, so the
+    quantities the paper's evaluation depends on — how many calls were
+    invoked, how many bytes crossed the wire, how long invocation would
+    have taken — are measured exactly and reproducibly.
+
+    A service's {e cost} for one invocation is
+    [latency + per_byte * (request_bytes + response_bytes)] (seconds on
+    the simulated clock). Callers invoking a batch in parallel account the
+    batch as the {e max} of its invocation costs; sequential invocations
+    add up. That aggregation is done by the evaluator, not here.
+
+    Services may return forests containing further [<axml:call>] nodes —
+    this is what makes relevance detection "a continuous process" (§1). *)
+
+type behavior = Axml_xml.Tree.forest -> Axml_xml.Tree.forest
+(** Maps the call's parameter forest to its result forest. *)
+
+type cost_model = {
+  latency : float;  (** seconds per invocation *)
+  per_byte : float;  (** seconds per transferred byte *)
+}
+
+val default_cost : cost_model
+(** 50 ms latency, 1 µs/byte (≈ 1 MB/s) — a slow 2004-era Web service. *)
+
+type invocation = {
+  service : string;
+  request_bytes : int;
+  response_bytes : int;
+  cost : float;  (** simulated seconds for this invocation *)
+  pushed : bool;  (** a subquery was evaluated provider-side *)
+  cached : bool;  (** answered from the client-side result cache *)
+}
+
+type t
+
+exception Unknown_service of string
+
+val create : unit -> t
+
+val register :
+  t -> name:string -> ?cost:cost_model -> ?push_capable:bool -> ?memoize:bool -> behavior -> unit
+(** [push_capable] defaults to [true]: the provider accepts pushed
+    subqueries (§7 notes that capability must be checked per source).
+    [memoize] (default [false]) caches full results client-side, keyed by
+    the serialized parameters: repeated identical calls cost nothing —
+    the caching the ActiveXML system applies to deterministic services.
+    Pushing still prunes per call from the cached full result. *)
+
+val is_registered : t -> string -> bool
+val names : t -> string list
+
+val invoke :
+  t -> name:string -> params:Axml_xml.Tree.forest -> ?push:Axml_query.Pattern.node -> unit ->
+  Axml_xml.Tree.forest * invocation
+(** Invokes the service. With [push] and a push-capable provider, the
+    result is pruned provider-side to the witnesses of the pushed pattern
+    ({!Witness.prune}) and [response_bytes] counts the pruned forest;
+    otherwise the full result ships. Raises {!Unknown_service}. *)
+
+(** {2 Accounting} *)
+
+val history : t -> invocation list
+(** All invocations, oldest first. *)
+
+val invocation_count : t -> int
+val total_bytes : t -> int
+val reset_history : t -> unit

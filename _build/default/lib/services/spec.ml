@@ -1,0 +1,78 @@
+module Tree = Axml_xml.Tree
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let first_text params =
+  let rec find = function
+    | [] -> None
+    | Tree.Text s :: _ -> Some s
+    | Tree.Element el :: rest -> (
+      match find el.Tree.children with Some s -> Some s | None -> find rest)
+  in
+  find params
+
+let bool_attr name default t =
+  match Tree.attr name t with
+  | None -> default
+  | Some "true" -> true
+  | Some "false" -> false
+  | Some other -> fail "attribute %s: expected true or false, got %S" name other
+
+let float_attr name default t =
+  match Tree.attr name t with
+  | None -> default
+  | Some s -> ( try float_of_string s with Failure _ -> fail "attribute %s: bad number %S" name s)
+
+let parse_service t =
+  let name =
+    match Tree.attr "name" t with
+    | Some n -> n
+    | None -> fail "<service> without a name attribute"
+  in
+  let cases = ref [] in
+  let default = ref [] in
+  List.iter
+    (fun child ->
+      match Tree.name child with
+      | Some "case" -> (
+        match Tree.attr "key" child with
+        | Some key -> cases := (key, Tree.children child) :: !cases
+        | None -> fail "service %s: <case> without a key attribute" name)
+      | Some "default" -> default := Tree.children child
+      | Some other -> fail "service %s: unexpected <%s>" name other
+      | None -> fail "service %s: unexpected text content" name)
+    (Tree.children t);
+  let cases = List.rev !cases in
+  let default = !default in
+  let behavior params =
+    match first_text params with
+    | Some key -> ( match List.assoc_opt key cases with Some result -> result | None -> default)
+    | None -> default
+  in
+  let cost =
+    {
+      Registry.latency = float_attr "latency" Registry.default_cost.Registry.latency t;
+      per_byte = float_attr "per-byte" Registry.default_cost.Registry.per_byte t;
+    }
+  in
+  (name, cost, bool_attr "push" true t, bool_attr "memoize" false t, behavior)
+
+let load registry t =
+  (match Tree.name t with
+  | Some "services" -> ()
+  | _ -> fail "expected a <services> root element");
+  List.map
+    (fun child ->
+      match Tree.name child with
+      | Some "service" ->
+        let name, cost, push_capable, memoize, behavior = parse_service child in
+        Registry.register registry ~name ~cost ~push_capable ~memoize behavior;
+        name
+      | Some other -> fail "unexpected <%s> under <services>" other
+      | None -> fail "unexpected text under <services>")
+    (Tree.children t)
+
+let load_string registry src = load registry (Axml_xml.Parse.tree src)
+let load_file registry path = load registry (Axml_xml.Parse.tree_of_file path)

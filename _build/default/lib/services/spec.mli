@@ -1,0 +1,33 @@
+(** Declarative, table-driven service definitions.
+
+    The workload generators define services as OCaml closures; for
+    stand-alone use (the [axml eval] command), services can instead be
+    described in an XML file and registered from it:
+
+    {v
+    <services>
+      <service name="forecast" latency="0.05" per-byte="1e-6">
+        <case key="Paris"><sky>sunny</sky></case>
+        <case key="London"><sky>rain</sky></case>
+        <default><sky>unknown</sky></default>
+      </service>
+      <service name="news" memoize="true" push="false">
+        <default><headline>nothing happened</headline></default>
+      </service>
+    </services>
+    v}
+
+    A call's parameters select the first [<case>] whose [key] equals the
+    first text found in the parameter forest; otherwise the [<default>]
+    applies (or an empty result). Case bodies are AXML forests — they may
+    contain further [<axml:call>] elements. Attributes [latency],
+    [per-byte], [memoize] and [push] are optional. *)
+
+exception Error of string
+
+val load : Registry.t -> Axml_xml.Tree.t -> string list
+(** Registers every service of the spec; returns their names in document
+    order. Raises {!Error} on malformed specs. *)
+
+val load_string : Registry.t -> string -> string list
+val load_file : Registry.t -> string -> string list

@@ -1,0 +1,51 @@
+module Doc = Axml_doc
+module Tree = Axml_xml.Tree
+module Eval = Axml_query.Eval
+
+let prune pattern forest =
+  (* Import the forest into a scratch document so the embedding engine can
+     run over it; ids of that document index the kept set. *)
+  let d = Doc.create () in
+  let roots = Doc.forest_of_xml d forest in
+  let host = Doc.elem d "#forest" roots in
+  Doc.set_root d host;
+  (* Which pattern nodes ship their image's whole subtree: leaves (their
+     content is the matched value — a data leaf, a pending call with its
+     parameters) and result nodes (the answer must arrive whole). Images
+     of inner pattern nodes ship alone; their relevant children are kept
+     by their own images. *)
+  let ships_whole = Hashtbl.create 16 in
+  let rec index (p : Axml_query.Pattern.node) =
+    if p.Axml_query.Pattern.children = [] || p.Axml_query.Pattern.result then
+      Hashtbl.replace ships_whole p.Axml_query.Pattern.pid ();
+    List.iter index p.Axml_query.Pattern.children
+  in
+  index pattern;
+  let kept = Hashtbl.create 64 in
+  let keep n = Hashtbl.replace kept n.Doc.id () in
+  let keep_subtree n = Doc.iter_node keep n in
+  let keep_ancestors n = List.iter keep (Doc.ancestors n) in
+  List.iter
+    (fun root ->
+      let embs = Eval.embeddings pattern root in
+      List.iter
+        (fun emb ->
+          List.iter
+            (fun (pid, n) ->
+              if Hashtbl.mem ships_whole pid then keep_subtree n else keep n;
+              keep_ancestors n)
+            emb)
+        embs)
+    roots;
+  let rec rebuild (n : Doc.node) : Tree.t option =
+    if not (Hashtbl.mem kept n.Doc.id) then None
+    else
+      match n.Doc.label with
+      | Doc.Data v -> Some (Tree.text v)
+      | Doc.Elem name ->
+        Some (Tree.element ~attrs:n.Doc.attrs name (List.filter_map rebuild n.Doc.children))
+      | Doc.Call _ ->
+        (* A matched call ships whole, parameters included. *)
+        Some (Doc.node_to_xml n)
+  in
+  List.filter_map rebuild roots

@@ -1,0 +1,14 @@
+(** Witness pruning for pushed queries (§7).
+
+    When a query [sub_q_v] is pushed with a call, the provider does not
+    ship its whole result; it keeps, for every embedding of the pushed
+    pattern into the result forest, the contributing nodes — the images of
+    the pattern nodes, the nodes on paths crossed by descendant edges, and
+    the full subtrees of the images (so that bound values ship whole).
+    Everything else is pruned. *)
+
+val prune : Axml_query.Pattern.node -> Axml_xml.Tree.forest -> Axml_xml.Tree.forest
+(** [prune p forest] keeps the union of witnesses of all embeddings of
+    [p] whose root maps to one of the forest's tree roots. Trees without
+    any embedding are dropped entirely; an empty list means no tree
+    contributes. *)

@@ -1,0 +1,1 @@
+lib/workload/city.ml: Axml_doc Axml_query Axml_schema Axml_services Axml_xml Hashtbl List Printf Random String

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Axml_doc Axml_query Axml_schema Axml_services Axml_xml List Random

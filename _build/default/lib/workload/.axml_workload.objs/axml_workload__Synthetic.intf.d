@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Axml_doc Axml_query Axml_schema Axml_services

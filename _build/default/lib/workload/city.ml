@@ -1,0 +1,286 @@
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+module Schema = Axml_schema.Schema
+module Parser = Axml_query.Parser
+
+type config = {
+  hotels : int;
+  restaurants_per_hotel : int;
+  museums_per_hotel : int;
+  extensional_fraction : float;
+  intensional_rating_fraction : float;
+  intensional_nearby_fraction : float;
+  target_fraction : float;
+  five_star_fraction : float;
+  blurb_bytes : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    hotels = 20;
+    restaurants_per_hotel = 5;
+    museums_per_hotel = 2;
+    extensional_fraction = 0.5;
+    intensional_rating_fraction = 0.5;
+    intensional_nearby_fraction = 0.5;
+    target_fraction = 0.3;
+    five_star_fraction = 0.4;
+    blurb_bytes = 256;
+    seed = 42;
+  }
+
+type t = {
+  doc : Doc.t;
+  registry : Registry.t;
+  schema : Schema.t;
+  query : Axml_query.Pattern.t;
+}
+
+let query_src =
+  {|/guide/hotel[name="Best Western"][rating="5"]/nearby//restaurant[name=$X!][address=$Y!][rating="5"]|}
+
+let schema_src =
+  {|functions:
+  gethotels        = [in: data, out: hotel*]
+  getrating        = [in: data, out: data]
+  getnearbyrestos  = [in: data, out: restaurant*]
+  getnearbymuseums = [in: data, out: museum*]
+elements:
+  guide      = hotel*.gethotels?
+  hotel      = name.address.rating.nearby
+  nearby     = (restaurant | museum | getnearbyrestos | getnearbymuseums)*
+  restaurant = name.address.rating.review?
+  museum     = name.address
+  name       = data
+  address    = data
+  rating     = (data | getrating)
+  review     = data
+|}
+
+(* ------------------------------------------------------------------ *)
+(* The generated world.                                                *)
+
+type restaurant_w = { r_name : string; r_rating : string; r_address : string; r_review : string }
+type museum_w = { m_name : string; m_address : string }
+
+type hotel_w = {
+  h_name : string;
+  h_address : string;
+  h_rating : string;
+  h_rating_intensional : bool;
+  h_restos : restaurant_w list;
+  h_restos_intensional : bool;
+  h_museums : museum_w list;
+  h_museums_intensional : bool;
+  h_extensional : bool;  (* present in the document, or behind gethotels *)
+}
+
+let e = Tree.element
+let txt = Tree.text
+let call_e name params = Tree.element Doc.call_elem_name ~attrs:[ ("name", name) ] params
+
+let make_world cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let flip p = Random.State.float rng 1.0 < p in
+  let rating () =
+    if flip cfg.five_star_fraction then "5"
+    else string_of_int (1 + Random.State.int rng 4)
+  in
+  let blurb i =
+    let base = Printf.sprintf "review %d: a memorable place. " i in
+    let reps = max 1 (cfg.blurb_bytes / String.length base) in
+    String.concat "" (List.init reps (fun _ -> base))
+  in
+  List.init cfg.hotels (fun i ->
+      let h_name = if flip cfg.target_fraction then "Best Western" else Printf.sprintf "Hotel %d" i in
+      let h_address = Printf.sprintf "%d Main St." i in
+      let h_restos =
+        List.init cfg.restaurants_per_hotel (fun j ->
+            {
+              r_name = Printf.sprintf "Resto %d.%d" i j;
+              r_rating = rating ();
+              r_address = h_address;
+              r_review = blurb ((i * 31) + j);
+            })
+      in
+      let h_museums =
+        List.init cfg.museums_per_hotel (fun j ->
+            { m_name = Printf.sprintf "Museum %d.%d" i j; m_address = h_address })
+      in
+      {
+        h_name;
+        h_address;
+        h_rating = rating ();
+        h_rating_intensional = flip cfg.intensional_rating_fraction;
+        h_restos;
+        h_restos_intensional = flip cfg.intensional_nearby_fraction;
+        h_museums;
+        h_museums_intensional = flip cfg.intensional_nearby_fraction;
+        h_extensional = flip cfg.extensional_fraction;
+      })
+
+let restaurant_tree r =
+  e "restaurant"
+    [
+      e "name" [ txt r.r_name ];
+      e "address" [ txt r.r_address ];
+      e "rating" [ txt r.r_rating ];
+      e "review" [ txt r.r_review ];
+    ]
+
+let museum_tree m = e "museum" [ e "name" [ txt m.m_name ]; e "address" [ txt m.m_address ] ]
+
+let hotel_tree h =
+  let rating_content =
+    if h.h_rating_intensional then [ call_e "getrating" [ txt h.h_address ] ]
+    else [ txt h.h_rating ]
+  in
+  let nearby_content =
+    (if h.h_restos_intensional then [ call_e "getnearbyrestos" [ txt h.h_address ] ]
+     else List.map restaurant_tree h.h_restos)
+    @
+    if h.h_museums_intensional then [ call_e "getnearbymuseums" [ txt h.h_address ] ]
+    else List.map museum_tree h.h_museums
+  in
+  e "hotel"
+    [
+      e "name" [ txt h.h_name ];
+      e "address" [ txt h.h_address ];
+      e "rating" rating_content;
+      e "nearby" nearby_content;
+    ]
+
+let first_text params =
+  let rec find = function
+    | [] -> None
+    | Tree.Text s :: _ -> Some s
+    | Tree.Element el :: rest -> (
+      match find el.Tree.children with Some s -> Some s | None -> find rest)
+  in
+  find params
+
+let register_services registry world =
+  let by_address = Hashtbl.create 32 in
+  List.iter (fun h -> Hashtbl.replace by_address h.h_address h) world;
+  let hotel_of params =
+    match first_text params with
+    | Some addr -> Hashtbl.find_opt by_address addr
+    | None -> None
+  in
+  Registry.register registry ~name:"gethotels" (fun _params ->
+      List.filter_map (fun h -> if h.h_extensional then None else Some (hotel_tree h)) world);
+  Registry.register registry ~name:"getrating" (fun params ->
+      match hotel_of params with Some h -> [ txt h.h_rating ] | None -> [ txt "0" ]);
+  Registry.register registry ~name:"getnearbyrestos" (fun params ->
+      match hotel_of params with
+      | Some h -> List.map restaurant_tree h.h_restos
+      | None -> []);
+  Registry.register registry ~name:"getnearbymuseums" (fun params ->
+      match hotel_of params with Some h -> List.map museum_tree h.h_museums | None -> [])
+
+let generate cfg =
+  let world = make_world cfg in
+  let extensional = List.filter (fun h -> h.h_extensional) world in
+  let has_intensional = List.exists (fun h -> not h.h_extensional) world in
+  let guide =
+    e "guide"
+      (List.map hotel_tree extensional
+      @ if has_intensional then [ call_e "gethotels" [ txt "NY" ] ] else [])
+  in
+  let registry = Registry.create () in
+  register_services registry world;
+  {
+    doc = Doc.of_xml guide;
+    registry;
+    schema = Schema.of_string schema_src;
+    query = Parser.parse query_src;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The paper's exact running example (Fig. 1 / Fig. 3 / Fig. 4).       *)
+
+let figure1 () =
+  let hotel name address rating_content nearby_content =
+    e "hotel"
+      [
+        e "name" [ txt name ];
+        e "address" [ txt address ];
+        e "rating" rating_content;
+        e "nearby" nearby_content;
+      ]
+  in
+  (* Call ids are assigned in document order, matching the paper's
+     numbering: 1,2 under the first hotel; 3,4,5 under the second; 6,7
+     under the third; 8,9 under the fourth; 10 at guide level. *)
+  let guide =
+    e "guide"
+      [
+        hotel "Best Western" "75, 2nd Av."
+          [ txt "5" ]
+          [
+            call_e "getnearbyrestos" [ txt "75, 2nd Av." ];
+            call_e "getnearbymuseums" [ txt "75, 2nd Av." ];
+          ];
+        hotel "Best Western" "22 Madison Av."
+          [ call_e "getrating" [ txt "Best Western Madison" ] ]
+          [
+            call_e "getnearbyrestos" [ txt "22 Madison Av." ];
+            call_e "getnearbymuseums" [ txt "22 Madison Av." ];
+          ];
+        hotel "Best Western 34th St." "12 34th St. W"
+          [ call_e "getrating" [ txt "Best Western 34th St." ] ]
+          [ call_e "getnearbymuseums" [ txt "12 34th St. W" ] ];
+        hotel "Pennsylvania" "13 Penn St."
+          [ call_e "getrating" [ txt "Pennsylvania" ] ]
+          [ call_e "getnearbyrestos" [ txt "13 Penn St." ] ];
+        call_e "gethotels" [ txt "NY" ];
+      ]
+  in
+  let registry = Registry.create () in
+  (* Fig. 3: the first getnearbyrestos returns one five-star restaurant
+     and one whose rating is a further getrating call (call 11). *)
+  Registry.register registry ~name:"getnearbyrestos" (fun params ->
+      match first_text params with
+      | Some "75, 2nd Av." ->
+        [
+          e "restaurant"
+            [
+              e "name" [ txt "Mama" ];
+              e "address" [ txt "75, 2nd Av." ];
+              e "rating" [ txt "5" ];
+            ];
+          e "restaurant"
+            [
+              e "name" [ txt "Jo" ];
+              e "address" [ txt "75, 2nd Av." ];
+              e "rating" [ call_e "getrating" [ txt "Jo" ] ];
+            ];
+        ]
+      | Some "22 Madison Av." ->
+        [
+          e "restaurant"
+            [
+              e "name" [ txt "Madison Deli" ];
+              e "address" [ txt "22 Madison Av." ];
+              e "rating" [ txt "3" ];
+            ];
+        ]
+      | _ -> []);
+  Registry.register registry ~name:"getnearbymuseums" (fun _ ->
+      [ e "museum" [ e "name" [ txt "MoMA" ]; e "address" [ txt "11 W 53rd St." ] ] ]);
+  Registry.register registry ~name:"getrating" (fun params ->
+      match first_text params with
+      | Some "Best Western Madison" -> [ txt "2" ]
+      | Some "Jo" -> [ txt "2" ]
+      | _ -> [ txt "1" ]);
+  Registry.register registry ~name:"gethotels" (fun _ -> []);
+  {
+    doc = Doc.of_xml guide;
+    registry;
+    schema = Schema.of_string schema_src;
+    query = Parser.parse query_src;
+  }
+
+let figure1_relevant_calls = [ 1; 3; 4; 10 ]

@@ -1,0 +1,61 @@
+(** The paper's running example: a city-guide AXML document about hotels,
+    their ratings and the restaurants/museums nearby (Fig. 1–3), scaled by
+    a configuration for the benchmarks.
+
+    [generate] builds a coherent world (hotels with ratings and nearby
+    places), then splits it into an extensional part (in the document) and
+    an intensional part (behind simulated services):
+    - [gethotels] returns the hotels missing from the document — whose own
+      ratings and nearby lists may again be intensional, so invocations
+      keep bringing new calls;
+    - [getrating] returns a hotel's or restaurant's rating;
+    - [getnearbyrestos] / [getnearbymuseums] return the places near an
+      address (restaurants carry review blurbs, which inflate responses
+      and make query pushing profitable).
+
+    All generation is deterministic in [seed]. *)
+
+type config = {
+  hotels : int;
+  restaurants_per_hotel : int;
+  museums_per_hotel : int;
+  extensional_fraction : float;  (** hotels present in the document *)
+  intensional_rating_fraction : float;  (** ratings behind getrating *)
+  intensional_nearby_fraction : float;  (** nearby lists behind calls *)
+  target_fraction : float;  (** hotels named [target_name] *)
+  five_star_fraction : float;  (** of hotels and restaurants *)
+  blurb_bytes : int;  (** review text per returned restaurant *)
+  seed : int;
+}
+
+val default_config : config
+(** 20 hotels, 5 restaurants and 2 museums each, halves intensional,
+    256-byte blurbs, seed 42. *)
+
+type t = {
+  doc : Axml_doc.t;
+  registry : Axml_services.Registry.t;
+  schema : Axml_schema.Schema.t;
+  query : Axml_query.Pattern.t;  (** the Fig. 4 query for this instance *)
+}
+
+val generate : config -> t
+
+val query_src : string
+(** The Fig. 4 query in concrete syntax:
+    five-star "Best Western" hotels' five-star nearby restaurants. *)
+
+val schema_src : string
+(** The Fig. 2 schema in concrete syntax. *)
+
+(** {2 The exact running example of the paper} *)
+
+val figure1 : unit -> t
+(** The document of Fig. 1, with calls numbered 1–10 in the paper's
+    order, service behaviors matching Fig. 3 (the first
+    [getnearbyrestos] returns one five-star restaurant and one whose
+    rating is a further [getrating] call), and the Fig. 4 query. *)
+
+val figure1_relevant_calls : int list
+(** [[1; 3; 4; 10]] — the call ids §2 identifies as relevant for the
+    Fig. 4 query on the Fig. 1 document. *)

@@ -1,0 +1,145 @@
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+module Schema = Axml_schema.Schema
+module Parser = Axml_query.Parser
+
+type config = {
+  theaters : int;
+  shows_per_theater : int;
+  restaurant_calls : int;
+  target_fraction : float;
+  intensional_shows_fraction : float;
+  intensional_schedule_fraction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    theaters = 10;
+    shows_per_theater = 6;
+    restaurant_calls = 10;
+    target_fraction = 0.1;
+    intensional_shows_fraction = 0.4;
+    intensional_schedule_fraction = 0.4;
+    seed = 17;
+  }
+
+type t = {
+  doc : Doc.t;
+  registry : Registry.t;
+  schema : Schema.t;
+  query : Axml_query.Pattern.t;
+}
+
+let query_src = {|/goingout/movies//show[title="The Hours"]/schedule!|}
+
+let schema_src =
+  {|functions:
+  getshows       = [in: data, out: show*]
+  getschedule    = [in: data, out: data]
+  getreviews     = [in: data, out: review*]
+  getrestaurants = [in: data, out: restaurant*]
+elements:
+  goingout    = movies.restaurants
+  movies      = theater*
+  theater     = name.(show | getshows | review | getreviews)*
+  show        = title.schedule
+  schedule    = (data | getschedule)
+  restaurants = (restaurant | getrestaurants)*
+  restaurant  = name.address
+  title       = data
+  name        = data
+  address     = data
+  review      = data
+|}
+
+type show_w = { s_title : string; s_schedule : string; s_schedule_intensional : bool }
+
+type theater_w = {
+  t_name : string;
+  t_shows : show_w list;
+  t_shows_intensional : bool;
+}
+
+let e = Tree.element
+let txt = Tree.text
+let call_e name params = Tree.element Doc.call_elem_name ~attrs:[ ("name", name) ] params
+
+let make_world cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let flip p = Random.State.float rng 1.0 < p in
+  List.init cfg.theaters (fun i ->
+      let t_shows =
+        List.init cfg.shows_per_theater (fun j ->
+            {
+              s_title =
+                (if flip cfg.target_fraction then "The Hours" else Printf.sprintf "Film %d.%d" i j);
+              s_schedule = Printf.sprintf "%02d:%02d" (12 + (j mod 10)) (5 * (i mod 12));
+              s_schedule_intensional = flip cfg.intensional_schedule_fraction;
+            })
+      in
+      {
+        t_name = Printf.sprintf "Theater %d" i;
+        t_shows;
+        t_shows_intensional = flip cfg.intensional_shows_fraction;
+      })
+
+let show_key t s = Printf.sprintf "%s/%s" t.t_name s.s_title
+
+let show_tree t s =
+  let schedule_content =
+    if s.s_schedule_intensional then [ call_e "getschedule" [ txt (show_key t s) ] ]
+    else [ txt s.s_schedule ]
+  in
+  e "show" [ e "title" [ txt s.s_title ]; e "schedule" schedule_content ]
+
+let theater_tree t =
+  let shows =
+    if t.t_shows_intensional then [ call_e "getshows" [ txt t.t_name ] ]
+    else List.map (show_tree t) t.t_shows
+  in
+  e "theater" ((e "name" [ txt t.t_name ] :: shows) @ [ call_e "getreviews" [ txt t.t_name ] ])
+
+let first_text params =
+  let rec find = function
+    | [] -> None
+    | Tree.Text s :: _ -> Some s
+    | Tree.Element el :: rest -> (
+      match find el.Tree.children with Some s -> Some s | None -> find rest)
+  in
+  find params
+
+let generate cfg =
+  let world = make_world cfg in
+  let goingout =
+    e "goingout"
+      [
+        e "movies" (List.map theater_tree world);
+        e "restaurants" (List.init cfg.restaurant_calls (fun i ->
+             call_e "getrestaurants" [ txt (Printf.sprintf "area %d" i) ]));
+      ]
+  in
+  let registry = Registry.create () in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace by_name t.t_name t) world;
+  let by_show = Hashtbl.create 64 in
+  List.iter (fun t -> List.iter (fun s -> Hashtbl.replace by_show (show_key t s) s) t.t_shows) world;
+  Registry.register registry ~name:"getshows" (fun params ->
+      match Option.bind (first_text params) (Hashtbl.find_opt by_name) with
+      | Some t -> List.map (show_tree t) t.t_shows
+      | None -> []);
+  Registry.register registry ~name:"getschedule" (fun params ->
+      match Option.bind (first_text params) (Hashtbl.find_opt by_show) with
+      | Some s -> [ txt s.s_schedule ]
+      | None -> [ txt "00:00" ]);
+  Registry.register registry ~name:"getreviews" (fun _ ->
+      [ e "review" [ txt "four stars, would go out again" ] ]);
+  Registry.register registry ~name:"getrestaurants" (fun _ ->
+      [ e "restaurant" [ e "name" [ txt "In Delis" ]; e "address" [ txt "2nd Ave." ] ] ]);
+  {
+    doc = Doc.of_xml goingout;
+    registry;
+    schema = Schema.of_string schema_src;
+    query = Parser.parse query_src;
+  }

@@ -1,0 +1,30 @@
+(** The introduction's motivating scenario: a city night-life site
+    ("in the style of timeout.com") described by an AXML document with a
+    movies section and a restaurants section, queried with
+    [/goingout/movies//show[title="The Hours"]/schedule!].
+
+    Position pruning must skip every call under [/goingout/restaurants];
+    type pruning must skip the review services under [movies]. *)
+
+type config = {
+  theaters : int;
+  shows_per_theater : int;
+  restaurant_calls : int;  (** calls under the restaurants section *)
+  target_fraction : float;  (** shows titled "The Hours" *)
+  intensional_shows_fraction : float;  (** theaters listing shows via getshows *)
+  intensional_schedule_fraction : float;  (** schedules behind getschedule *)
+  seed : int;
+}
+
+val default_config : config
+
+type t = {
+  doc : Axml_doc.t;
+  registry : Axml_services.Registry.t;
+  schema : Axml_schema.Schema.t;
+  query : Axml_query.Pattern.t;
+}
+
+val generate : config -> t
+val query_src : string
+val schema_src : string

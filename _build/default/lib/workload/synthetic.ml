@@ -1,0 +1,100 @@
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+module Schema = Axml_schema.Schema
+module Parser = Axml_query.Parser
+
+type config = {
+  nodes : int;
+  fanout : int;
+  item_fraction : float;
+  magic_fraction : float;
+  call_fraction : float;
+  noise_call_fraction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    nodes = 10_000;
+    fanout = 8;
+    item_fraction = 0.1;
+    magic_fraction = 0.2;
+    call_fraction = 0.5;
+    noise_call_fraction = 0.02;
+    seed = 3;
+  }
+
+type t = {
+  doc : Doc.t;
+  registry : Registry.t;
+  schema : Schema.t;
+  query : Axml_query.Pattern.t;
+}
+
+let query_src = {|/r//item[key="magic"]/payload!|}
+
+let schema_src =
+  {|functions:
+  fetch = [in: data, out: payload]
+  noise = [in: data, out: filler*]
+elements:
+  r       = (sec | item | noise)*
+  sec     = (sec | item | filler | noise)*
+  item    = key.(payload | fetch)
+  key     = data
+  payload = data
+  filler  = data
+|}
+
+let e = Tree.element
+let txt = Tree.text
+let call_e name params = Tree.element Doc.call_elem_name ~attrs:[ ("name", name) ] params
+
+(* Builds a random tree of roughly [cfg.nodes] nodes, breadth-first: each
+   element receives up to [fanout] children while the node budget
+   lasts. *)
+let generate cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let flip p = Random.State.float rng 1.0 < p in
+  let budget = ref cfg.nodes in
+  let spend n = budget := !budget - n in
+  let rec build_sec depth =
+    spend 1;
+    let children = ref [] in
+    let n_children = 1 + Random.State.int rng cfg.fanout in
+    for _ = 1 to n_children do
+      if !budget > 0 then
+        if flip cfg.item_fraction then children := build_item () :: !children
+        else if flip cfg.noise_call_fraction then begin
+          spend 1;
+          children := call_e "noise" [ txt "n" ] :: !children
+        end
+        else if depth < 14 && flip 0.7 then children := build_sec (depth + 1) :: !children
+        else begin
+          spend 2;
+          children := e "filler" [ txt "x" ] :: !children
+        end
+    done;
+    e "sec" (List.rev !children)
+  and build_item () =
+    spend 5;
+    let key = if flip cfg.magic_fraction then "magic" else "dull" in
+    let payload =
+      if flip cfg.call_fraction then call_e "fetch" [ txt key ] else e "payload" [ txt "v" ]
+    in
+    e "item" [ e "key" [ txt key ]; payload ]
+  in
+  let top = ref [] in
+  while !budget > 0 do
+    top := build_sec 0 :: !top
+  done;
+  let registry = Registry.create () in
+  Registry.register registry ~name:"fetch" (fun _ -> [ e "payload" [ txt "fetched" ] ]);
+  Registry.register registry ~name:"noise" (fun _ -> [ e "filler" [ txt "noise" ] ]);
+  {
+    doc = Doc.of_xml (e "r" (List.rev !top));
+    registry;
+    schema = Schema.of_string schema_src;
+    query = Parser.parse query_src;
+  }

@@ -1,0 +1,28 @@
+(** Synthetic scalable documents for the F-guide experiment (E3): random
+    trees of a target size over a small vocabulary, with "fetch" calls
+    under the (rare) [item] elements the query targets and "noise" calls
+    sprinkled elsewhere. Relevance detection cost then depends on how
+    fast the candidate calls can be located — the F-guide's job. *)
+
+type config = {
+  nodes : int;  (** approximate document size in nodes *)
+  fanout : int;
+  item_fraction : float;  (** elements that are [item]s *)
+  magic_fraction : float;  (** items whose key is the queried value *)
+  call_fraction : float;  (** items whose payload is a pending fetch *)
+  noise_call_fraction : float;  (** non-item elements hosting a noise call *)
+  seed : int;
+}
+
+val default_config : config
+
+type t = {
+  doc : Axml_doc.t;
+  registry : Axml_services.Registry.t;
+  schema : Axml_schema.Schema.t;
+  query : Axml_query.Pattern.t;
+}
+
+val generate : config -> t
+val query_src : string
+(** [/r//item[key="magic"]/payload!] *)

@@ -1,0 +1,1 @@
+lib/xml/parse.ml: Buffer Char Fun List Printf String Tree Uchar

@@ -1,0 +1,1 @@
+lib/xml/print.ml: Buffer List String Tree

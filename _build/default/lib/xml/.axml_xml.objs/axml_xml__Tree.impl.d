@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Buffer Format List Stdlib String

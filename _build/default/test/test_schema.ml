@@ -1,0 +1,286 @@
+(* Tests for schemas and the satisfiability analysis of §5/§6.1. *)
+
+module Regex = Axml_automata.Regex
+module Schema = Axml_schema.Schema
+module Sat = Axml_schema.Sat
+module P = Axml_query.Pattern
+module Parser = Axml_query.Parser
+
+(* The schema of Fig. 2, with a guide root added. *)
+let fig2_src =
+  {|
+# Function signatures (Fig. 2)
+functions:
+  gethotels        = [in: data, out: hotel*]
+  getrating        = [in: data, out: data]
+  getnearbyrestos  = [in: data, out: restaurant*]
+  getnearbymuseums = [in: data, out: museum*]
+elements:
+  guide      = hotel*.gethotels?
+  hotel      = name.address.rating.nearby
+  nearby     = (restaurant | getnearbyrestos | museum | getnearbymuseums)*
+  restaurant = name.address.rating
+  museum     = name.address
+  name       = data
+  address    = data
+  rating     = (data | getrating)
+|}
+
+let fig2 () = Schema.of_string fig2_src
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and printing *)
+
+let test_parse () =
+  let s = fig2 () in
+  Alcotest.(check (list string))
+    "functions" [ "gethotels"; "getrating"; "getnearbyrestos"; "getnearbymuseums" ]
+    (Schema.function_names s);
+  Alcotest.(check int) "elements" 8 (List.length (Schema.element_names s));
+  match Schema.find_function s "gethotels" with
+  | Some { output; _ } ->
+    Alcotest.(check bool) "output type" true (Regex.matches output [ "hotel"; "hotel" ])
+  | None -> Alcotest.fail "gethotels not found"
+
+let test_print_roundtrip () =
+  let s = fig2 () in
+  let s' = Schema.of_string (Schema.to_string s) in
+  Alcotest.(check string) "stable" (Schema.to_string s) (Schema.to_string s')
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Schema.of_string src with
+      | exception Schema.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error on %S" src)
+    [
+      "hotel = data";                        (* outside a section *)
+      "functions:\n f = data";               (* not a signature *)
+      "functions:\n f = [in: data]";         (* missing out *)
+      "elements:\n = data";                  (* missing name *)
+      "elements:\n data = a";                (* reserved *)
+      "elements:\n a = ((b)";                (* bad regex *)
+    ]
+
+let test_check_undefined () =
+  let s = Schema.of_string "elements:\n a = b.c\n b = data" in
+  let warnings = Schema.check s in
+  Alcotest.(check int) "one undefined (c)" 1 (List.length warnings)
+
+(* ------------------------------------------------------------------ *)
+(* Satisfiability: the paper's running examples. *)
+
+(* Build a checker over a single pattern string (taking the root as the
+   pattern of interest). *)
+let checker ?mode src =
+  let q = Parser.parse src in
+  let sat = Sat.create ?mode (fig2 ()) [ q.P.root ] in
+  (sat, q.P.root)
+
+let restaurant_pattern = {|/restaurant[name=$X][address=$Y][rating="5"]|}
+
+let test_restaurant_subtree () =
+  let sat, p = checker restaurant_pattern in
+  (* §5: "we can discard all the getnearbymuseums … since they return
+     museum elements, and hence cannot satisfy //restaurant[...]" *)
+  Alcotest.(check bool) "getnearbyrestos satisfies" true
+    (Sat.function_satisfies sat ~fname:"getnearbyrestos" p);
+  Alcotest.(check bool) "getnearbymuseums does not" false
+    (Sat.function_satisfies sat ~fname:"getnearbymuseums" p);
+  Alcotest.(check bool) "getrating does not" false
+    (Sat.function_satisfies sat ~fname:"getrating" p);
+  Alcotest.(check bool) "gethotels does not (returns hotels)" false
+    (Sat.function_satisfies sat ~fname:"gethotels" p)
+
+let test_rating_value () =
+  (* getrating returns data, which can be the value "5". *)
+  let sat, p = checker {|/"5"|} in
+  Alcotest.(check bool) "getrating satisfies a value" true
+    (Sat.function_satisfies sat ~fname:"getrating" p);
+  Alcotest.(check bool) "getnearbyrestos does not" false
+    (Sat.function_satisfies sat ~fname:"getnearbyrestos" p)
+
+let test_hotel_pattern () =
+  let sat, p =
+    checker {|/hotel[name="Best Western"][rating="5"]/nearby//restaurant[rating="5"]|}
+  in
+  (* gethotels returns hotels whose rating may be produced by a nested
+     getrating call, and whose nearby may contain getnearbyrestos —
+     satisfiability must look through those nested calls (derived
+     instances). *)
+  Alcotest.(check bool) "gethotels satisfies hotel pattern" true
+    (Sat.function_satisfies sat ~fname:"gethotels" p)
+
+let test_unknown_function_is_lenient () =
+  let sat, p = checker restaurant_pattern in
+  Alcotest.(check bool) "unknown function satisfies" true
+    (Sat.function_satisfies sat ~fname:"mystery" p)
+
+let test_eligible_functions () =
+  let sat, p = checker restaurant_pattern in
+  Alcotest.(check (list string)) "only restos" [ "getnearbyrestos" ] (Sat.eligible_functions sat p)
+
+let test_node_satisfies () =
+  let sat, p = checker "/restaurant[name]" in
+  Alcotest.(check bool) "restaurant element" true (Sat.node_satisfies sat ~symbol:"restaurant" p);
+  Alcotest.(check bool) "museum lacks restaurant label" false
+    (Sat.node_satisfies sat ~symbol:"museum" p);
+  Alcotest.(check bool) "data is a leaf" false (Sat.node_satisfies sat ~symbol:"data" p)
+
+(* Order sensitivity: with content model a.b, the pattern needs both
+   children in one word; with (a|b) it cannot have both. *)
+let test_single_word_requirement () =
+  let schema =
+    Schema.of_string
+      {|
+functions:
+  fboth = [in: data, out: r]
+elements:
+  r = a.b
+  a = data
+  b = data
+|}
+  in
+  let q = Parser.parse "/r[a][b]" in
+  let sat = Sat.create schema [ q.P.root ] in
+  Alcotest.(check bool) "a.b provides both" true (Sat.function_satisfies sat ~fname:"fboth" q.P.root);
+  let schema2 =
+    Schema.of_string
+      {|
+functions:
+  fone = [in: data, out: r]
+elements:
+  r = a | b
+  a = data
+  b = data
+|}
+  in
+  let q2 = Parser.parse "/r[a][b]" in
+  let exact = Sat.create schema2 [ q2.P.root ] in
+  Alcotest.(check bool) "a|b cannot provide both (exact)" false
+    (Sat.function_satisfies exact ~fname:"fone" q2.P.root);
+  (* The lenient graph-schema test ignores this and accepts. *)
+  let lenient = Sat.create ~mode:Sat.Lenient schema2 [ q2.P.root ] in
+  Alcotest.(check bool) "lenient accepts" true
+    (Sat.function_satisfies lenient ~fname:"fone" q2.P.root)
+
+let test_recursive_schema () =
+  (* part = name.part* — descendant requirements through recursion. *)
+  let schema =
+    Schema.of_string
+      {|
+functions:
+  getparts = [in: data, out: part*]
+elements:
+  part = name.part*
+  name = data
+|}
+  in
+  let q = Parser.parse {|/part//part/name|} in
+  let sat = Sat.create schema [ q.P.root ] in
+  Alcotest.(check bool) "nested part reachable" true
+    (Sat.function_satisfies sat ~fname:"getparts" q.P.root)
+
+let test_descendant_through_function () =
+  (* The output of f contains a call g whose output contains the needed
+     element: derived instances must chain through g. *)
+  let schema =
+    Schema.of_string
+      {|
+functions:
+  f = [in: data, out: wrapper]
+  g = [in: data, out: prize]
+elements:
+  wrapper = g
+  prize = data
+|}
+  in
+  let q = Parser.parse "/wrapper//prize" in
+  let sat = Sat.create schema [ q.P.root ] in
+  Alcotest.(check bool) "f reaches prize through g" true
+    (Sat.function_satisfies sat ~fname:"f" q.P.root);
+  (* but a pattern needing an element g can never produce *)
+  let q2 = Parser.parse "/wrapper//trophy" in
+  let sat2 = Sat.create schema [ q2.P.root ] in
+  Alcotest.(check bool) "trophy unreachable" false
+    (Sat.function_satisfies sat2 ~fname:"f" q2.P.root)
+
+let test_function_node_in_pattern () =
+  (* Extended queries may ask for a function node: derived instances that
+     keep g un-invoked contain a g call. *)
+  let schema =
+    Schema.of_string
+      {|
+functions:
+  f = [in: data, out: wrapper]
+  g = [in: data, out: prize]
+elements:
+  wrapper = g
+  prize = data
+|}
+  in
+  let q = Parser.parse "/wrapper/g()" in
+  let sat = Sat.create schema [ q.P.root ] in
+  Alcotest.(check bool) "g call reachable in derived instance" true
+    (Sat.function_satisfies sat ~fname:"f" q.P.root)
+
+let test_wildcard_content () =
+  let schema = Schema.of_string "functions:\n f = [in: data, out: box]\nelements:\n box = _*" in
+  let q = Parser.parse "/box/anything[deep/stuff]" in
+  let sat = Sat.create schema [ q.P.root ] in
+  Alcotest.(check bool) "wildcard content satisfies anything" true
+    (Sat.function_satisfies sat ~fname:"f" q.P.root)
+
+(* Lenient is a superset of exact on arbitrary small schemas/patterns. *)
+let prop_lenient_superset =
+  let gen =
+    QCheck.Gen.(
+      let sym = oneofl [ "a"; "b"; "c" ] in
+      let re_src = oneofl [ "a.b"; "a|b"; "a*.c"; "(a|b)*"; "a.b.c"; "data"; "a?.b" ] in
+      let pat_src =
+        oneofl [ "/a"; "/a[b]"; "/a[b][c]"; "/a//c"; "/a/b"; {|/a["1"]|}; "/*[a][b]" ]
+      in
+      pair (pair sym re_src) pat_src)
+  in
+  QCheck.Test.make ~name:"lenient ⊇ exact" ~count:300
+    (QCheck.make ~print:(fun ((s, re), p) -> s ^ "=" ^ re ^ " | " ^ p) gen)
+    (fun ((sym, re_src), pat_src) ->
+      let schema =
+        Schema.of_string
+          (Printf.sprintf
+             "functions:\n f = [in: data, out: %s]\nelements:\n %s = %s\n a = data\n b = data\n c = data"
+             sym sym re_src)
+      in
+      let q = Parser.parse pat_src in
+      let exact = Sat.create schema [ q.P.root ] in
+      let lenient = Sat.create ~mode:Sat.Lenient schema [ q.P.root ] in
+      (not (Sat.function_satisfies exact ~fname:"f" q.P.root))
+      || Sat.function_satisfies lenient ~fname:"f" q.P.root)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "schema"
+    [
+      ( "syntax",
+        [
+          quick "parse fig2" test_parse;
+          quick "print roundtrip" test_print_roundtrip;
+          quick "parse errors" test_parse_errors;
+          quick "undefined symbols" test_check_undefined;
+        ] );
+      ( "satisfiability",
+        [
+          quick "restaurant subtree" test_restaurant_subtree;
+          quick "rating value" test_rating_value;
+          quick "hotel pattern through nesting" test_hotel_pattern;
+          quick "unknown functions lenient" test_unknown_function_is_lenient;
+          quick "eligible functions" test_eligible_functions;
+          quick "node satisfies" test_node_satisfies;
+          quick "single word requirement" test_single_word_requirement;
+          quick "recursive schema" test_recursive_schema;
+          quick "descendant through function" test_descendant_through_function;
+          quick "function node in pattern" test_function_node_in_pattern;
+          quick "wildcard content" test_wildcard_content;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_lenient_superset ]);
+    ]

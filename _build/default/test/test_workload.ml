@@ -1,0 +1,170 @@
+(* Tests for the deterministic workload generators. *)
+
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+module City = Axml_workload.City
+module Goingout = Axml_workload.Goingout
+module Synthetic = Axml_workload.Synthetic
+
+let doc_fingerprint d = Digest.to_hex (Digest.string (Doc.to_string d))
+
+(* ------------------------------------------------------------------ *)
+
+let test_city_deterministic () =
+  let a = City.generate City.default_config in
+  let b = City.generate City.default_config in
+  Alcotest.(check string) "same document" (doc_fingerprint a.City.doc) (doc_fingerprint b.City.doc)
+
+let test_city_seed_changes_world () =
+  let a = City.generate City.default_config in
+  let b = City.generate { City.default_config with City.seed = 43 } in
+  Alcotest.(check bool) "different documents" false
+    (doc_fingerprint a.City.doc = doc_fingerprint b.City.doc)
+
+let test_city_scales () =
+  let size n =
+    Doc.size (City.generate { City.default_config with City.hotels = n }).City.doc
+  in
+  Alcotest.(check bool) "more hotels, bigger document" true (size 40 > size 10)
+
+let test_city_extensional_fraction () =
+  let all_extensional =
+    City.generate { City.default_config with City.extensional_fraction = 1.0 }
+  in
+  (* no gethotels call when every hotel is in the document *)
+  Alcotest.(check bool) "no gethotels" true
+    (List.for_all
+       (fun n -> Doc.call_name n <> Some "gethotels")
+       (Doc.function_nodes all_extensional.City.doc));
+  let none_extensional =
+    City.generate { City.default_config with City.extensional_fraction = 0.0 }
+  in
+  Alcotest.(check int) "only the gethotels call" 1
+    (Doc.count_calls none_extensional.City.doc)
+
+let test_city_fully_extensional_has_no_calls_after_all_intensional_off () =
+  let inst =
+    City.generate
+      {
+        City.default_config with
+        City.extensional_fraction = 1.0;
+        intensional_rating_fraction = 0.0;
+        intensional_nearby_fraction = 0.0;
+      }
+  in
+  Alcotest.(check int) "zero calls" 0 (Doc.count_calls inst.City.doc)
+
+let test_figure1_structure () =
+  let inst = City.figure1 () in
+  let calls = Doc.function_nodes inst.City.doc in
+  Alcotest.(check int) "ten calls" 10 (List.length calls);
+  let names = List.filter_map Doc.call_name calls in
+  Alcotest.(check (list string)) "paper order"
+    [
+      "getnearbyrestos"; "getnearbymuseums"; (* hotel 1 *)
+      "getrating"; "getnearbyrestos"; "getnearbymuseums"; (* hotel 2 *)
+      "getrating"; "getnearbymuseums"; (* hotel 3 *)
+      "getrating"; "getnearbyrestos"; (* hotel 4 *)
+      "gethotels";
+    ]
+    names
+
+let test_figure1_services_match_fig3 () =
+  let inst = City.figure1 () in
+  let result, _ =
+    Registry.invoke inst.City.registry ~name:"getnearbyrestos"
+      ~params:[ Axml_xml.Tree.text "75, 2nd Av." ] ()
+  in
+  Alcotest.(check int) "two restaurants" 2 (List.length result);
+  (* the second restaurant's rating is a further call (call 11) *)
+  let has_nested_call =
+    List.exists
+      (fun tr ->
+        Axml_xml.Tree.find_all (fun n -> Axml_xml.Tree.name n = Some Doc.call_elem_name) tr <> [])
+      result
+  in
+  Alcotest.(check bool) "nested getrating" true has_nested_call
+
+(* ------------------------------------------------------------------ *)
+
+let test_goingout_deterministic () =
+  let a = Goingout.generate Goingout.default_config in
+  let b = Goingout.generate Goingout.default_config in
+  Alcotest.(check string) "same document" (doc_fingerprint a.Goingout.doc)
+    (doc_fingerprint b.Goingout.doc)
+
+let test_goingout_sections () =
+  let inst = Goingout.generate Goingout.default_config in
+  let root = Doc.root inst.Goingout.doc in
+  let section_names =
+    List.filter_map
+      (fun (n : Doc.node) -> match n.Doc.label with Doc.Elem l -> Some l | _ -> None)
+      root.Doc.children
+  in
+  Alcotest.(check (list string)) "movies then restaurants" [ "movies"; "restaurants" ]
+    section_names
+
+let test_goingout_restaurant_calls_scale () =
+  let count k =
+    let inst =
+      Goingout.generate { Goingout.default_config with Goingout.restaurant_calls = k }
+    in
+    List.length
+      (List.filter
+         (fun n -> Doc.call_name n = Some "getrestaurants")
+         (Doc.function_nodes inst.Goingout.doc))
+  in
+  Alcotest.(check int) "five" 5 (count 5);
+  Alcotest.(check int) "zero" 0 (count 0)
+
+(* ------------------------------------------------------------------ *)
+
+let test_synthetic_deterministic () =
+  let a = Synthetic.generate Synthetic.default_config in
+  let b = Synthetic.generate Synthetic.default_config in
+  Alcotest.(check string) "same document" (doc_fingerprint a.Synthetic.doc)
+    (doc_fingerprint b.Synthetic.doc)
+
+let test_synthetic_size_close_to_target () =
+  List.iter
+    (fun nodes ->
+      let inst = Synthetic.generate { Synthetic.default_config with Synthetic.nodes } in
+      let size = Doc.size inst.Synthetic.doc in
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d within 2x of %d" size nodes)
+        true
+        (size >= nodes / 2 && size <= nodes * 2))
+    [ 1_000; 10_000; 50_000 ]
+
+let test_synthetic_services_registered () =
+  let inst = Synthetic.generate { Synthetic.default_config with Synthetic.nodes = 500 } in
+  Alcotest.(check bool) "fetch" true (Registry.is_registered inst.Synthetic.registry "fetch");
+  Alcotest.(check bool) "noise" true (Registry.is_registered inst.Synthetic.registry "noise")
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "workload"
+    [
+      ( "city",
+        [
+          quick "deterministic" test_city_deterministic;
+          quick "seed changes world" test_city_seed_changes_world;
+          quick "scales" test_city_scales;
+          quick "extensional fraction" test_city_extensional_fraction;
+          quick "fully extensional" test_city_fully_extensional_has_no_calls_after_all_intensional_off;
+          quick "figure1 structure" test_figure1_structure;
+          quick "figure1 services" test_figure1_services_match_fig3;
+        ] );
+      ( "goingout",
+        [
+          quick "deterministic" test_goingout_deterministic;
+          quick "sections" test_goingout_sections;
+          quick "restaurant calls scale" test_goingout_restaurant_calls_scale;
+        ] );
+      ( "synthetic",
+        [
+          quick "deterministic" test_synthetic_deterministic;
+          quick "size near target" test_synthetic_size_close_to_target;
+          quick "services registered" test_synthetic_services_registered;
+        ] );
+    ]

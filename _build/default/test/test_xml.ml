@@ -1,0 +1,221 @@
+(* Tests for the XML substrate: trees, parser, printer. *)
+
+module Tree = Axml_xml.Tree
+module Parse = Axml_xml.Parse
+module Print = Axml_xml.Print
+
+let tree : Tree.t Alcotest.testable = Alcotest.testable Tree.pp Tree.equal
+
+let e = Tree.element
+let t = Tree.text
+
+(* ------------------------------------------------------------------ *)
+(* Tree basics *)
+
+let sample =
+  e "hotel"
+    [ e "name" [ t "Best Western" ]; e "address" [ t "75, 2nd Av." ]; e "rating" [ t "5" ] ]
+
+let test_size () =
+  Alcotest.(check int) "size" 7 (Tree.size sample);
+  Alcotest.(check int) "leaf size" 1 (Tree.size (t "x"));
+  Alcotest.(check int) "empty element" 1 (Tree.size (e "a" []))
+
+let test_depth () =
+  Alcotest.(check int) "depth" 3 (Tree.depth sample);
+  Alcotest.(check int) "leaf" 1 (Tree.depth (t "x"))
+
+let test_text_content () =
+  Alcotest.(check string) "concatenated" "Best Western75, 2nd Av.5" (Tree.text_content sample)
+
+let test_accessors () =
+  Alcotest.(check (option string)) "name" (Some "hotel") (Tree.name sample);
+  Alcotest.(check (option string)) "text has no name" None (Tree.name (t "x"));
+  let with_attr = e ~attrs:[ ("id", "7") ] "a" [] in
+  Alcotest.(check (option string)) "attr" (Some "7") (Tree.attr "id" with_attr);
+  Alcotest.(check (option string)) "missing attr" None (Tree.attr "x" with_attr)
+
+let test_find_all () =
+  let names = Tree.find_all (fun n -> Tree.name n = Some "name") sample in
+  Alcotest.(check int) "one name element" 1 (List.length names)
+
+let test_equal_unordered () =
+  let a = e "r" [ e "a" []; e "b" [] ] in
+  let b = e "r" [ e "b" []; e "a" [] ] in
+  Alcotest.(check bool) "ordered differ" false (Tree.equal a b);
+  Alcotest.(check bool) "unordered equal" true (Tree.equal_unordered a b);
+  let c = e "r" [ e "a" []; e "a" [] ] in
+  Alcotest.(check bool) "multiset sensitive" false (Tree.equal_unordered a c)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_simple () =
+  let got = Parse.tree "<hotel><name>Best Western</name></hotel>" in
+  Alcotest.check tree "parsed" (e "hotel" [ e "name" [ t "Best Western" ] ]) got
+
+let test_parse_attrs () =
+  let got = Parse.tree {|<call name="getRating" mode='lazy'/>|} in
+  Alcotest.check tree "attrs"
+    (e ~attrs:[ ("name", "getRating"); ("mode", "lazy") ] "call" [])
+    got
+
+let test_parse_entities () =
+  let got = Parse.tree "<a>x &amp; y &lt; z &gt; &quot;w&quot; &apos;v&apos;</a>" in
+  Alcotest.check tree "entities" (e "a" [ t {|x & y < z > "w" 'v'|} ]) got
+
+let test_parse_numeric_refs () =
+  let got = Parse.tree "<a>&#65;&#x42;</a>" in
+  Alcotest.check tree "numeric" (e "a" [ t "AB" ]) got
+
+let test_parse_cdata () =
+  let got = Parse.tree "<a><![CDATA[<raw> & stuff]]></a>" in
+  Alcotest.check tree "cdata" (e "a" [ t "<raw> & stuff" ]) got
+
+let test_parse_comments_pi_doctype () =
+  let src =
+    {|<?xml version="1.0"?><!DOCTYPE guide [<!ELEMENT a ANY>]><!-- hi --><a><!-- in --><b/></a><!-- bye -->|}
+  in
+  Alcotest.check tree "prolog skipped" (e "a" [ e "b" [] ]) (Parse.tree src)
+
+let test_parse_whitespace () =
+  let got = Parse.tree "<a>\n  <b/>\n  <c/>\n</a>" in
+  Alcotest.check tree "inter-element space dropped" (e "a" [ e "b" []; e "c" [] ]) got;
+  let mixed = Parse.tree "<a> x <b/></a>" in
+  Alcotest.check tree "mixed content kept" (e "a" [ t " x "; e "b" [] ]) mixed
+
+let test_parse_forest () =
+  let got = Parse.forest "<a/><b>x</b>" in
+  Alcotest.(check int) "two trees" 2 (List.length got)
+
+let expect_error src =
+  match Parse.tree src with
+  | exception Parse.Error _ -> ()
+  | _ -> Alcotest.failf "expected a parse error on %S" src
+
+let test_parse_errors () =
+  expect_error "<a>";
+  expect_error "<a></b>";
+  expect_error "<a";
+  expect_error "";
+  expect_error "<a/><b/>";
+  expect_error "<a>&unknown;</a>";
+  expect_error "<a x=5/>"
+
+let test_error_position () =
+  match Parse.tree "<a>\n<b></c>\n</a>" with
+  | exception Parse.Error { line; _ } -> Alcotest.(check int) "line" 2 line
+  | _ -> Alcotest.fail "expected an error"
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let test_print_roundtrip_sample () =
+  let s = Print.to_string sample in
+  Alcotest.check tree "roundtrip" sample (Parse.tree s)
+
+let test_print_escapes () =
+  let tr = e ~attrs:[ ("k", {|a"b<c&|}) ] "x" [ t "1 < 2 & 3" ] in
+  let s = Print.to_string tr in
+  Alcotest.check tree "escape roundtrip" tr (Parse.tree s)
+
+let test_print_indent () =
+  let s = Print.to_string ~indent:2 (e "a" [ e "b" []; e "c" [ t "v" ] ]) in
+  Alcotest.(check bool) "has newlines" true (String.contains s '\n');
+  Alcotest.check tree "indent roundtrip" (e "a" [ e "b" []; e "c" [ t "v" ] ]) (Parse.tree s)
+
+let test_byte_size () =
+  Alcotest.(check int) "byte size" (String.length (Print.to_string sample)) (Print.byte_size sample)
+
+(* ------------------------------------------------------------------ *)
+(* Property: parse ∘ print = id on generated trees *)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let label = oneofl [ "a"; "b"; "c"; "hotel"; "name" ] in
+  let text_gen = oneofl [ "x"; "1 < 2"; "a&b"; "\"q\""; "Best Western" ] in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then map Tree.text text_gen
+         else
+           frequency
+             [
+               (1, map Tree.text text_gen);
+               ( 3,
+                 map2
+                   (fun name children -> Tree.element name children)
+                   label
+                   (list_size (int_bound 3) (self (n / 2))) );
+             ])
+
+(* [Parse.tree] requires an element root, so wrap. *)
+let gen_rooted_tree =
+  QCheck.Gen.map (fun c -> Tree.element "root" [ c ]) gen_tree
+
+let arb_tree = QCheck.make ~print:(Fmt.to_to_string Tree.pp) gen_rooted_tree
+
+(* The parser drops whitespace-only text between elements and merges
+   nothing else; generated text leaves are never whitespace-only, but two
+   adjacent text leaves would merge. Normalize both sides by merging
+   adjacent text nodes before comparing. *)
+let rec merge_text (tr : Tree.t) : Tree.t =
+  match tr with
+  | Tree.Text _ -> tr
+  | Tree.Element e ->
+    let rec merge = function
+      | Tree.Text a :: Tree.Text b :: rest -> merge (Tree.Text (a ^ b) :: rest)
+      | x :: rest -> merge_text x :: merge rest
+      | [] -> []
+    in
+    Tree.Element { e with children = merge e.children }
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print t) = t (modulo text merging)" ~count:500 arb_tree
+    (fun tr ->
+      let printed = Print.to_string tr in
+      Tree.equal (merge_text tr) (Parse.tree printed))
+
+let prop_roundtrip_indented =
+  QCheck.Test.make ~name:"parse (print ~indent t) = t" ~count:200 arb_tree (fun tr ->
+      let printed = Print.to_string ~indent:2 tr in
+      Tree.equal (merge_text tr) (Parse.tree printed))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "xml"
+    [
+      ( "tree",
+        [
+          quick "size" test_size;
+          quick "depth" test_depth;
+          quick "text_content" test_text_content;
+          quick "accessors" test_accessors;
+          quick "find_all" test_find_all;
+          quick "equal_unordered" test_equal_unordered;
+        ] );
+      ( "parse",
+        [
+          quick "simple" test_parse_simple;
+          quick "attributes" test_parse_attrs;
+          quick "entities" test_parse_entities;
+          quick "numeric refs" test_parse_numeric_refs;
+          quick "cdata" test_parse_cdata;
+          quick "comments/PI/doctype" test_parse_comments_pi_doctype;
+          quick "whitespace" test_parse_whitespace;
+          quick "forest" test_parse_forest;
+          quick "errors" test_parse_errors;
+          quick "error position" test_error_position;
+        ] );
+      ( "print",
+        [
+          quick "roundtrip sample" test_print_roundtrip_sample;
+          quick "escapes" test_print_escapes;
+          quick "indent" test_print_indent;
+          quick "byte size" test_byte_size;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_roundtrip_indented;
+        ] );
+    ]
