@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test test-faults bench examples doc clean
 
 all: build
 
@@ -7,6 +7,9 @@ build:
 
 test:
 	dune runtest --force
+
+test-faults:
+	dune exec test/test_faults.exe
 
 bench:
 	dune exec bench/main.exe

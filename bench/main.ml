@@ -3,7 +3,7 @@
    table; a final Bechamel section micro-benchmarks the core operation
    behind each table.
 
-   Usage: main.exe [e1|e2|e3|e4|e5|e6|micro]...   (default: everything) *)
+   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|micro]...   (default: everything) *)
 
 module Doc = Axml_doc
 module P = Axml_query.Pattern
@@ -11,6 +11,7 @@ module Eval = Axml_query.Eval
 module Schema = Axml_schema.Schema
 module Sat = Axml_schema.Sat
 module Registry = Axml_services.Registry
+module Faults = Axml_services.Faults
 module Witness = Axml_services.Witness
 module Relevance = Axml_core.Relevance
 module Nfq = Axml_core.Nfq
@@ -526,6 +527,159 @@ elements:
     accuracy_rows
 
 (* ------------------------------------------------------------------ *)
+(* E7: graceful degradation under faulty services. Every service gets a
+   seeded Flaky schedule; transient failures are retried with exponential
+   backoff on the simulated clock. The claim: lazy evaluation degrades
+   gracefully — invoking fewer calls means fewer fault exposures, less
+   retry/backoff waiting, and (at high fault rates, where retry budgets
+   run out) fewer permanently lost subtrees than naive materialization. *)
+
+let e7 () =
+  let cfg = { City.default_config with City.hotels = 50 } in
+  let policy =
+    {
+      Registry.default_policy with
+      Registry.max_retries = 12;
+      base_backoff = 0.05;
+      max_backoff = 0.5;
+    }
+  in
+  (* fault-free naive materialization: the Def. 4 oracle *)
+  let reference =
+    let inst = City.generate cfg in
+    tuples (Naive.run ~parallel:false inst.City.registry inst.City.query inst.City.doc).Naive.answers
+  in
+  let series = ref [] in
+  let rows =
+    List.map
+      (fun rate ->
+        let prepare () =
+          let inst = City.generate cfg in
+          Registry.inject_faults inst.City.registry ~seed:7 [ Faults.Flaky rate ];
+          Registry.set_retry_policy inst.City.registry policy;
+          inst
+        in
+        let naive_inst = prepare () in
+        let naive =
+          Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query
+            naive_inst.City.doc
+        in
+        let naive_exposures = Registry.fault_exposures naive_inst.City.registry in
+        let lazy_inst = prepare () in
+        let lzy =
+          Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
+            ~strategy:{ Lazy_eval.nfqa_typed with Lazy_eval.parallel = false }
+            lazy_inst.City.query lazy_inst.City.doc
+        in
+        let lazy_exposures = Registry.fault_exposures lazy_inst.City.registry in
+        (* Def. 4 leniency: faults lose bindings, never fabricate them. *)
+        let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+        assert (subset (tuples naive.Naive.answers) reference);
+        assert (subset (tuples lzy.Lazy_eval.answers) reference);
+        if naive.Naive.complete then assert (tuples naive.Naive.answers = reference);
+        if lzy.Lazy_eval.complete then assert (tuples lzy.Lazy_eval.answers = reference);
+        (* graceful degradation: fewer calls => strictly fewer exposures *)
+        if rate > 0.0 then assert (lazy_exposures < naive_exposures);
+        series :=
+          ( Printf.sprintf "%.0f%%" (rate *. 100.0),
+            [
+              ("naive exposures", float_of_int naive_exposures);
+              ("lazy exposures", float_of_int lazy_exposures);
+            ] )
+          :: !series;
+        [
+          Printf.sprintf "%.0f%%" (rate *. 100.0);
+          string_of_int naive.Naive.invoked;
+          string_of_int naive_exposures;
+          string_of_int naive.Naive.failed_calls;
+          secs naive.Naive.simulated_seconds;
+          string_of_bool naive.Naive.complete;
+          string_of_int lzy.Lazy_eval.invoked;
+          string_of_int lazy_exposures;
+          string_of_int lzy.Lazy_eval.failed_calls;
+          secs lzy.Lazy_eval.simulated_seconds;
+          string_of_bool lzy.Lazy_eval.complete;
+        ])
+      [ 0.0; 0.1; 0.2; 0.3; 0.5; 0.7 ]
+  in
+  print_table ~title:"E7: fault-rate sweep (50 hotels, 12 retries, exp. backoff 50 ms..0.5 s)"
+    ~header:
+      [
+        "fault rate";
+        "naive calls";
+        "faults";
+        "lost";
+        "time(s)";
+        "complete";
+        "lazy calls";
+        "faults";
+        "lost";
+        "time(s)";
+        "complete";
+      ]
+    rows;
+  print_figure ~title:"Figure E7: fault exposures vs fault rate" ~unit:" faults"
+    (List.rev !series);
+  (* E7b: starve the retry budget at a fixed 50% fault rate. Permanently
+     failed calls stay in the document as unexpanded function nodes; the
+     answers degrade to a subset of the fault-free result (never wrong
+     bindings), and the complete flag reports the loss. *)
+  let rate = 0.5 in
+  let budget_rows =
+    List.map
+      (fun max_retries ->
+        let prepare () =
+          let inst = City.generate cfg in
+          Registry.inject_faults inst.City.registry ~seed:7 [ Faults.Flaky rate ];
+          Registry.set_retry_policy inst.City.registry
+            { policy with Registry.max_retries };
+          inst
+        in
+        let naive_inst = prepare () in
+        let naive =
+          Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query
+            naive_inst.City.doc
+        in
+        let lazy_inst = prepare () in
+        let lzy =
+          Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
+            ~strategy:{ Lazy_eval.nfqa_typed with Lazy_eval.parallel = false }
+            lazy_inst.City.query lazy_inst.City.doc
+        in
+        let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+        assert (subset (tuples naive.Naive.answers) reference);
+        assert (subset (tuples lzy.Lazy_eval.answers) reference);
+        assert (lzy.Lazy_eval.complete = (lzy.Lazy_eval.failed_calls = 0));
+        if lzy.Lazy_eval.complete then assert (tuples lzy.Lazy_eval.answers = reference);
+        [
+          string_of_int max_retries;
+          string_of_int naive.Naive.failed_calls;
+          string_of_int (List.length (tuples naive.Naive.answers));
+          string_of_bool naive.Naive.complete;
+          string_of_int lzy.Lazy_eval.failed_calls;
+          string_of_int (List.length (tuples lzy.Lazy_eval.answers));
+          string_of_bool lzy.Lazy_eval.complete;
+        ])
+      [ 0; 1; 2; 4; 8 ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E7b: retry budget at %.0f%% fault rate (reference: %d answers fault-free)"
+         (rate *. 100.0) (List.length reference))
+    ~header:
+      [
+        "max retries";
+        "naive lost";
+        "answers";
+        "complete";
+        "lazy lost";
+        "answers";
+        "complete";
+      ]
+    budget_rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -606,7 +760,16 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let experiments =
-  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("micro", micro) ]
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("micro", micro);
+  ]
 
 let () =
   let requested =

@@ -85,6 +85,75 @@ let schema_arg =
     & opt (some file) None
     & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"Schema file (functions/elements sections).")
 
+(* ---------------- fault injection knobs ---------------- *)
+
+let fault_rate_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Make every service flaky: each invocation attempt fails transiently with \
+           probability $(docv) (deterministic, seeded). Failed attempts are retried with \
+           exponential backoff on the simulated clock.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Seed of the fault schedule (defaults to the workload seed).")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Retry budget per invocation (default 3). 0 disables retrying.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-attempt timeout budget on the simulated clock (default: none).")
+
+(* Installs the CLI fault/retry knobs on every registered service.
+   Knobs left at their default do not touch the registry, so policies a
+   service spec declares per service (retries=… timeout=…) survive.
+   Returns an error message on invalid values instead of raising. *)
+let apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout =
+  let policy =
+    let d = Registry.default_policy in
+    {
+      d with
+      Registry.max_retries = Option.value max_retries ~default:d.Registry.max_retries;
+      attempt_timeout = Option.value timeout ~default:d.Registry.attempt_timeout;
+    }
+  in
+  if policy.Registry.max_retries < 0 then Error "max-retries must be >= 0"
+  else if policy.Registry.attempt_timeout <= 0.0 then Error "timeout must be positive"
+  else begin
+    if max_retries <> None || timeout <> None then
+      Registry.set_retry_policy registry policy;
+    match Axml_services.Faults.validate [ Axml_services.Faults.Flaky fault_rate ] with
+    | Error m -> Error ("fault-rate: " ^ m)
+    | Ok () ->
+      if fault_rate > 0.0 then
+        Registry.inject_faults registry ?seed:fault_seed
+          [ Axml_services.Faults.Flaky fault_rate ]
+      else Option.iter (Registry.set_fault_seed registry) fault_seed;
+      Ok ()
+  end
+
+let print_fault_counters registry =
+  let retries = Registry.total_retries registry in
+  let timeouts = Registry.total_timeouts registry in
+  let failed = Registry.failed_count registry in
+  if retries > 0 || timeouts > 0 || failed > 0 then
+    Printf.printf "faults: %d retried attempt(s), %d timeout(s), %d permanently failed, %.3f s backoff\n"
+      retries timeouts failed (Registry.total_backoff registry)
+
 let load_schema = function
   | None -> Ok None
   | Some path -> (
@@ -218,7 +287,8 @@ let strategy_conv =
       ("naive", `Naive);
     ]
 
-let run_workload verbose workload strategy scale seed push fguide xml query_override =
+let run_workload verbose workload strategy scale seed push fguide xml fault_rate fault_seed
+    max_retries timeout query_override =
   setup_logs verbose;
   let instance =
     match workload with
@@ -243,37 +313,47 @@ let run_workload verbose workload strategy scale seed push fguide xml query_over
   match query with
   | Error m -> fail "%s" m
   | Ok query -> (
-    Printf.printf "document: %d nodes, %d calls\nquery:    %s\n\n" (Doc.size doc)
-      (Doc.count_calls doc)
-      (P.to_string query);
-    match strategy with
-    | `Naive ->
-      let r = Naive.run registry query doc in
-      print_bindings ~xml r.Naive.answers;
-      Printf.printf "\ninvoked %d call(s) in %d round(s), %.3f s simulated, %d bytes\n"
-        r.Naive.invoked r.Naive.rounds r.Naive.simulated_seconds r.Naive.bytes_transferred;
-      `Ok ()
-    | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
-      let base =
-        match s with
-        | `Nfqa -> Lazy_eval.nfqa
-        | `Typed -> Lazy_eval.nfqa_typed
-        | `Lenient -> Lazy_eval.nfqa_lenient
-        | `Lpq -> Lazy_eval.lpq_only
-      in
-      let base = if push then Lazy_eval.with_push base else base in
-      let strategy = if fguide then Lazy_eval.with_fguide base else base in
-      let r = Lazy_eval.run ~registry ~schema ~strategy query doc in
-      print_bindings ~xml r.Lazy_eval.answers;
-      Printf.printf
-        "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
-        r.Lazy_eval.invoked r.Lazy_eval.pushed r.Lazy_eval.rounds r.Lazy_eval.relevance_evals
-        r.Lazy_eval.layer_count;
-      Printf.printf "%.3f s simulated service time, %.1f ms analysis, %d bytes, complete=%b\n"
-        r.Lazy_eval.simulated_seconds
-        (r.Lazy_eval.analysis_seconds *. 1000.0)
-        r.Lazy_eval.bytes_transferred r.Lazy_eval.complete;
-      `Ok ())
+    match
+      apply_faults registry ~fault_rate ~fault_seed:(Some (Option.value fault_seed ~default:seed))
+        ~max_retries ~timeout
+    with
+    | Error m -> fail "%s" m
+    | Ok () -> (
+      Printf.printf "document: %d nodes, %d calls\nquery:    %s\n\n" (Doc.size doc)
+        (Doc.count_calls doc)
+        (P.to_string query);
+      match strategy with
+      | `Naive ->
+        let r = Naive.run registry query doc in
+        print_bindings ~xml r.Naive.answers;
+        Printf.printf
+          "\ninvoked %d call(s) in %d round(s), %.3f s simulated, %d bytes, complete=%b\n"
+          r.Naive.invoked r.Naive.rounds r.Naive.simulated_seconds r.Naive.bytes_transferred
+          r.Naive.complete;
+        print_fault_counters registry;
+        `Ok ()
+      | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
+        let base =
+          match s with
+          | `Nfqa -> Lazy_eval.nfqa
+          | `Typed -> Lazy_eval.nfqa_typed
+          | `Lenient -> Lazy_eval.nfqa_lenient
+          | `Lpq -> Lazy_eval.lpq_only
+        in
+        let base = if push then Lazy_eval.with_push base else base in
+        let strategy = if fguide then Lazy_eval.with_fguide base else base in
+        let r = Lazy_eval.run ~registry ~schema ~strategy query doc in
+        print_bindings ~xml r.Lazy_eval.answers;
+        Printf.printf
+          "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
+          r.Lazy_eval.invoked r.Lazy_eval.pushed r.Lazy_eval.rounds r.Lazy_eval.relevance_evals
+          r.Lazy_eval.layer_count;
+        Printf.printf "%.3f s simulated service time, %.1f ms analysis, %d bytes, complete=%b\n"
+          r.Lazy_eval.simulated_seconds
+          (r.Lazy_eval.analysis_seconds *. 1000.0)
+          r.Lazy_eval.bytes_transferred r.Lazy_eval.complete;
+        print_fault_counters registry;
+        `Ok ()))
 
 let run_cmd =
   let doc =
@@ -304,7 +384,8 @@ let run_cmd =
     Term.(
       ret
         (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
-       $ push_arg $ fguide_arg $ xml_flag $ query_arg))
+       $ push_arg $ fguide_arg $ xml_flag $ fault_rate_arg $ fault_seed_arg $ max_retries_arg
+       $ timeout_arg $ query_arg))
 
 (* ---------------- generate ---------------- *)
 
@@ -356,7 +437,8 @@ let generate_cmd =
 
 (* ---------------- eval (user files) ---------------- *)
 
-let eval_files verbose doc_path schema_path services_path strategy push fguide xml flwr query_src =
+let eval_files verbose doc_path schema_path services_path strategy push fguide xml flwr fault_rate
+    fault_seed max_retries timeout query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -381,34 +463,39 @@ let eval_files verbose doc_path schema_path services_path strategy push fguide x
       (match names with
       | Some names -> Printf.eprintf "registered services: %s\n%!" (String.concat ", " names)
       | None -> ());
-      match strategy with
-      | `Naive ->
-        let r = Naive.run registry query doc in
-        print_bindings ~xml r.Naive.answers;
-        Printf.printf "\ninvoked %d call(s), %.3f s simulated\n" r.Naive.invoked
-          r.Naive.simulated_seconds;
-        `Ok ()
-      | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
-        let base =
-          match s with
-          | `Nfqa -> Lazy_eval.nfqa
-          | `Typed -> Lazy_eval.nfqa_typed
-          | `Lenient -> Lazy_eval.nfqa_lenient
-          | `Lpq -> Lazy_eval.lpq_only
-        in
-        let base = if push then Lazy_eval.with_push base else base in
-        let strategy = if fguide then Lazy_eval.with_fguide base else base in
-        let r = Lazy_eval.run ?schema ~registry ~strategy query doc in
-        (match flwr_query with
-        | Ok (Some q) ->
-          print_endline
-            (Axml_xml.Print.forest_to_string ~indent:2
-               (Axml_query.Xquery.instantiate q r.Lazy_eval.answers))
-        | _ -> print_bindings ~xml r.Lazy_eval.answers);
-        Printf.printf "\ninvoked %d call(s) in %d round(s), %.3f s simulated, complete=%b\n"
-          r.Lazy_eval.invoked r.Lazy_eval.rounds r.Lazy_eval.simulated_seconds
-          r.Lazy_eval.complete;
-        `Ok ()))
+      match apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout with
+      | Error m -> fail "%s" m
+      | Ok () -> (
+        match strategy with
+        | `Naive ->
+          let r = Naive.run registry query doc in
+          print_bindings ~xml r.Naive.answers;
+          Printf.printf "\ninvoked %d call(s), %.3f s simulated, complete=%b\n" r.Naive.invoked
+            r.Naive.simulated_seconds r.Naive.complete;
+          print_fault_counters registry;
+          `Ok ()
+        | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
+          let base =
+            match s with
+            | `Nfqa -> Lazy_eval.nfqa
+            | `Typed -> Lazy_eval.nfqa_typed
+            | `Lenient -> Lazy_eval.nfqa_lenient
+            | `Lpq -> Lazy_eval.lpq_only
+          in
+          let base = if push then Lazy_eval.with_push base else base in
+          let strategy = if fguide then Lazy_eval.with_fguide base else base in
+          let r = Lazy_eval.run ?schema ~registry ~strategy query doc in
+          (match flwr_query with
+          | Ok (Some q) ->
+            print_endline
+              (Axml_xml.Print.forest_to_string ~indent:2
+                 (Axml_query.Xquery.instantiate q r.Lazy_eval.answers))
+          | _ -> print_bindings ~xml r.Lazy_eval.answers);
+          Printf.printf "\ninvoked %d call(s) in %d round(s), %.3f s simulated, complete=%b\n"
+            r.Lazy_eval.invoked r.Lazy_eval.rounds r.Lazy_eval.simulated_seconds
+            r.Lazy_eval.complete;
+          print_fault_counters registry;
+          `Ok ())))
 
 let eval_cmd =
   let doc =
@@ -434,7 +521,8 @@ let eval_cmd =
     Term.(
       ret
         (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ strategy_arg
-       $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ query_arg))
+       $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ fault_rate_arg $ fault_seed_arg
+       $ max_retries_arg $ timeout_arg $ query_arg))
 
 (* ---------------- validate ---------------- *)
 

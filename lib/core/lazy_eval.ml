@@ -105,6 +105,10 @@ type report = {
   simulated_seconds : float;  (** service latency + transfer, aggregated *)
   analysis_seconds : float;  (** CPU time spent detecting relevant calls *)
   bytes_transferred : int;
+  retries : int;  (** retried service attempts, summed over invocations *)
+  timeouts : int;  (** attempts classified as timeouts *)
+  failed_calls : int;  (** relevant calls left unexpanded after retry exhaustion *)
+  backoff_seconds : float;  (** simulated seconds spent backing off *)
   complete : bool;  (** the document is complete for the query (Def. 3) *)
 }
 
@@ -124,6 +128,9 @@ type state = {
   mutable finished_sources : int list;  (* sources of finished layers *)
   (* evaluation context shared across detections, reset on doc change *)
   mutable shared_ctx : Eval.context option;
+  (* calls whose retry budget was exhausted: left in place, never
+     re-attempted, excluded from detection so sweeps still converge *)
+  failed : (int, unit) Hashtbl.t;
   (* counters *)
   mutable invoked : int;
   mutable pushed : int;
@@ -134,6 +141,9 @@ type state = {
   mutable simulated_seconds : float;
   mutable analysis_seconds : float;
   mutable bytes : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable backoff_seconds : float;
 }
 
 let add_known st name =
@@ -184,37 +194,42 @@ let timed st f =
   st.analysis_seconds <- st.analysis_seconds +. (Sys.time () -. t0);
   r
 
-(* Relevant calls the query currently retrieves. *)
+(* Relevant calls the query currently retrieves — minus the permanently
+   failed ones, which would otherwise be retrieved forever. *)
 let detect st (rq : Relevance.t) : Doc.node list =
   timed st (fun () ->
       st.relevance_evals <- st.relevance_evals + 1;
-      match effective st rq with
-      | None -> []
-      | Some r -> (
-        let relax_joins = st.strategy.relax_joins in
-        match st.fguide with
-        | None ->
-          if st.strategy.share_contexts then begin
-            let ctx =
-              match st.shared_ctx with
-              | Some ctx -> ctx
-              | None ->
-                let ctx = Eval.context ~relax_joins () in
-                st.shared_ctx <- Some ctx;
-                ctx
-            in
-            Relevance.relevant_calls_in ctx r st.doc
-          end
-          else Relevance.relevant_calls ~relax_joins r st.doc
-        | Some guide ->
-          let candidates = Fguide.candidates guide (Relevance.guide_steps r) in
-          st.candidates_checked <- st.candidates_checked + List.length candidates;
-          (match st.strategy.relevance with
-          | Lpq_relevance ->
-            (* an LPQ is exactly its linear path: guide answers are final *)
-            candidates
-          | Nfq_relevance ->
-            List.filter (fun c -> Relevance.retrieves ~relax_joins r c) candidates)))
+      let retrieved =
+        match effective st rq with
+        | None -> []
+        | Some r -> (
+          let relax_joins = st.strategy.relax_joins in
+          match st.fguide with
+          | None ->
+            if st.strategy.share_contexts then begin
+              let ctx =
+                match st.shared_ctx with
+                | Some ctx -> ctx
+                | None ->
+                  let ctx = Eval.context ~relax_joins () in
+                  st.shared_ctx <- Some ctx;
+                  ctx
+              in
+              Relevance.relevant_calls_in ctx r st.doc
+            end
+            else Relevance.relevant_calls ~relax_joins r st.doc
+          | Some guide ->
+            let candidates = Fguide.candidates guide (Relevance.guide_steps r) in
+            st.candidates_checked <- st.candidates_checked + List.length candidates;
+            (match st.strategy.relevance with
+            | Lpq_relevance ->
+              (* an LPQ is exactly its linear path: guide answers are final *)
+              candidates
+            | Nfq_relevance ->
+              List.filter (fun c -> Relevance.retrieves ~relax_joins r c) candidates))
+      in
+      if Hashtbl.length st.failed = 0 then retrieved
+      else List.filter (fun (c : Doc.node) -> not (Hashtbl.mem st.failed c.Doc.id)) retrieved)
 
 let push_pattern st (rq : Relevance.t) =
   if not st.strategy.push then None
@@ -229,26 +244,41 @@ let push_pattern st (rq : Relevance.t) =
           p)
         (Hashtbl.find_opt st.sub_of rq.Relevance.source)
 
+let account_attempts st (inv : Registry.invocation) =
+  st.retries <- st.retries + inv.Registry.retries;
+  st.timeouts <- st.timeouts + inv.Registry.timeouts;
+  st.backoff_seconds <- st.backoff_seconds +. inv.Registry.backoff_seconds;
+  st.bytes <- st.bytes + inv.Registry.request_bytes + inv.Registry.response_bytes
+
 let invoke_one st ?push (call : Doc.node) =
   let name = Naive.call_name_exn call in
-  let result, inv =
-    Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push ()
-  in
-  Log.debug (fun m ->
-      m "invoke [%d]%s%s"
-        (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
-        name
-        (if push = None then "" else " (pushed)"));
-  let added = Doc.replace_call st.doc call result in
-  st.shared_ctx <- None;
-  (match st.fguide with
-  | None -> ()
-  | Some guide -> Fguide.update_after_replace guide ~invoked:call ~added);
-  scan_new_functions st added;
-  st.invoked <- st.invoked + 1;
-  if inv.Registry.pushed then st.pushed <- st.pushed + 1;
-  st.bytes <- st.bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
-  inv.Registry.cost
+  match Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push () with
+  | result, inv ->
+    Log.debug (fun m ->
+        m "invoke [%d]%s%s"
+          (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
+          name
+          (if push = None then "" else " (pushed)"));
+    let added = Doc.replace_call st.doc call result in
+    st.shared_ctx <- None;
+    (match st.fguide with
+    | None -> ()
+    | Some guide -> Fguide.update_after_replace guide ~invoked:call ~added);
+    scan_new_functions st added;
+    st.invoked <- st.invoked + 1;
+    if inv.Registry.pushed then st.pushed <- st.pushed + 1;
+    account_attempts st inv;
+    inv.Registry.cost
+  | exception Registry.Service_failure inv ->
+    (* Graceful degradation: the call stays in place as an unexpanded
+       function node; the answer may only lose bindings (Def. 4). *)
+    Log.debug (fun m ->
+        m "invoke [%d]%s permanently failed (%d retries, %d timeouts)"
+          (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
+          name inv.Registry.retries inv.Registry.timeouts);
+    Hashtbl.replace st.failed call.Doc.id ();
+    account_attempts st inv;
+    inv.Registry.cost
 
 let within_budget st =
   st.invoked < st.strategy.max_calls && st.passes < st.strategy.max_passes
@@ -280,7 +310,7 @@ let materialize_answers st (q : P.t) =
           List.concat_map (fun (_, n) -> pending_calls_below n) b.Eval.results)
         answers
       |> List.filter (fun (c : Doc.node) ->
-             if Hashtbl.mem seen c.Doc.id then false
+             if Hashtbl.mem seen c.Doc.id || Hashtbl.mem st.failed c.Doc.id then false
              else begin
                Hashtbl.replace seen c.Doc.id ();
                true
@@ -395,6 +425,7 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
       refined = Hashtbl.create 16;
       finished_sources = [];
       shared_ctx = None;
+      failed = Hashtbl.create 8;
       invoked = 0;
       pushed = 0;
       rounds = 0;
@@ -404,6 +435,9 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
       simulated_seconds = 0.0;
       analysis_seconds = 0.0;
       bytes = 0;
+      retries = 0;
+      timeouts = 0;
+      backoff_seconds = 0.0;
     }
   in
   (match schema with
@@ -428,7 +462,7 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
       end)
     layers;
   if strategy.materialize_results then materialize_answers st q;
-  let complete = within_budget st in
+  let complete = within_budget st && Hashtbl.length st.failed = 0 in
   let answers = Eval.eval q st.doc in
 
 
@@ -444,5 +478,9 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
     simulated_seconds = st.simulated_seconds;
     analysis_seconds = st.analysis_seconds;
     bytes_transferred = st.bytes;
+    retries = st.retries;
+    timeouts = st.timeouts;
+    failed_calls = Hashtbl.length st.failed;
+    backoff_seconds = st.backoff_seconds;
     complete;
   }

@@ -70,7 +70,18 @@ type report = {
   simulated_seconds : float;  (** service latency + transfer, aggregated *)
   analysis_seconds : float;  (** CPU time spent detecting relevant calls *)
   bytes_transferred : int;
-  complete : bool;  (** the document is complete for the query (Def. 3) *)
+  retries : int;  (** retried service attempts, summed over invocations *)
+  timeouts : int;  (** attempts classified as timeouts *)
+  failed_calls : int;
+      (** relevant calls whose retry budget was exhausted; each stays in
+          the document as an unexpanded function node *)
+  backoff_seconds : float;  (** simulated seconds spent backing off *)
+  complete : bool;
+      (** the document is complete for the query (Def. 3): every relevant
+          call was expanded within budget and none permanently failed.
+          When [false] because of failures, the answers are still sound —
+          a subset of the full snapshot result (Def. 4's leniency: missing
+          data only loses bindings, never fabricates them). *)
 }
 
 val run :

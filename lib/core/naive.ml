@@ -7,13 +7,29 @@ module Eval = Axml_query.Eval
 module Doc = Axml_doc
 module Registry = Axml_services.Registry
 
+type stats = {
+  invoked : int;
+  rounds : int;
+  simulated_seconds : float;
+  bytes_transferred : int;
+  retries : int;
+  timeouts : int;
+  failed_calls : int;
+  backoff_seconds : float;
+  complete : bool;
+}
+
 type report = {
   answers : Eval.binding list;
   invoked : int;
   rounds : int;  (** fixpoint iterations *)
   simulated_seconds : float;
   bytes_transferred : int;
-  complete : bool;  (** the fixpoint was reached within the budget *)
+  retries : int;
+  timeouts : int;
+  failed_calls : int;
+  backoff_seconds : float;
+  complete : bool;  (** fixpoint reached within budget, no failed calls *)
 }
 
 let call_params (call : Doc.node) = List.map Doc.node_to_xml call.Doc.children
@@ -25,43 +41,81 @@ let call_name_exn (call : Doc.node) =
 
 (** Materializes the document in place. With [parallel:true] each round of
     visible calls is accounted as one parallel batch (max cost); otherwise
-    invocations are sequential (summed costs). *)
-let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) =
+    invocations are sequential (summed costs). A call whose retry budget
+    is exhausted ({!Registry.Service_failure}) is left in place as an
+    unexpanded function node and never re-attempted. *)
+let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) : stats =
   let invoked = ref 0 in
   let rounds = ref 0 in
   let seconds = ref 0.0 in
   let bytes = ref 0 in
+  let retries = ref 0 in
+  let timeouts = ref 0 in
+  let backoff = ref 0.0 in
   let budget_hit = ref false in
+  let failed = Hashtbl.create 8 in
   let continue = ref true in
   while !continue do
-    let calls = Doc.visible_function_nodes d in
+    let calls =
+      List.filter
+        (fun (c : Doc.node) -> not (Hashtbl.mem failed c.Doc.id))
+        (Doc.visible_function_nodes d)
+    in
     if calls = [] then continue := false
     else begin
       incr rounds;
       let round_cost = ref 0.0 in
+      let account (inv : Registry.invocation) =
+        bytes := !bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
+        retries := !retries + inv.Registry.retries;
+        timeouts := !timeouts + inv.Registry.timeouts;
+        backoff := !backoff +. inv.Registry.backoff_seconds;
+        if parallel then round_cost := Float.max !round_cost inv.Registry.cost
+        else round_cost := !round_cost +. inv.Registry.cost
+      in
       List.iter
-        (fun call ->
+        (fun (call : Doc.node) ->
           if !invoked >= max_calls then budget_hit := true
-          else begin
-            let result, inv =
+          else
+            match
               Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call) ()
-            in
-            ignore (Doc.replace_call d call result);
-            incr invoked;
-            bytes := !bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
-            if parallel then round_cost := Float.max !round_cost inv.Registry.cost
-            else round_cost := !round_cost +. inv.Registry.cost
-          end)
+            with
+            | result, inv ->
+              ignore (Doc.replace_call d call result);
+              incr invoked;
+              account inv
+            | exception Registry.Service_failure inv ->
+              Hashtbl.replace failed call.Doc.id ();
+              account inv)
         calls;
       seconds := !seconds +. !round_cost;
       if !budget_hit then continue := false
     end
   done;
-  (!invoked, !rounds, !seconds, !bytes, not !budget_hit)
+  {
+    invoked = !invoked;
+    rounds = !rounds;
+    simulated_seconds = !seconds;
+    bytes_transferred = !bytes;
+    retries = !retries;
+    timeouts = !timeouts;
+    failed_calls = Hashtbl.length failed;
+    backoff_seconds = !backoff;
+    complete = (not !budget_hit) && Hashtbl.length failed = 0;
+  }
 
 let run ?max_calls ?parallel registry (q : P.t) (d : Doc.t) : report =
-  let invoked, rounds, simulated_seconds, bytes_transferred, complete =
-    materialize ?max_calls ?parallel registry d
-  in
+  let s = materialize ?max_calls ?parallel registry d in
   let answers = Eval.eval q d in
-  { answers; invoked; rounds; simulated_seconds; bytes_transferred; complete }
+  {
+    answers;
+    invoked = s.invoked;
+    rounds = s.rounds;
+    simulated_seconds = s.simulated_seconds;
+    bytes_transferred = s.bytes_transferred;
+    retries = s.retries;
+    timeouts = s.timeouts;
+    failed_calls = s.failed_calls;
+    backoff_seconds = s.backoff_seconds;
+    complete = s.complete;
+  }

@@ -2,13 +2,31 @@
     recursively until a fixpoint (or a budget) is reached, then evaluate
     the query over the fully materialized document. *)
 
+type stats = {
+  invoked : int;
+  rounds : int;
+  simulated_seconds : float;
+  bytes_transferred : int;
+  retries : int;  (** retried service attempts, summed over invocations *)
+  timeouts : int;  (** attempts classified as timeouts *)
+  failed_calls : int;  (** calls left unexpanded after retry exhaustion *)
+  backoff_seconds : float;  (** simulated seconds spent backing off *)
+  complete : bool;
+}
+
 type report = {
   answers : Axml_query.Eval.binding list;
   invoked : int;
   rounds : int;  (** fixpoint iterations *)
   simulated_seconds : float;
   bytes_transferred : int;
-  complete : bool;  (** the fixpoint was reached within the budget *)
+  retries : int;
+  timeouts : int;
+  failed_calls : int;
+  backoff_seconds : float;
+  complete : bool;
+      (** the fixpoint was reached within the budget and no call
+          permanently failed: the answers are the full snapshot result *)
 }
 
 val call_params : Axml_doc.node -> Axml_xml.Tree.forest
@@ -19,15 +37,14 @@ val call_name_exn : Axml_doc.node -> string
 (** Raises [Invalid_argument] on data nodes. *)
 
 val materialize :
-  ?max_calls:int ->
-  ?parallel:bool ->
-  Axml_services.Registry.t ->
-  Axml_doc.t ->
-  int * int * float * int * bool
-(** Materializes the document in place; returns
-    [(invoked, rounds, simulated_seconds, bytes, complete)]. With
-    [parallel:true] (default) each round of visible calls is accounted as
-    one parallel batch (max cost); otherwise costs add up. *)
+  ?max_calls:int -> ?parallel:bool -> Axml_services.Registry.t -> Axml_doc.t -> stats
+(** Materializes the document in place. With [parallel:true] (default)
+    each round of visible calls is accounted as one parallel batch (max
+    cost); otherwise costs add up. A call that permanently fails
+    ({!Axml_services.Registry.Service_failure}) stays in the document as
+    an unexpanded function node, counts in [failed_calls] and is never
+    re-attempted; the evaluation degrades gracefully instead of
+    aborting. *)
 
 val run :
   ?max_calls:int ->

@@ -1,0 +1,53 @@
+type fault = Fail_transient | Timeout of float | Slow of float | Flaky of float
+
+type schedule = fault list
+
+type outcome = Healthy | Delayed of float | Dropped | Unresponsive of float
+
+(* Splitmix64: a counter-based generator whose streams split by key
+   mixing, so (seed, service, attempt, salt) indexes an independent draw
+   without any shared mutable state. *)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let absorb key i = mix64 (Int64.add key (Int64.mul (Int64.of_int i) golden))
+
+let absorb_string key s =
+  let k = ref key in
+  String.iter (fun c -> k := absorb !k (Char.code c)) s;
+  absorb !k (String.length s)
+
+let uniform ~seed ~service ~attempt ~salt =
+  let key = absorb (absorb (absorb_string (absorb 0L seed) service) attempt) salt in
+  (* 53 high bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical key 11) *. (1.0 /. 9007199254740992.0)
+
+let plan ~seed ~service ~attempt schedule =
+  let rec first salt = function
+    | [] -> Healthy
+    | Fail_transient :: _ -> Dropped
+    | Timeout hang :: _ -> Unresponsive hang
+    | Slow extra :: _ -> Delayed extra
+    | Flaky p :: rest ->
+      if uniform ~seed ~service ~attempt ~salt < p then Dropped else first (salt + 1) rest
+  in
+  first 0 schedule
+
+let validate schedule =
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec go = function
+    | [] -> Ok ()
+    | Fail_transient :: rest -> go rest
+    | Timeout t :: _ when t < 0.0 -> bad "Timeout duration %g is negative" t
+    | Slow t :: _ when t < 0.0 -> bad "Slow duration %g is negative" t
+    | Flaky p :: _ when p < 0.0 || p > 1.0 || Float.is_nan p ->
+      bad "Flaky probability %g outside [0, 1]" p
+    | (Timeout _ | Slow _ | Flaky _) :: rest -> go rest
+  in
+  go schedule

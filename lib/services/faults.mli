@@ -1,0 +1,54 @@
+(** Deterministic fault injection for simulated services.
+
+    The paper's services are remote SOAP endpoints; real ones time out,
+    drop connections and answer slowly. This module gives each service a
+    seeded {e fault schedule}: a list of fault kinds evaluated for every
+    invocation attempt, with all randomness drawn from a splittable
+    counter-based PRNG keyed by [(seed, service, attempt_index)]. Same
+    seed and same attempt sequence ⇒ the same faults, so every
+    degradation experiment is exactly reproducible — the same property
+    the cost model already has for latency.
+
+    Schedules are consumed by {!Registry.invoke}'s retry loop; evaluators
+    never see this module directly. *)
+
+type fault =
+  | Fail_transient
+      (** every attempt fails fast (connection refused); only a retry
+          budget larger than the schedule can't mask it — used to model
+          a service that is down *)
+  | Timeout of float
+      (** the provider never answers; the caller waits the given number
+          of simulated seconds (or its per-attempt budget, whichever is
+          smaller) and gives up *)
+  | Slow of float
+      (** the provider answers after that many extra simulated seconds;
+          the attempt still fails if the total duration exceeds the
+          retry policy's per-attempt budget *)
+  | Flaky of float
+      (** each attempt independently fails fast with this probability,
+          drawn from the schedule PRNG — the transient faults retries
+          are for. Must lie in [\[0, 1\]]. *)
+
+type schedule = fault list
+(** Evaluated in order; the first fault that triggers on an attempt
+    decides its outcome. The empty schedule is a healthy service. *)
+
+type outcome =
+  | Healthy  (** the attempt succeeds at its normal cost *)
+  | Delayed of float  (** succeeds, with extra simulated seconds *)
+  | Dropped  (** fails fast, retriable *)
+  | Unresponsive of float  (** no answer within that many seconds *)
+
+val plan : seed:int -> service:string -> attempt:int -> schedule -> outcome
+(** The outcome of one invocation attempt. [attempt] is the service's
+    global attempt counter (retries included), so retried attempts get
+    fresh draws — without that, a [Flaky] failure would repeat forever
+    and retrying could never help. Pure: same key, same outcome. *)
+
+val uniform : seed:int -> service:string -> attempt:int -> salt:int -> float
+(** The underlying splittable generator: a uniform draw in [\[0, 1)]
+    from the mixed key. Exposed so tests can predict schedules. *)
+
+val validate : schedule -> (unit, string) result
+(** Rejects probabilities outside [\[0, 1\]] and negative durations. *)

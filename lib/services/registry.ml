@@ -7,6 +7,27 @@ type cost_model = { latency : float; per_byte : float }
 
 let default_cost = { latency = 0.05; per_byte = 1e-6 }
 
+type retry_policy = {
+  max_retries : int;
+  base_backoff : float;
+  backoff_factor : float;
+  max_backoff : float;
+  attempt_timeout : float;
+}
+
+let default_policy =
+  {
+    max_retries = 3;
+    base_backoff = 0.1;
+    backoff_factor = 2.0;
+    max_backoff = 2.0;
+    attempt_timeout = infinity;
+  }
+
+let backoff_before policy ~retry =
+  Float.min policy.max_backoff
+    (policy.base_backoff *. (policy.backoff_factor ** float_of_int (retry - 1)))
+
 type invocation = {
   service : string;
   request_bytes : int;
@@ -14,6 +35,10 @@ type invocation = {
   cost : float;
   pushed : bool;
   cached : bool;
+  retries : int;
+  timeouts : int;
+  backoff_seconds : float;
+  failed : bool;
 }
 
 type service = {
@@ -22,66 +47,203 @@ type service = {
   push_capable : bool;
   cache : (string, Tree.forest) Hashtbl.t option;
       (* memoized services: parameter serialization -> full result *)
+  mutable faults : Faults.schedule;
+  mutable retry : retry_policy;
+  mutable attempts : int;  (* global attempt counter: the fault-PRNG key *)
 }
 
 type t = {
   services : (string, service) Hashtbl.t;
   mutable order : string list; (* registration order, newest first *)
   mutable history : invocation list; (* newest first *)
+  mutable fault_seed : int;
 }
 
 exception Unknown_service of string
 
-let create () = { services = Hashtbl.create 16; order = []; history = [] }
+exception Service_failure of invocation
 
-let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = false) behavior =
+let create () = { services = Hashtbl.create 16; order = []; history = []; fault_seed = 0 }
+
+let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = false)
+    ?(faults = []) ?(retry = default_policy) behavior =
+  (match Faults.validate faults with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "service %s: %s" name m));
   if not (Hashtbl.mem t.services name) then t.order <- name :: t.order;
   let cache = if memoize then Some (Hashtbl.create 16) else None in
-  Hashtbl.replace t.services name { behavior; cost_model = cost; push_capable; cache }
+  Hashtbl.replace t.services name
+    { behavior; cost_model = cost; push_capable; cache; faults; retry; attempts = 0 }
 
 let is_registered t name = Hashtbl.mem t.services name
 let names t = List.rev t.order
 
+let set_fault_seed t seed = t.fault_seed <- seed
+
+let inject_faults t ?seed faults =
+  (match Faults.validate faults with
+  | Ok () -> ()
+  | Error m -> invalid_arg m);
+  (match seed with Some s -> t.fault_seed <- s | None -> ());
+  Hashtbl.iter (fun _ svc -> svc.faults <- faults) t.services
+
+let set_retry_policy t policy =
+  Hashtbl.iter (fun _ svc -> svc.retry <- policy) t.services
+
+let find_exn t name =
+  match Hashtbl.find_opt t.services name with
+  | Some s -> s
+  | None -> raise (Unknown_service name)
+
+let fault_schedule t name = (find_exn t name).faults
+let retry_policy t name = (find_exn t name).retry
+
 let invoke t ~name ~params ?push () =
-  let service =
-    match Hashtbl.find_opt t.services name with
-    | Some s -> s
-    | None -> raise (Unknown_service name)
-  in
-  let cached, result =
+  let service = find_exn t name in
+  let cache_key =
     match service.cache with
-    | None -> (false, service.behavior params)
-    | Some cache -> (
+    | None -> None
+    | Some cache ->
       let key = Print.forest_to_string params in
-      match Hashtbl.find_opt cache key with
-      | Some result -> (true, result)
-      | None ->
-        let result = service.behavior params in
-        Hashtbl.replace cache key result;
-        (false, result))
+      Some (cache, key)
   in
-  let pushed, shipped =
-    match push with
-    | Some pattern when service.push_capable -> (true, Witness.prune pattern result)
-    | Some _ | None -> (false, result)
+  let cached_result =
+    Option.bind cache_key (fun (cache, key) -> Hashtbl.find_opt cache key)
   in
-  (* A cache hit answers locally: no latency, nothing crosses the wire. *)
-  let request_bytes = if cached then 0 else Print.forest_byte_size params in
-  let response_bytes = if cached then 0 else Print.forest_byte_size shipped in
-  let cost =
-    if cached then 0.0
-    else
-      service.cost_model.latency
-      +. (service.cost_model.per_byte *. float_of_int (request_bytes + response_bytes))
-  in
-  let invocation = { service = name; request_bytes; response_bytes; cost; pushed; cached } in
-  t.history <- invocation :: t.history;
-  (shipped, invocation)
+  match cached_result with
+  | Some result ->
+    (* A cache hit answers locally: no wire, no latency — and no fault
+       exposure; the fault layer only applies to network attempts. *)
+    let pushed, shipped =
+      match push with
+      | Some pattern when service.push_capable -> (true, Witness.prune pattern result)
+      | Some _ | None -> (false, result)
+    in
+    let invocation =
+      {
+        service = name;
+        request_bytes = 0;
+        response_bytes = 0;
+        cost = 0.0;
+        pushed;
+        cached = true;
+        retries = 0;
+        timeouts = 0;
+        backoff_seconds = 0.0;
+        failed = false;
+      }
+    in
+    t.history <- invocation :: t.history;
+    (shipped, invocation)
+  | None ->
+    let policy = service.retry in
+    let request_bytes = Print.forest_byte_size params in
+    let request_time = service.cost_model.per_byte *. float_of_int request_bytes in
+    (* Computed at most once; an attempt that fails before the provider
+       answers never runs the behavior. *)
+    let result = lazy (service.behavior params) in
+    let shipped_of result =
+      match push with
+      | Some pattern when service.push_capable -> (true, Witness.prune pattern result)
+      | Some _ | None -> (false, result)
+    in
+    let rec go ~retry ~cost ~timeouts ~backoff =
+      let attempt = service.attempts in
+      service.attempts <- attempt + 1;
+      let outcome = Faults.plan ~seed:t.fault_seed ~service:name ~attempt service.faults in
+      let finish_ok ~extra =
+        let full = Lazy.force result in
+        let pushed, shipped = shipped_of full in
+        let response_bytes = Print.forest_byte_size shipped in
+        let duration =
+          service.cost_model.latency +. extra +. request_time
+          +. (service.cost_model.per_byte *. float_of_int response_bytes)
+        in
+        if duration > policy.attempt_timeout then
+          (* the response would not arrive within the per-attempt budget *)
+          `Failed (policy.attempt_timeout, `Timeout)
+        else begin
+          (match cache_key with
+          | Some (cache, key) -> Hashtbl.replace cache key full
+          | None -> ());
+          let invocation =
+            {
+              service = name;
+              request_bytes = request_bytes * (retry + 1);
+              response_bytes;
+              cost = cost +. duration;
+              pushed;
+              cached = false;
+              retries = retry;
+              timeouts;
+              backoff_seconds = backoff;
+              failed = false;
+            }
+          in
+          `Ok (shipped, invocation)
+        end
+      in
+      let attempted =
+        match outcome with
+        | Faults.Healthy -> finish_ok ~extra:0.0
+        | Faults.Delayed extra -> finish_ok ~extra
+        | Faults.Dropped ->
+          `Failed
+            ( Float.min (service.cost_model.latency +. request_time) policy.attempt_timeout,
+              `Transient )
+        | Faults.Unresponsive hang ->
+          `Failed (Float.min hang policy.attempt_timeout, `Timeout)
+      in
+      match attempted with
+      | `Ok (shipped, invocation) ->
+        t.history <- invocation :: t.history;
+        (shipped, invocation)
+      | `Failed (duration, kind) ->
+        let timeouts = timeouts + (match kind with `Timeout -> 1 | `Transient -> 0) in
+        let cost = cost +. duration in
+        if retry >= policy.max_retries then begin
+          let invocation =
+            {
+              service = name;
+              request_bytes = request_bytes * (retry + 1);
+              response_bytes = 0;
+              cost;
+              pushed = false;
+              cached = false;
+              retries = retry;
+              timeouts;
+              backoff_seconds = backoff;
+              failed = true;
+            }
+          in
+          t.history <- invocation :: t.history;
+          raise (Service_failure invocation)
+        end
+        else begin
+          let wait = backoff_before policy ~retry:(retry + 1) in
+          go ~retry:(retry + 1) ~cost:(cost +. wait) ~timeouts ~backoff:(backoff +. wait)
+        end
+    in
+    go ~retry:0 ~cost:0.0 ~timeouts:0 ~backoff:0.0
 
 let history t = List.rev t.history
 let invocation_count t = List.length t.history
 
 let total_bytes t =
   List.fold_left (fun acc i -> acc + i.request_bytes + i.response_bytes) 0 t.history
+
+let total_retries t = List.fold_left (fun acc i -> acc + i.retries) 0 t.history
+let total_timeouts t = List.fold_left (fun acc i -> acc + i.timeouts) 0 t.history
+
+let total_backoff t =
+  List.fold_left (fun acc i -> acc +. i.backoff_seconds) 0.0 t.history
+
+let failed_count t =
+  List.fold_left (fun acc i -> acc + if i.failed then 1 else 0) 0 t.history
+
+(* One exposure per attempt that drew a fault: every retried attempt
+   failed, plus the last attempt of a permanently failed invocation. *)
+let fault_exposures t =
+  List.fold_left (fun acc i -> acc + i.retries + if i.failed then 1 else 0) 0 t.history
 
 let reset_history t = t.history <- []

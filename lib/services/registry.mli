@@ -12,6 +12,13 @@
     batch as the {e max} of its invocation costs; sequential invocations
     add up. That aggregation is done by the evaluator, not here.
 
+    Real endpoints also fail: each service may carry a seeded
+    {!Faults.schedule}, and every non-cached invocation runs a retry loop
+    governed by a {!retry_policy} — failed attempts are retried after
+    exponential backoff (all accounted on the same simulated clock) until
+    one succeeds or the budget is exhausted, in which case
+    {!Service_failure} carries the invocation record of the defeat.
+
     Services may return forests containing further [<axml:call>] nodes —
     this is what makes relevance detection "a continuous process" (§1). *)
 
@@ -26,46 +33,117 @@ type cost_model = {
 val default_cost : cost_model
 (** 50 ms latency, 1 µs/byte (≈ 1 MB/s) — a slow 2004-era Web service. *)
 
+type retry_policy = {
+  max_retries : int;  (** additional attempts after the first *)
+  base_backoff : float;  (** simulated seconds before the first retry *)
+  backoff_factor : float;  (** exponential multiplier per further retry *)
+  max_backoff : float;  (** backoff cap, seconds *)
+  attempt_timeout : float;
+      (** per-attempt budget: an attempt whose total duration (latency +
+          injected delay + transfer) would exceed it is abandoned at the
+          budget and classified as a timeout. [infinity] = wait forever. *)
+}
+
+val default_policy : retry_policy
+(** 3 retries, 0.1 s base backoff doubling up to 2 s, no attempt
+    timeout. *)
+
+val backoff_before : retry_policy -> retry:int -> float
+(** The wait inserted before retry number [retry] (1-based):
+    [min max_backoff (base_backoff * backoff_factor^(retry-1))]. *)
+
 type invocation = {
   service : string;
   request_bytes : int;
-  response_bytes : int;
-  cost : float;  (** simulated seconds for this invocation *)
+      (** the request ships once per wire attempt; retries multiply it *)
+  response_bytes : int;  (** 0 when the invocation permanently failed *)
+  cost : float;
+      (** simulated seconds: every attempt's duration plus all backoff *)
   pushed : bool;  (** a subquery was evaluated provider-side *)
   cached : bool;  (** answered from the client-side result cache *)
+  retries : int;  (** attempts beyond the first (all of them failed) *)
+  timeouts : int;  (** attempts classified as timeouts *)
+  backoff_seconds : float;  (** simulated seconds spent backing off *)
+  failed : bool;  (** the retry budget was exhausted; no result *)
 }
 
 type t
 
 exception Unknown_service of string
 
+exception Service_failure of invocation
+(** Raised by {!invoke} when every attempt failed. The invocation (also
+    appended to the history) accounts the full cost of the defeat. *)
+
 val create : unit -> t
 
 val register :
-  t -> name:string -> ?cost:cost_model -> ?push_capable:bool -> ?memoize:bool -> behavior -> unit
+  t ->
+  name:string ->
+  ?cost:cost_model ->
+  ?push_capable:bool ->
+  ?memoize:bool ->
+  ?faults:Faults.schedule ->
+  ?retry:retry_policy ->
+  behavior ->
+  unit
 (** [push_capable] defaults to [true]: the provider accepts pushed
     subqueries (§7 notes that capability must be checked per source).
     [memoize] (default [false]) caches full results client-side, keyed by
     the serialized parameters: repeated identical calls cost nothing —
     the caching the ActiveXML system applies to deterministic services.
-    Pushing still prunes per call from the cached full result. *)
+    Pushing still prunes per call from the cached full result.
+    [faults] (default none) is the service's fault schedule and [retry]
+    its policy; raises [Invalid_argument] on an invalid schedule. *)
 
 val is_registered : t -> string -> bool
 val names : t -> string list
 
+val set_fault_seed : t -> int -> unit
+(** The seed keying every service's fault schedule (default 0). *)
+
+val inject_faults : t -> ?seed:int -> Faults.schedule -> unit
+(** Installs the schedule on every currently registered service —
+    the bench/CLI "--fault-rate" knob. Raises [Invalid_argument] on an
+    invalid schedule. *)
+
+val set_retry_policy : t -> retry_policy -> unit
+(** Installs the policy on every currently registered service. *)
+
+val fault_schedule : t -> string -> Faults.schedule
+(** The service's current schedule. Raises {!Unknown_service}. *)
+
+val retry_policy : t -> string -> retry_policy
+(** The service's current policy. Raises {!Unknown_service}. *)
+
 val invoke :
   t -> name:string -> params:Axml_xml.Tree.forest -> ?push:Axml_query.Pattern.node -> unit ->
   Axml_xml.Tree.forest * invocation
-(** Invokes the service. With [push] and a push-capable provider, the
+(** Invokes the service, retrying per its policy when its fault schedule
+    makes attempts fail. With [push] and a push-capable provider, the
     result is pruned provider-side to the witnesses of the pushed pattern
     ({!Witness.prune}) and [response_bytes] counts the pruned forest;
-    otherwise the full result ships. Raises {!Unknown_service}. *)
+    otherwise the full result ships. A cache hit on a memoized service
+    answers locally and is never exposed to faults. Raises
+    {!Unknown_service} on unknown names and {!Service_failure} when the
+    retry budget is exhausted. *)
 
 (** {2 Accounting} *)
 
 val history : t -> invocation list
-(** All invocations, oldest first. *)
+(** All invocations, oldest first — permanently failed ones included. *)
 
 val invocation_count : t -> int
 val total_bytes : t -> int
+
+val total_retries : t -> int
+val total_timeouts : t -> int
+val total_backoff : t -> float
+val failed_count : t -> int
+
+val fault_exposures : t -> int
+(** Attempts that drew a fault: one per retried attempt plus one for
+    each permanent failure's final attempt. The E7 degradation metric —
+    fewer calls ⇒ fewer exposures. *)
+
 val reset_history : t -> unit

@@ -25,6 +25,44 @@ let float_attr name default t =
   | None -> default
   | Some s -> ( try float_of_string s with Failure _ -> fail "attribute %s: bad number %S" name s)
 
+let int_attr name default t =
+  match Tree.attr name t with
+  | None -> default
+  | Some s -> ( try int_of_string s with Failure _ -> fail "attribute %s: bad integer %S" name s)
+
+(* Fault-injection attributes: flaky="p" slow="s" fail="true" give the
+   service a fault schedule; retries / timeout / backoff tune its retry
+   policy (see Registry.retry_policy). *)
+let parse_faults name t =
+  let faults =
+    List.concat
+      [
+        (match Tree.attr "flaky" t with
+        | None -> []
+        | Some _ -> [ Faults.Flaky (float_attr "flaky" 0.0 t) ]);
+        (match Tree.attr "slow" t with
+        | None -> []
+        | Some _ -> [ Faults.Slow (float_attr "slow" 0.0 t) ]);
+        (if bool_attr "fail" false t then [ Faults.Fail_transient ] else []);
+      ]
+  in
+  (match Faults.validate faults with
+  | Ok () -> ()
+  | Error m -> fail "service %s: %s" name m);
+  faults
+
+let parse_retry name t =
+  let d = Registry.default_policy in
+  let retries = int_attr "retries" d.Registry.max_retries t in
+  if retries < 0 then fail "service %s: attribute retries: %d is negative" name retries;
+  let attempt_timeout = float_attr "timeout" d.Registry.attempt_timeout t in
+  if attempt_timeout <= 0.0 then
+    fail "service %s: attribute timeout: %g is not positive" name attempt_timeout;
+  let base_backoff = float_attr "backoff" d.Registry.base_backoff t in
+  if base_backoff < 0.0 then
+    fail "service %s: attribute backoff: %g is negative" name base_backoff;
+  { d with Registry.max_retries = retries; attempt_timeout; base_backoff }
+
 let parse_service t =
   let name =
     match Tree.attr "name" t with
@@ -57,7 +95,13 @@ let parse_service t =
       per_byte = float_attr "per-byte" Registry.default_cost.Registry.per_byte t;
     }
   in
-  (name, cost, bool_attr "push" true t, bool_attr "memoize" false t, behavior)
+  ( name,
+    cost,
+    bool_attr "push" true t,
+    bool_attr "memoize" false t,
+    parse_faults name t,
+    parse_retry name t,
+    behavior )
 
 let load registry t =
   (match Tree.name t with
@@ -67,8 +111,8 @@ let load registry t =
     (fun child ->
       match Tree.name child with
       | Some "service" ->
-        let name, cost, push_capable, memoize, behavior = parse_service child in
-        Registry.register registry ~name ~cost ~push_capable ~memoize behavior;
+        let name, cost, push_capable, memoize, faults, retry, behavior = parse_service child in
+        Registry.register registry ~name ~cost ~push_capable ~memoize ~faults ~retry behavior;
         name
       | Some other -> fail "unexpected <%s> under <services>" other
       | None -> fail "unexpected text under <services>")

@@ -21,7 +21,21 @@
     first text found in the parameter forest; otherwise the [<default>]
     applies (or an empty result). Case bodies are AXML forests — they may
     contain further [<axml:call>] elements. Attributes [latency],
-    [per-byte], [memoize] and [push] are optional. *)
+    [per-byte], [memoize] and [push] are optional.
+
+    Services may also declare their failure model inline:
+
+    {v
+    <service name="forecast" flaky="0.2" retries="3" timeout="0.5">...
+    v}
+
+    [flaky] (probability of a transient failure per attempt), [slow]
+    (extra seconds per response) and [fail] (permanently down) build the
+    service's {!Faults.schedule}; [retries], [timeout] (per-attempt
+    budget, seconds) and [backoff] (base backoff, seconds) override the
+    corresponding fields of {!Registry.default_policy}. Malformed values
+    — probabilities outside [0, 1], negative retries or backoff,
+    non-positive timeouts, unparsable numbers — raise {!Error}. *)
 
 exception Error of string
 

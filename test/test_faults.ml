@@ -1,0 +1,430 @@
+(* Tests for the fault-injection layer: retry/backoff accounting on the
+   simulated clock, timeout classification, schedule determinism, spec
+   attributes, and the Def. 4 differential oracle — lazy evaluation
+   under faults returns a subset of the fault-free naive result, with
+   equality when retries mask every transient fault. *)
+
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module Eval = Axml_query.Eval
+module Registry = Axml_services.Registry
+module Faults = Axml_services.Faults
+module Spec = Axml_services.Spec
+module Naive = Axml_core.Naive
+module Lazy_eval = Axml_core.Lazy_eval
+module Synthetic = Axml_workload.Synthetic
+
+let t = Tree.text
+
+let no_transfer = { Registry.latency = 1.0; per_byte = 0.0 }
+
+let policy ?(max_retries = 2) ?(base_backoff = 0.1) ?(backoff_factor = 2.0)
+    ?(max_backoff = 10.0) ?(attempt_timeout = infinity) () =
+  { Registry.max_retries; base_backoff; backoff_factor; max_backoff; attempt_timeout }
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Retry accounting *)
+
+let test_permanent_failure_accounting () =
+  let r = Registry.create () in
+  Registry.register r ~name:"down" ~cost:no_transfer ~faults:[ Faults.Fail_transient ]
+    ~retry:(policy ~max_retries:2 ()) (fun _ -> [ t "never" ]);
+  match Registry.invoke r ~name:"down" ~params:[ t "k" ] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    Alcotest.(check bool) "failed" true inv.Registry.failed;
+    Alcotest.(check int) "retries" 2 inv.Registry.retries;
+    Alcotest.(check int) "timeouts" 0 inv.Registry.timeouts;
+    Alcotest.(check int) "no response" 0 inv.Registry.response_bytes;
+    (* backoff 0.1 then 0.2; three attempts at 1 s latency each *)
+    feq "backoff" 0.3 inv.Registry.backoff_seconds;
+    feq "cost" 3.3 inv.Registry.cost;
+    (* the defeat is on the books *)
+    Alcotest.(check int) "history" 1 (Registry.invocation_count r);
+    Alcotest.(check int) "failed count" 1 (Registry.failed_count r);
+    Alcotest.(check int) "exposures = all three attempts" 3 (Registry.fault_exposures r);
+    Alcotest.(check int) "total retries" 2 (Registry.total_retries r);
+    feq "total backoff" 0.3 (Registry.total_backoff r)
+
+let test_backoff_cap () =
+  let p = policy ~base_backoff:0.5 ~backoff_factor:3.0 ~max_backoff:1.0 ~max_retries:3 () in
+  feq "retry 1" 0.5 (Registry.backoff_before p ~retry:1);
+  feq "retry 2 capped" 1.0 (Registry.backoff_before p ~retry:2);
+  feq "retry 3 capped" 1.0 (Registry.backoff_before p ~retry:3);
+  let r = Registry.create () in
+  Registry.register r
+    ~name:"down"
+    ~cost:{ Registry.latency = 0.0; per_byte = 0.0 }
+    ~faults:[ Faults.Fail_transient ] ~retry:p
+    (fun _ -> []);
+  (match Registry.invoke r ~name:"down" ~params:[] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    feq "sum of capped backoffs" 2.5 inv.Registry.backoff_seconds;
+    feq "cost is pure backoff" 2.5 inv.Registry.cost)
+
+let test_timeout_classification () =
+  let r = Registry.create () in
+  (* the provider hangs for 5 s; the caller abandons each attempt at its
+     0.5 s budget *)
+  Registry.register r ~name:"hung" ~cost:no_transfer ~faults:[ Faults.Timeout 5.0 ]
+    ~retry:(policy ~max_retries:1 ~base_backoff:0.25 ~backoff_factor:1.0 ~attempt_timeout:0.5 ())
+    (fun _ -> [ t "never" ]);
+  (match Registry.invoke r ~name:"hung" ~params:[] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    Alcotest.(check int) "both attempts timed out" 2 inv.Registry.timeouts;
+    feq "each attempt consumes its budget" 1.25 inv.Registry.cost;
+    feq "backoff between them" 0.25 inv.Registry.backoff_seconds);
+  (* a slow response that misses the budget is also a timeout *)
+  Registry.register r ~name:"slow" ~cost:no_transfer ~faults:[ Faults.Slow 2.0 ]
+    ~retry:(policy ~max_retries:0 ~attempt_timeout:0.5 ())
+    (fun _ -> [ t "late" ]);
+  (match Registry.invoke r ~name:"slow" ~params:[] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    Alcotest.(check int) "timeout" 1 inv.Registry.timeouts;
+    feq "abandoned at the budget" 0.5 inv.Registry.cost);
+  Alcotest.(check int) "registry-wide timeouts" 3 (Registry.total_timeouts r)
+
+let test_slow_within_budget_succeeds () =
+  let r = Registry.create () in
+  Registry.register r ~name:"slow" ~cost:no_transfer ~faults:[ Faults.Slow 0.25 ]
+    ~retry:(policy ~attempt_timeout:2.0 ())
+    (fun _ -> [ t "ok" ]);
+  let result, inv = Registry.invoke r ~name:"slow" ~params:[] () in
+  Alcotest.(check bool) "result" true (result = [ Tree.Text "ok" ]);
+  Alcotest.(check bool) "not failed" false inv.Registry.failed;
+  Alcotest.(check int) "no retries" 0 inv.Registry.retries;
+  feq "latency + injected delay" 1.25 inv.Registry.cost
+
+let test_request_ships_per_attempt () =
+  let r = Registry.create () in
+  Registry.register r
+    ~name:"down"
+    ~cost:{ Registry.latency = 0.0; per_byte = 1.0 }
+    ~faults:[ Faults.Fail_transient ]
+    ~retry:(policy ~max_retries:2 ~base_backoff:0.0 ())
+    (fun _ -> []);
+  (match Registry.invoke r ~name:"down" ~params:[ t "abcd" ] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    Alcotest.(check int) "3 attempts x 4 bytes" 12 inv.Registry.request_bytes;
+    feq "per-byte time on every attempt" 12.0 inv.Registry.cost)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule determinism *)
+
+let flaky_log seed =
+  let r = Registry.create () in
+  Registry.set_fault_seed r seed;
+  Registry.register r ~name:"a" ~cost:no_transfer ~faults:[ Faults.Flaky 0.5 ]
+    ~retry:(policy ~max_retries:3 ()) (fun _ -> [ t "ra" ]);
+  Registry.register r ~name:"b" ~cost:no_transfer ~faults:[ Faults.Flaky 0.7 ]
+    ~retry:(policy ~max_retries:3 ()) (fun _ -> [ t "rb" ]);
+  List.iter
+    (fun name ->
+      match Registry.invoke r ~name ~params:[ t "k" ] () with
+      | _ -> ()
+      | exception Registry.Service_failure _ -> ())
+    [ "a"; "b"; "a"; "a"; "b"; "a"; "b"; "b" ];
+  List.map
+    (fun (i : Registry.invocation) ->
+      (i.Registry.service, i.Registry.retries, i.Registry.failed, i.Registry.cost))
+    (Registry.history r)
+
+let test_schedule_determinism () =
+  Alcotest.(check bool) "same seed, identical invocation log" true
+    (flaky_log 42 = flaky_log 42);
+  (* a draw under another seed differs (the PRNG splits by seed) *)
+  Alcotest.(check bool) "seeds split the stream" true
+    (Faults.uniform ~seed:0 ~service:"a" ~attempt:0 ~salt:0
+    <> Faults.uniform ~seed:1 ~service:"a" ~attempt:0 ~salt:0)
+
+let test_registry_matches_plan () =
+  (* with max_retries = 0 each invocation is exactly one attempt, so the
+     registry's outcomes must replay Faults.plan draw for draw *)
+  let seed = 11 in
+  let schedule = [ Faults.Flaky 0.5 ] in
+  let r = Registry.create () in
+  Registry.set_fault_seed r seed;
+  Registry.register r ~name:"s" ~cost:no_transfer ~faults:schedule
+    ~retry:(policy ~max_retries:0 ()) (fun _ -> [ t "ok" ]);
+  for attempt = 0 to 39 do
+    let expected = Faults.plan ~seed ~service:"s" ~attempt schedule in
+    match Registry.invoke r ~name:"s" ~params:[] () with
+    | _ -> Alcotest.(check bool) "plan said healthy" true (expected = Faults.Healthy)
+    | exception Registry.Service_failure _ ->
+      Alcotest.(check bool) "plan said dropped" true (expected = Faults.Dropped)
+  done
+
+let test_retries_eventually_mask_flakiness () =
+  let r = Registry.create () in
+  Registry.register r ~name:"s" ~cost:no_transfer ~faults:[ Faults.Flaky 0.6 ]
+    ~retry:(policy ~max_retries:60 ()) (fun _ -> [ t "ok" ]);
+  for _ = 1 to 20 do
+    let result, inv = Registry.invoke r ~name:"s" ~params:[] () in
+    Alcotest.(check bool) "succeeded" true (result = [ Tree.Text "ok" ]);
+    Alcotest.(check bool) "not failed" false inv.Registry.failed
+  done;
+  Alcotest.(check int) "nothing permanently failed" 0 (Registry.failed_count r)
+
+let test_cache_hits_skip_faults () =
+  let r = Registry.create () in
+  let hits = ref 0 in
+  Registry.register r ~name:"m" ~cost:no_transfer ~memoize:true ~faults:[ Faults.Slow 0.5 ]
+    ~retry:(policy ())
+    (fun _ ->
+      incr hits;
+      [ t "v" ]);
+  let _, first = Registry.invoke r ~name:"m" ~params:[ t "k" ] () in
+  feq "first pays the injected delay" 1.5 first.Registry.cost;
+  let _, second = Registry.invoke r ~name:"m" ~params:[ t "k" ] () in
+  Alcotest.(check bool) "cached" true second.Registry.cached;
+  feq "cache hit dodges the fault layer" 0.0 second.Registry.cost;
+  Alcotest.(check int) "no retries on a hit" 0 second.Registry.retries;
+  Alcotest.(check int) "behavior ran once" 1 !hits;
+  (* a permanently failing service caches nothing: every invocation fails *)
+  Registry.register r ~name:"down" ~cost:no_transfer ~memoize:true
+    ~faults:[ Faults.Fail_transient ] ~retry:(policy ~max_retries:1 ())
+    (fun _ -> [ t "never" ]);
+  for _ = 1 to 2 do
+    match Registry.invoke r ~name:"down" ~params:[ t "k" ] () with
+    | _ -> Alcotest.fail "expected Service_failure"
+    | exception Registry.Service_failure inv ->
+      Alcotest.(check bool) "not served from cache" false inv.Registry.cached
+  done;
+  Alcotest.(check int) "failed twice" 2 (Registry.failed_count r)
+
+(* ------------------------------------------------------------------ *)
+(* Spec attributes *)
+
+let test_spec_fault_attributes () =
+  let r = Registry.create () in
+  ignore
+    (Spec.load_string r
+       {|<services>
+           <service name="wobbly" flaky="0.25" slow="0.125" retries="5" timeout="2.5" backoff="0.01">
+             <default><x/></default>
+           </service>
+           <service name="dead" fail="true" retries="0"><default/></service>
+           <service name="plain"><default/></service>
+         </services>|});
+  (match Registry.fault_schedule r "wobbly" with
+  | [ Faults.Flaky p; Faults.Slow s ] ->
+    feq "flaky" 0.25 p;
+    feq "slow" 0.125 s
+  | _ -> Alcotest.fail "unexpected schedule for wobbly");
+  let p = Registry.retry_policy r "wobbly" in
+  Alcotest.(check int) "retries" 5 p.Registry.max_retries;
+  feq "timeout" 2.5 p.Registry.attempt_timeout;
+  feq "backoff" 0.01 p.Registry.base_backoff;
+  Alcotest.(check bool) "dead is down" true
+    (Registry.fault_schedule r "dead" = [ Faults.Fail_transient ]);
+  (match Registry.invoke r ~name:"dead" ~params:[] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    Alcotest.(check int) "no retries" 0 inv.Registry.retries);
+  Alcotest.(check bool) "plain is healthy" true (Registry.fault_schedule r "plain" = []);
+  Alcotest.(check bool) "plain gets the default policy" true
+    (Registry.retry_policy r "plain" = Registry.default_policy)
+
+let test_spec_malformed_fault_attributes () =
+  List.iter
+    (fun attrs ->
+      let src = Printf.sprintf {|<services><service name="s" %s><default/></service></services>|} attrs in
+      let r = Registry.create () in
+      match Spec.load_string r src with
+      | exception Spec.Error _ -> ()
+      | _ -> Alcotest.failf "expected Spec.Error on %s" attrs)
+    [
+      {|flaky="1.5"|};
+      {|flaky="-0.1"|};
+      {|flaky="often"|};
+      {|slow="-2"|};
+      {|retries="-1"|};
+      {|retries="many"|};
+      {|timeout="0"|};
+      {|timeout="-1"|};
+      {|timeout="soon"|};
+      {|backoff="-0.5"|};
+      {|fail="maybe"|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential oracle (Def. 4): lazy under faults ⊆ fault-free
+   naive; equality when retries mask every transient fault. *)
+
+(* The synthetic query binds no variables, so compare full binding
+   signatures: variable bindings plus serialized result subtrees.
+   Result-node pids are dropped — pattern-node ids are globally unique,
+   so re-parsing the query in a second instance shifts them; the list is
+   sorted by pid, so position identifies the result node. *)
+let signature (b : Eval.binding) =
+  ( b.Eval.vars,
+    List.map (fun (_, n) -> Axml_xml.Print.to_string (Doc.node_to_xml n)) b.Eval.results )
+
+let tuples answers = List.sort_uniq compare (List.map signature answers)
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+type case = {
+  doc_seed : int;
+  fault_seed : int;
+  rate : float;
+  permanent : bool;
+      (* total outage: attempts that dodge the Flaky drop hang past the
+         attempt budget instead, so every call permanently fails *)
+}
+
+let case_cfg c =
+  {
+    Synthetic.default_config with
+    Synthetic.nodes = 150;
+    seed = c.doc_seed;
+    magic_fraction = 0.4;
+    call_fraction = 0.7;
+  }
+
+let gen_case =
+  QCheck.Gen.(
+    map
+      (fun ((doc_seed, fault_seed), (rate, permanent)) ->
+        { doc_seed; fault_seed; rate; permanent })
+      (pair (pair (int_bound 5000) (int_bound 5000)) (pair (float_bound_inclusive 0.9) bool)))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun c ->
+      Printf.sprintf "doc_seed=%d fault_seed=%d rate=%.2f permanent=%b" c.doc_seed c.fault_seed
+        c.rate c.permanent)
+    gen_case
+
+let fault_free_reference c =
+  let inst = Synthetic.generate (case_cfg c) in
+  tuples (Naive.run inst.Synthetic.registry inst.Synthetic.query inst.Synthetic.doc).Naive.answers
+
+let faulted_instance c ~max_retries =
+  let inst = Synthetic.generate (case_cfg c) in
+  let schedule =
+    Faults.Flaky c.rate :: (if c.permanent then [ Faults.Timeout 3.0 ] else [])
+  in
+  Registry.inject_faults inst.Synthetic.registry ~seed:c.fault_seed schedule;
+  Registry.set_retry_policy inst.Synthetic.registry
+    (policy ~max_retries ~base_backoff:0.01 ~max_backoff:0.1
+       ~attempt_timeout:(if c.permanent then 0.5 else infinity)
+       ());
+  inst
+
+let prop_lazy_under_faults_subset_of_naive =
+  QCheck.Test.make ~name:"lazy under faults ⊆ fault-free naive (Def. 4)" ~count:300 arb_case
+    (fun c ->
+      let reference = fault_free_reference c in
+      let inst = faulted_instance c ~max_retries:2 in
+      let r =
+        Lazy_eval.run ~registry:inst.Synthetic.registry ~schema:inst.Synthetic.schema
+          inst.Synthetic.query inst.Synthetic.doc
+      in
+      let answers = tuples r.Lazy_eval.answers in
+      subset answers reference
+      && r.Lazy_eval.complete = (r.Lazy_eval.failed_calls = 0)
+      && ((not r.Lazy_eval.complete) || answers = reference))
+
+let prop_enough_retries_mask_transients =
+  (* Flaky-only schedules with 30 retries: a call defeats all 31 attempts
+     with probability <= 0.6^31 ~ 1e-7 at the rates drawn here, so the
+     equality half of Def. 4 holds for every generated case. *)
+  QCheck.Test.make ~name:"retries high enough ⇒ lazy under faults = fault-free naive" ~count:300
+    (QCheck.make
+       ~print:(fun c -> Printf.sprintf "doc_seed=%d fault_seed=%d rate=%.2f" c.doc_seed c.fault_seed c.rate)
+       QCheck.Gen.(
+         map
+           (fun ((doc_seed, fault_seed), rate) ->
+             { doc_seed; fault_seed; rate; permanent = false })
+           (pair (pair (int_bound 5000) (int_bound 5000)) (float_bound_inclusive 0.6))))
+    (fun c ->
+      let reference = fault_free_reference c in
+      let inst = faulted_instance c ~max_retries:30 in
+      let r =
+        Lazy_eval.run ~registry:inst.Synthetic.registry ~schema:inst.Synthetic.schema
+          inst.Synthetic.query inst.Synthetic.doc
+      in
+      r.Lazy_eval.complete && tuples r.Lazy_eval.answers = reference)
+
+(* Same fault schedule, every named strategy: identical complete-flag
+   semantics and the answer-subset invariant — catches a strategy whose
+   failure path diverges (e.g. one that would splice an empty result). *)
+let named_strategies =
+  [
+    ("nfqa", Lazy_eval.nfqa);
+    ("nfqa_typed", Lazy_eval.nfqa_typed);
+    ("lpq_only", Lazy_eval.lpq_only);
+    ("with_fguide", Lazy_eval.with_fguide Lazy_eval.nfqa);
+    ("with_push", Lazy_eval.with_push Lazy_eval.nfqa_typed);
+  ]
+
+let prop_all_strategies_degrade_gracefully =
+  QCheck.Test.make ~name:"every strategy: subset invariant + complete semantics under faults"
+    ~count:100 arb_case (fun c ->
+      let reference = fault_free_reference c in
+      List.for_all
+        (fun (name, strategy) ->
+          let inst = faulted_instance c ~max_retries:2 in
+          let r =
+            Lazy_eval.run ~registry:inst.Synthetic.registry ~schema:inst.Synthetic.schema
+              ~strategy inst.Synthetic.query inst.Synthetic.doc
+          in
+          let answers = tuples r.Lazy_eval.answers in
+          let ok =
+            subset answers reference
+            && r.Lazy_eval.complete = (r.Lazy_eval.failed_calls = 0)
+            && ((not r.Lazy_eval.complete) || answers = reference)
+          in
+          if not ok then QCheck.Test.fail_reportf "strategy %s diverged" name else ok)
+        named_strategies)
+
+let prop_naive_under_faults_subset =
+  QCheck.Test.make ~name:"naive under faults ⊆ fault-free naive" ~count:100 arb_case (fun c ->
+      let reference = fault_free_reference c in
+      let inst = faulted_instance c ~max_retries:2 in
+      let r = Naive.run inst.Synthetic.registry inst.Synthetic.query inst.Synthetic.doc in
+      let answers = tuples r.Naive.answers in
+      subset answers reference
+      && r.Naive.complete = (r.Naive.failed_calls = 0)
+      && ((not r.Naive.complete) || answers = reference))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "faults"
+    [
+      ( "retry",
+        [
+          quick "permanent failure accounting" test_permanent_failure_accounting;
+          quick "backoff cap arithmetic" test_backoff_cap;
+          quick "timeout classification" test_timeout_classification;
+          quick "slow within budget succeeds" test_slow_within_budget_succeeds;
+          quick "request ships per attempt" test_request_ships_per_attempt;
+          quick "retries mask flakiness" test_retries_eventually_mask_flakiness;
+          quick "cache hits skip faults" test_cache_hits_skip_faults;
+        ] );
+      ( "determinism",
+        [
+          quick "same seed, same log" test_schedule_determinism;
+          quick "registry replays Faults.plan" test_registry_matches_plan;
+        ] );
+      ( "spec",
+        [
+          quick "fault attributes" test_spec_fault_attributes;
+          quick "malformed attributes" test_spec_malformed_fault_attributes;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_lazy_under_faults_subset_of_naive;
+          QCheck_alcotest.to_alcotest prop_enough_retries_mask_transients;
+          QCheck_alcotest.to_alcotest prop_all_strategies_degrade_gracefully;
+          QCheck_alcotest.to_alcotest prop_naive_under_faults_subset;
+        ] );
+    ]

@@ -64,7 +64,9 @@ let test_memoization () =
   Alcotest.(check int) "behavior ran once" 1 !hits;
   Alcotest.(check bool) "first not cached" false first.Registry.cached;
   Alcotest.(check bool) "second cached" true second.Registry.cached;
+  Alcotest.(check bool) "cache hit is not a push" false second.Registry.pushed;
   Alcotest.(check (float 1e-9)) "cache hit is free" 0.0 second.Registry.cost;
+  Alcotest.(check int) "cache hit retries nothing" 0 second.Registry.retries;
   Alcotest.(check bool) "same result" true (second_result = [ Tree.Text "result" ]);
   (* different parameters miss the cache *)
   ignore (Registry.invoke r ~name:"m" ~params:[ t "other" ] ());
@@ -78,7 +80,34 @@ let test_memoized_push_still_prunes () =
   let push = (Parser.parse {|/item[k="yes"]|}).P.root in
   let pruned, inv = Registry.invoke r ~name:"m" ~params:[] ~push () in
   Alcotest.(check bool) "cached" true inv.Registry.cached;
+  Alcotest.(check bool) "pushed even on a cache hit" true inv.Registry.pushed;
   Alcotest.(check int) "pruned from cache" 1 (List.length pruned)
+
+let test_memoized_flaky_service () =
+  (* cache × retry interaction: a first success populates the cache, and
+     every later identical call is answered locally — zero cost, zero
+     retries, no fault exposure, regardless of how flaky the wire is *)
+  let r = Registry.create () in
+  Registry.register r ~name:"m" ~memoize:true ~faults:[ Axml_services.Faults.Flaky 0.95 ]
+    ~retry:
+      {
+        Registry.default_policy with
+        Registry.max_retries = 200;
+        base_backoff = 0.001;
+        max_backoff = 0.001;
+      }
+    (fun _ -> [ t "v" ]);
+  let _, first = Registry.invoke r ~name:"m" ~params:[ t "k" ] () in
+  Alcotest.(check bool) "first went over the wire" false first.Registry.cached;
+  let exposures_after_first = Registry.fault_exposures r in
+  for _ = 1 to 5 do
+    let result, inv = Registry.invoke r ~name:"m" ~params:[ t "k" ] () in
+    Alcotest.(check bool) "hit" true inv.Registry.cached;
+    Alcotest.(check int) "no retries on a hit" 0 inv.Registry.retries;
+    Alcotest.(check (float 1e-9)) "free" 0.0 inv.Registry.cost;
+    Alcotest.(check bool) "served" true (result = [ Tree.Text "v" ])
+  done;
+  Alcotest.(check int) "hits drew no faults" exposures_after_first (Registry.fault_exposures r)
 
 let test_reregister_overrides () =
   let r = Registry.create () in
@@ -241,6 +270,7 @@ let () =
           quick "history" test_history;
           quick "memoization" test_memoization;
           quick "memoized push still prunes" test_memoized_push_still_prunes;
+          quick "memoized flaky service" test_memoized_flaky_service;
           quick "re-register overrides" test_reregister_overrides;
         ] );
       ( "push",
