@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults bench examples doc clean
+.PHONY: all build test test-faults test-obs bench examples doc clean trace-demo
 
 all: build
 
@@ -10,6 +10,18 @@ test:
 
 test-faults:
 	dune exec test/test_faults.exe
+
+test-obs:
+	dune exec test/test_obs.exe
+
+# record a traced + measured run, then pretty-print the span tree;
+# load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev
+trace-demo:
+	dune exec bin/axml.exe -- run --workload city \
+	  --trace /tmp/axml-demo.trace.json \
+	  --metrics /tmp/axml-demo.metrics.json \
+	  --report-json /tmp/axml-demo.report.json
+	dune exec bin/axml.exe -- trace /tmp/axml-demo.trace.json
 
 bench:
 	dune exec bench/main.exe

@@ -3,7 +3,13 @@
    table; a final Bechamel section micro-benchmarks the core operation
    behind each table.
 
-   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|micro]...   (default: everything) *)
+   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|micro]...
+   (default: everything)
+
+   With [--metrics-dir DIR], each experiment runs with a metrics-only
+   observability sink and dumps the accumulated eval.* / service.*
+   counters to DIR/<exp>.metrics.json when it finishes (see
+   EXPERIMENTS.md, "Metrics snapshots"). *)
 
 module Doc = Axml_doc
 module P = Axml_query.Pattern
@@ -24,6 +30,34 @@ module Lazy_eval = Axml_core.Lazy_eval
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
 module Synthetic = Axml_workload.Synthetic
+module Obs = Axml_obs.Obs
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Per-experiment metrics snapshots.
+
+   [bench_obs] is threaded (as [~obs]) through every [Lazy_eval.run] /
+   [Naive.run] call site below. Without [--metrics-dir] it is the no-op
+   sink, so the experiments measure exactly what they measured before;
+   with it, each experiment accumulates one metrics registry (counters
+   sum over every run the experiment performs) that is written out as
+   DIR/<exp>.metrics.json. *)
+
+let metrics_dir : string option ref = ref None
+let bench_obs = ref Obs.null
+
+let with_snapshot name f () =
+  (bench_obs :=
+     match !metrics_dir with Some _ -> Obs.measuring () | None -> Obs.null);
+  f ();
+  match !metrics_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".metrics.json") in
+    Metrics.write path !bench_obs.Obs.metrics;
+    Printf.eprintf "[bench] wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Small table printer *)
@@ -133,13 +167,13 @@ let e1 () =
         let naive_inst = City.generate cfg in
         let initial_calls = Doc.count_calls naive_inst.City.doc in
         let naive =
-          Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query
-            naive_inst.City.doc
+          Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
+            naive_inst.City.query naive_inst.City.doc
         in
         let lazy_inst = City.generate cfg in
         let lzy =
           Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
-            ~strategy:sequential lazy_inst.City.query lazy_inst.City.doc
+            ~strategy:sequential ~obs:!bench_obs lazy_inst.City.query lazy_inst.City.doc
         in
         assert (tuples naive.Naive.answers = tuples lzy.Lazy_eval.answers);
         let speedup =
@@ -197,7 +231,8 @@ let e2 () =
   in
   let naive_inst = City.generate cfg in
   let naive =
-    Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query naive_inst.City.doc
+    Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry naive_inst.City.query
+      naive_inst.City.doc
   in
   let rows =
     List.map
@@ -206,7 +241,7 @@ let e2 () =
         let inst = City.generate cfg in
         let r =
           Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
-            inst.City.query inst.City.doc
+            ~obs:!bench_obs inst.City.query inst.City.doc
         in
         assert (tuples r.Lazy_eval.answers = tuples naive.Naive.answers);
         [
@@ -326,7 +361,7 @@ let e4 () =
         let run strategy =
           let inst = City.generate cfg in
           Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
-            inst.City.query inst.City.doc
+            ~obs:!bench_obs inst.City.query inst.City.doc
         in
         let plain = run Lazy_eval.nfqa_typed in
         let pushed = run (Lazy_eval.with_push Lazy_eval.nfqa_typed) in
@@ -395,7 +430,7 @@ let e5 () =
         let inst = City.generate cfg in
         let r =
           Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
-            inst.City.query inst.City.doc
+            ~obs:!bench_obs inst.City.query inst.City.doc
         in
         (match !reference with
         | None -> reference := Some (tuples r.Lazy_eval.answers)
@@ -454,8 +489,8 @@ let e6 () =
             | `Lenient -> { Lazy_eval.nfqa_typed with Lazy_eval.typing = Lazy_eval.Lenient_types }
           in
           let r =
-            Lazy_eval.run ~registry:inst.City.registry ~schema ~strategy inst.City.query
-              inst.City.doc
+            Lazy_eval.run ~registry:inst.City.registry ~schema ~strategy ~obs:!bench_obs
+              inst.City.query inst.City.doc
           in
           (r.Lazy_eval.analysis_seconds, r.Lazy_eval.invoked)
         in
@@ -509,7 +544,7 @@ elements:
           Registry.register registry ~name:"getmenu" (fun _ ->
               [ Axml_xml.Tree.element "menu" [ Axml_xml.Tree.element "veg" [ Axml_xml.Tree.text "lettuce" ] ] ]);
           let strategy = { Lazy_eval.nfqa with Lazy_eval.typing } in
-          Lazy_eval.run ~registry ~schema:disjunctive_schema ~strategy query doc
+          Lazy_eval.run ~registry ~schema:disjunctive_schema ~strategy ~obs:!bench_obs query doc
         in
         let exact = run Lazy_eval.Exact_types in
         let lenient = run Lazy_eval.Lenient_types in
@@ -547,7 +582,10 @@ let e7 () =
   (* fault-free naive materialization: the Def. 4 oracle *)
   let reference =
     let inst = City.generate cfg in
-    tuples (Naive.run ~parallel:false inst.City.registry inst.City.query inst.City.doc).Naive.answers
+    tuples
+      (Naive.run ~parallel:false ~obs:!bench_obs inst.City.registry inst.City.query
+         inst.City.doc)
+        .Naive.answers
   in
   let series = ref [] in
   let rows =
@@ -561,15 +599,15 @@ let e7 () =
         in
         let naive_inst = prepare () in
         let naive =
-          Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query
-            naive_inst.City.doc
+          Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
+            naive_inst.City.query naive_inst.City.doc
         in
         let naive_exposures = Registry.fault_exposures naive_inst.City.registry in
         let lazy_inst = prepare () in
         let lzy =
           Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
             ~strategy:{ Lazy_eval.nfqa_typed with Lazy_eval.parallel = false }
-            lazy_inst.City.query lazy_inst.City.doc
+            ~obs:!bench_obs lazy_inst.City.query lazy_inst.City.doc
         in
         let lazy_exposures = Registry.fault_exposures lazy_inst.City.registry in
         (* Def. 4 leniency: faults lose bindings, never fabricate them. *)
@@ -637,14 +675,14 @@ let e7 () =
         in
         let naive_inst = prepare () in
         let naive =
-          Naive.run ~parallel:false naive_inst.City.registry naive_inst.City.query
-            naive_inst.City.doc
+          Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
+            naive_inst.City.query naive_inst.City.doc
         in
         let lazy_inst = prepare () in
         let lzy =
           Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
             ~strategy:{ Lazy_eval.nfqa_typed with Lazy_eval.parallel = false }
-            lazy_inst.City.query lazy_inst.City.doc
+            ~obs:!bench_obs lazy_inst.City.query lazy_inst.City.doc
         in
         let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
         assert (subset (tuples naive.Naive.answers) reference);
@@ -739,6 +777,20 @@ let micro () =
       Test.make ~name:"e6:sat-exact"
         (Staged.stage (fun () ->
              Sat.create (Schema.of_string City.schema_src) [ sat_query.P.root ]));
+      (* Observability overhead: the same lazy run with the no-op sink vs
+         live tracing+metrics. The acceptance bar is parity for the null
+         sink against the e1 baseline (which never mentions obs). *)
+      Test.make ~name:"obs:lazy-run-null"
+        (Staged.stage (fun () ->
+             let inst = City.generate { City.default_config with City.hotels = 10 } in
+             Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema
+               ~strategy:Lazy_eval.nfqa_typed ~obs:Obs.null inst.City.query inst.City.doc));
+      Test.make ~name:"obs:lazy-run-traced"
+        (Staged.stage (fun () ->
+             let inst = City.generate { City.default_config with City.hotels = 10 } in
+             Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema
+               ~strategy:Lazy_eval.nfqa_typed ~obs:(Obs.create ()) inst.City.query
+               inst.City.doc));
     ]
   in
   let grouped = Test.make_grouped ~name:"axml" ~fmt:"%s/%s" tests in
@@ -772,15 +824,25 @@ let experiments =
   ]
 
 let () =
+  let rec parse names = function
+    | "--metrics-dir" :: dir :: rest ->
+      metrics_dir := Some dir;
+      parse names rest
+    | "--metrics-dir" :: [] ->
+      prerr_endline "--metrics-dir expects a directory argument";
+      exit 2
+    | name :: rest -> parse (name :: names) rest
+    | [] -> List.rev names
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> with_snapshot name f ()
       | None ->
         Printf.eprintf "unknown experiment %S (available: %s)\n" name
           (String.concat ", " (List.map fst experiments));

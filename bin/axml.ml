@@ -19,6 +19,10 @@ module Lazy_eval = Axml_core.Lazy_eval
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
 module Synthetic = Axml_workload.Synthetic
+module Obs = Axml_obs.Obs
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
+module Json = Axml_obs.Json
 
 open Cmdliner
 
@@ -145,6 +149,65 @@ let apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout =
       else Option.iter (Registry.set_fault_seed registry) fault_seed;
       Ok ()
   end
+
+(* ---------------- observability knobs ---------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the evaluation as a span trace and write it to $(docv): Chrome trace_event \
+           JSON (open in chrome://tracing or ui.perfetto.dev), or JSONL when $(docv) ends in \
+           $(b,.jsonl). Inspect either format with $(b,axml trace).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON metrics snapshot (counters, gauges, per-service latency histograms) to \
+           $(docv). The eval.* totals reconcile exactly with the printed report.")
+
+let report_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-json" ] ~docv:"FILE"
+        ~doc:
+          "Also emit the full evaluation report (answers and every counter) as JSON to $(docv); \
+           $(b,-) writes it to stdout.")
+
+let make_obs ~trace ~metrics =
+  if trace = None && metrics = None then Obs.null
+  else
+    {
+      Obs.trace = (if trace = None then Trace.null else Trace.create ());
+      metrics = (if metrics = None then Metrics.null else Metrics.create ());
+    }
+
+let write_obs ~trace ~metrics obs =
+  Option.iter
+    (fun path ->
+      if Filename.check_suffix path ".jsonl" then Trace.write_jsonl path obs.Obs.trace
+      else Trace.write_chrome path obs.Obs.trace;
+      Printf.eprintf "wrote trace %s\n%!" path)
+    trace;
+  Option.iter
+    (fun path ->
+      Metrics.write path obs.Obs.metrics;
+      Printf.eprintf "wrote metrics %s\n%!" path)
+    metrics
+
+let emit_report_json dest json =
+  match dest with
+  | None -> ()
+  | Some "-" -> print_endline (Json.to_string ~indent:2 json)
+  | Some path ->
+    Json.write_file ~indent:2 path json;
+    Printf.eprintf "wrote report %s\n%!" path
 
 let print_fault_counters registry =
   let retries = Registry.total_retries registry in
@@ -288,7 +351,7 @@ let strategy_conv =
     ]
 
 let run_workload verbose workload strategy scale seed push fguide xml fault_rate fault_seed
-    max_retries timeout query_override =
+    max_retries timeout trace_out metrics_out report_json query_override =
   setup_logs verbose;
   let instance =
     match workload with
@@ -322,15 +385,18 @@ let run_workload verbose workload strategy scale seed push fguide xml fault_rate
       Printf.printf "document: %d nodes, %d calls\nquery:    %s\n\n" (Doc.size doc)
         (Doc.count_calls doc)
         (P.to_string query);
+      let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
       match strategy with
       | `Naive ->
-        let r = Naive.run registry query doc in
+        let r = Naive.run ~obs registry query doc in
         print_bindings ~xml r.Naive.answers;
         Printf.printf
           "\ninvoked %d call(s) in %d round(s), %.3f s simulated, %d bytes, complete=%b\n"
           r.Naive.invoked r.Naive.rounds r.Naive.simulated_seconds r.Naive.bytes_transferred
           r.Naive.complete;
         print_fault_counters registry;
+        write_obs ~trace:trace_out ~metrics:metrics_out obs;
+        emit_report_json report_json (Naive.report_to_json r);
         `Ok ()
       | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
         let base =
@@ -342,7 +408,7 @@ let run_workload verbose workload strategy scale seed push fguide xml fault_rate
         in
         let base = if push then Lazy_eval.with_push base else base in
         let strategy = if fguide then Lazy_eval.with_fguide base else base in
-        let r = Lazy_eval.run ~registry ~schema ~strategy query doc in
+        let r = Lazy_eval.run ~registry ~schema ~strategy ~obs query doc in
         print_bindings ~xml r.Lazy_eval.answers;
         Printf.printf
           "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
@@ -353,6 +419,8 @@ let run_workload verbose workload strategy scale seed push fguide xml fault_rate
           (r.Lazy_eval.analysis_seconds *. 1000.0)
           r.Lazy_eval.bytes_transferred r.Lazy_eval.complete;
         print_fault_counters registry;
+        write_obs ~trace:trace_out ~metrics:metrics_out obs;
+        emit_report_json report_json (Lazy_eval.report_to_json r);
         `Ok ()))
 
 let run_cmd =
@@ -385,7 +453,7 @@ let run_cmd =
       ret
         (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
        $ push_arg $ fguide_arg $ xml_flag $ fault_rate_arg $ fault_seed_arg $ max_retries_arg
-       $ timeout_arg $ query_arg))
+       $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
 
 (* ---------------- generate ---------------- *)
 
@@ -438,7 +506,7 @@ let generate_cmd =
 (* ---------------- eval (user files) ---------------- *)
 
 let eval_files verbose doc_path schema_path services_path strategy push fguide xml flwr fault_rate
-    fault_seed max_retries timeout query_src =
+    fault_seed max_retries timeout trace_out metrics_out report_json query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -466,13 +534,16 @@ let eval_files verbose doc_path schema_path services_path strategy push fguide x
       match apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout with
       | Error m -> fail "%s" m
       | Ok () -> (
+        let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
         match strategy with
         | `Naive ->
-          let r = Naive.run registry query doc in
+          let r = Naive.run ~obs registry query doc in
           print_bindings ~xml r.Naive.answers;
           Printf.printf "\ninvoked %d call(s), %.3f s simulated, complete=%b\n" r.Naive.invoked
             r.Naive.simulated_seconds r.Naive.complete;
           print_fault_counters registry;
+          write_obs ~trace:trace_out ~metrics:metrics_out obs;
+          emit_report_json report_json (Naive.report_to_json r);
           `Ok ()
         | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
           let base =
@@ -484,7 +555,7 @@ let eval_files verbose doc_path schema_path services_path strategy push fguide x
           in
           let base = if push then Lazy_eval.with_push base else base in
           let strategy = if fguide then Lazy_eval.with_fguide base else base in
-          let r = Lazy_eval.run ?schema ~registry ~strategy query doc in
+          let r = Lazy_eval.run ?schema ~registry ~strategy ~obs query doc in
           (match flwr_query with
           | Ok (Some q) ->
             print_endline
@@ -495,6 +566,8 @@ let eval_files verbose doc_path schema_path services_path strategy push fguide x
             r.Lazy_eval.invoked r.Lazy_eval.rounds r.Lazy_eval.simulated_seconds
             r.Lazy_eval.complete;
           print_fault_counters registry;
+          write_obs ~trace:trace_out ~metrics:metrics_out obs;
+          emit_report_json report_json (Lazy_eval.report_to_json r);
           `Ok ())))
 
 let eval_cmd =
@@ -522,7 +595,39 @@ let eval_cmd =
       ret
         (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ strategy_arg
        $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ fault_rate_arg $ fault_seed_arg
-       $ max_retries_arg $ timeout_arg $ query_arg))
+       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
+
+(* ---------------- trace ---------------- *)
+
+let trace_view path =
+  match Trace.load_file path with
+  | Error m -> fail "%s: %s" path m
+  | Ok forest ->
+    Format.printf "%a" Trace.pp_forest forest;
+    let rec count pred ns =
+      List.fold_left
+        (fun acc (n : Trace.node) ->
+          acc + (if pred n then 1 else 0) + count pred n.Trace.children)
+        0 ns
+    in
+    let total = count (fun _ -> true) forest in
+    let named name = count (fun n -> n.Trace.node_name = name) forest in
+    Printf.printf
+      "\n%d span(s): %d round(s), %d detection(s), %d invocation(s), %d wire attempt(s)\n" total
+      (named "eval.round") (named "eval.detect") (named "service.invoke")
+      (named "service.attempt");
+    `Ok ()
+
+let trace_cmd =
+  let doc =
+    "Pretty-print a saved trace (Chrome trace_event JSON or JSONL, from $(b,--trace)) as the \
+     evaluation's layer/pass/round tree with wall and simulated-clock durations, attributes and \
+     byte rollups."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Saved trace file.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(ret (const trace_view $ file_arg))
 
 (* ---------------- validate ---------------- *)
 
@@ -613,6 +718,7 @@ let () =
             guide_cmd;
             run_cmd;
             eval_cmd;
+            trace_cmd;
             generate_cmd;
             validate_cmd;
             termination_cmd;

@@ -26,6 +26,9 @@ module Doc = Axml_doc
 module Registry = Axml_services.Registry
 module Schema = Axml_schema.Schema
 module Sat = Axml_schema.Sat
+module Obs = Axml_obs.Obs
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
 
 type relevance_mode =
   | Nfq_relevance  (** node-focused queries: exact relevant-call detection *)
@@ -116,6 +119,7 @@ type state = {
   strategy : strategy;
   registry : Registry.t;
   doc : Doc.t;
+  obs : Obs.t;
 
   sub_of : (int, P.node) Hashtbl.t;  (* original-query pid -> subtree *)
   push_of : (int, P.node) Hashtbl.t;  (* cached optimistic push patterns *)
@@ -198,7 +202,15 @@ let timed st f =
    failed ones, which would otherwise be retrieved forever. *)
 let detect st (rq : Relevance.t) : Doc.node list =
   timed st (fun () ->
+      let tr = st.obs.Obs.trace in
+      let span =
+        if Trace.enabled tr then
+          Trace.open_span tr ~attrs:[ ("source", Trace.Int rq.Relevance.source) ] "eval.detect"
+        else Trace.none
+      in
+      let t0 = if Obs.enabled st.obs then Sys.time () else 0.0 in
       st.relevance_evals <- st.relevance_evals + 1;
+      Metrics.incr st.obs.Obs.metrics "eval.relevance_evals";
       let retrieved =
         match effective st rq with
         | None -> []
@@ -221,6 +233,8 @@ let detect st (rq : Relevance.t) : Doc.node list =
           | Some guide ->
             let candidates = Fguide.candidates guide (Relevance.guide_steps r) in
             st.candidates_checked <- st.candidates_checked + List.length candidates;
+            Metrics.incr st.obs.Obs.metrics ~by:(List.length candidates)
+              "eval.candidates_checked";
             (match st.strategy.relevance with
             | Lpq_relevance ->
               (* an LPQ is exactly its linear path: guide answers are final *)
@@ -228,8 +242,15 @@ let detect st (rq : Relevance.t) : Doc.node list =
             | Nfq_relevance ->
               List.filter (fun c -> Relevance.retrieves ~relax_joins r c) candidates))
       in
-      if Hashtbl.length st.failed = 0 then retrieved
-      else List.filter (fun (c : Doc.node) -> not (Hashtbl.mem st.failed c.Doc.id)) retrieved)
+      let result =
+        if Hashtbl.length st.failed = 0 then retrieved
+        else List.filter (fun (c : Doc.node) -> not (Hashtbl.mem st.failed c.Doc.id)) retrieved
+      in
+      if Obs.enabled st.obs then begin
+        Metrics.observe st.obs.Obs.metrics "eval.detect_seconds" (Sys.time () -. t0);
+        Trace.close_span tr ~attrs:[ ("retrieved", Trace.Int (List.length result)) ] span
+      end;
+      result)
 
 let push_pattern st (rq : Relevance.t) =
   if not st.strategy.push then None
@@ -248,11 +269,20 @@ let account_attempts st (inv : Registry.invocation) =
   st.retries <- st.retries + inv.Registry.retries;
   st.timeouts <- st.timeouts + inv.Registry.timeouts;
   st.backoff_seconds <- st.backoff_seconds +. inv.Registry.backoff_seconds;
-  st.bytes <- st.bytes + inv.Registry.request_bytes + inv.Registry.response_bytes
+  st.bytes <- st.bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
+  (* the mirror of the report counters — same increments, so the metrics
+     snapshot reconciles with the report exactly *)
+  let m = st.obs.Obs.metrics in
+  Metrics.incr m ~by:inv.Registry.retries "eval.retries";
+  Metrics.incr m ~by:inv.Registry.timeouts "eval.timeouts";
+  Metrics.add m "eval.backoff_seconds" inv.Registry.backoff_seconds;
+  Metrics.incr m ~by:(inv.Registry.request_bytes + inv.Registry.response_bytes) "eval.bytes"
 
 let invoke_one st ?push (call : Doc.node) =
   let name = Naive.call_name_exn call in
-  match Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push () with
+  match
+    Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push ~obs:st.obs ()
+  with
   | result, inv ->
     Log.debug (fun m ->
         m "invoke [%d]%s%s"
@@ -266,7 +296,11 @@ let invoke_one st ?push (call : Doc.node) =
     | Some guide -> Fguide.update_after_replace guide ~invoked:call ~added);
     scan_new_functions st added;
     st.invoked <- st.invoked + 1;
-    if inv.Registry.pushed then st.pushed <- st.pushed + 1;
+    Metrics.incr st.obs.Obs.metrics "eval.invoked";
+    if inv.Registry.pushed then begin
+      st.pushed <- st.pushed + 1;
+      Metrics.incr st.obs.Obs.metrics "eval.pushed"
+    end;
     account_attempts st inv;
     inv.Registry.cost
   | exception Registry.Service_failure inv ->
@@ -277,6 +311,7 @@ let invoke_one st ?push (call : Doc.node) =
           (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
           name inv.Registry.retries inv.Registry.timeouts);
     Hashtbl.replace st.failed call.Doc.id ();
+    Metrics.incr st.obs.Obs.metrics "eval.failed_calls";
     account_attempts st inv;
     inv.Registry.cost
 
@@ -302,6 +337,7 @@ let materialize_answers st (q : P.t) =
   let continue = ref true in
   while !continue && within_budget st do
     st.passes <- st.passes + 1;
+    Metrics.incr st.obs.Obs.metrics "eval.passes";
     let answers = Eval.eval q st.doc in
     let seen = Hashtbl.create 16 in
     let pending =
@@ -319,6 +355,15 @@ let materialize_answers st (q : P.t) =
     if pending = [] then continue := false
     else begin
       st.rounds <- st.rounds + 1;
+      Metrics.incr st.obs.Obs.metrics "eval.rounds";
+      let tr = st.obs.Obs.trace in
+      let span =
+        if Trace.enabled tr then
+          Trace.open_span tr
+            ~attrs:[ ("calls", Trace.Int (List.length pending)); ("phase", Trace.Str "materialize") ]
+            "eval.round"
+        else Trace.none
+      in
       let batch_cost =
         List.fold_left
           (fun worst call ->
@@ -326,6 +371,8 @@ let materialize_answers st (q : P.t) =
             else worst)
           0.0 pending
       in
+      if Trace.enabled tr then
+        Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float batch_cost) ] span;
       st.simulated_seconds <- st.simulated_seconds +. batch_cost
     end
   done
@@ -341,45 +388,65 @@ let process_layer st (layer : Relevance.t list) =
       layer
   in
   let is_independent rq = List.assoc rq.Relevance.source independent in
+  let tr = st.obs.Obs.trace in
   let continue = ref true in
   while !continue && within_budget st do
     st.passes <- st.passes + 1;
+    Metrics.incr st.obs.Obs.metrics "eval.passes";
     continue := false;
-    let rec sweep = function
-      | [] -> ()
-      | rq :: rest -> (
-        match detect st rq with
-        | [] -> sweep rest
-        | calls ->
-          Log.debug (fun m ->
-              m "NFQ(v=%d) retrieves %d call(s)" rq.Relevance.source (List.length calls));
-          continue := true;
-          st.rounds <- st.rounds + 1;
-          if st.strategy.parallel && (st.strategy.speculative || is_independent rq) then begin
-            (* batch: parallel invocation, accounted at the slowest call *)
-            let batch_cost =
-              List.fold_left
-                (fun worst call ->
-                  if st.invoked < st.strategy.max_calls then
-                    Float.max worst (invoke_one st ?push:(push_pattern st rq) call)
-                  else worst)
-                0.0 calls
-            in
-            st.simulated_seconds <- st.simulated_seconds +. batch_cost
-          end
-          else begin
-            match calls with
-            | call :: _ ->
-              st.simulated_seconds <-
-                st.simulated_seconds +. invoke_one st ?push:(push_pattern st rq) call
-            | [] -> ()
-          end)
-    in
-    sweep layer
+    Trace.with_span tr "eval.pass" (fun () ->
+        let rec sweep = function
+          | [] -> ()
+          | rq :: rest -> (
+            match detect st rq with
+            | [] -> sweep rest
+            | calls ->
+              Log.debug (fun m ->
+                  m "NFQ(v=%d) retrieves %d call(s)" rq.Relevance.source (List.length calls));
+              continue := true;
+              st.rounds <- st.rounds + 1;
+              Metrics.incr st.obs.Obs.metrics "eval.rounds";
+              let parallel =
+                st.strategy.parallel && (st.strategy.speculative || is_independent rq)
+              in
+              let span =
+                if Trace.enabled tr then
+                  Trace.open_span tr
+                    ~attrs:
+                      [
+                        ("source", Trace.Int rq.Relevance.source);
+                        ("calls", Trace.Int (if parallel then List.length calls else 1));
+                        ("parallel", Trace.Bool parallel);
+                      ]
+                    "eval.round"
+                else Trace.none
+              in
+              let batch_cost =
+                if parallel then
+                  (* batch: parallel invocation, accounted at the slowest call *)
+                  List.fold_left
+                    (fun worst call ->
+                      if st.invoked < st.strategy.max_calls then
+                        Float.max worst (invoke_one st ?push:(push_pattern st rq) call)
+                      else worst)
+                    0.0 calls
+                else begin
+                  match calls with
+                  | call :: _ -> invoke_one st ?push:(push_pattern st rq) call
+                  | [] -> 0.0
+                end
+              in
+              if Trace.enabled tr then
+                Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float batch_cost) ] span;
+              st.simulated_seconds <- st.simulated_seconds +. batch_cost)
+        in
+        sweep layer)
   done
 
-let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
+let relevance_name = function Nfq_relevance -> "nfq" | Lpq_relevance -> "lpq"
+let typing_name = function No_types -> "none" | Lenient_types -> "lenient" | Exact_types -> "exact"
 
+let run ?(strategy = default) ?schema ?(obs = Obs.null) ~registry (q : P.t) (d : Doc.t) : report =
   let rqs =
     match strategy.relevance with
     | Nfq_relevance -> Nfq.of_query q
@@ -414,7 +481,7 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
       strategy;
       registry;
       doc = d;
-
+      obs;
       sub_of;
       push_of = Hashtbl.create 16;
       typing;
@@ -447,25 +514,66 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
     (fun c -> match c.Doc.label with Doc.Call { fname; _ } -> add_known st fname | _ -> ())
     (Doc.function_nodes d);
   st.refinement_dirty <- true;
+  let tr = obs.Obs.trace in
+  let root =
+    if Trace.enabled tr then
+      Trace.open_span tr
+        ~attrs:
+          [
+            ("relevance", Trace.Str (relevance_name strategy.relevance));
+            ("typing", Trace.Str (typing_name strategy.typing));
+            ("layering", Trace.Bool strategy.layering);
+            ("parallel", Trace.Bool strategy.parallel);
+            ("push", Trace.Bool strategy.push);
+            ("fguide", Trace.Bool strategy.use_fguide);
+            ("doc_nodes", Trace.Int (Doc.size d));
+          ]
+        "eval.run"
+    else Trace.none
+  in
   let layers =
     if strategy.layering then timed st (fun () -> Influence.layers rqs) else [ rqs ]
   in
   Log.info (fun m ->
       m "%d relevance queries in %d layer(s)" (List.length rqs) (List.length layers));
-  List.iter
-    (fun layer ->
-      process_layer st layer;
+  List.iteri
+    (fun i layer ->
+      Trace.with_span tr
+        ~attrs:
+          (if Trace.enabled tr then
+             [ ("layer", Trace.Int i); ("queries", Trace.Int (List.length layer)) ]
+           else [])
+        "eval.layer"
+        (fun () -> process_layer st layer);
       if strategy.simplify_after_layer then begin
         st.finished_sources <-
           st.finished_sources @ List.map (fun rq -> rq.Relevance.source) layer;
         st.refinement_dirty <- true
       end)
     layers;
-  if strategy.materialize_results then materialize_answers st q;
+  if strategy.materialize_results then
+    Trace.with_span tr "eval.materialize" (fun () -> materialize_answers st q);
   let complete = within_budget st && Hashtbl.length st.failed = 0 in
   let answers = Eval.eval q st.doc in
-
-
+  if Obs.enabled obs then begin
+    let m = obs.Obs.metrics in
+    Metrics.set m "eval.layer_count" (float_of_int (List.length layers));
+    Metrics.set m "eval.answers" (float_of_int (List.length answers));
+    Metrics.set m "eval.complete" (if complete then 1.0 else 0.0);
+    Metrics.set m "eval.simulated_seconds" st.simulated_seconds;
+    Metrics.set m "eval.analysis_seconds" st.analysis_seconds;
+    Trace.close_span tr
+      ~attrs:
+        [
+          ("invoked", Trace.Int st.invoked);
+          ("rounds", Trace.Int st.rounds);
+          ("passes", Trace.Int st.passes);
+          ("bytes", Trace.Int st.bytes);
+          ("simulated_s", Trace.Float st.simulated_seconds);
+          ("complete", Trace.Bool complete);
+        ]
+      root
+  end;
   {
     answers;
     invoked = st.invoked;
@@ -484,3 +592,42 @@ let run ?(strategy = default) ?schema ~registry (q : P.t) (d : Doc.t) : report =
     backoff_seconds = st.backoff_seconds;
     complete;
   }
+
+(* Machine-readable form of the report: everything the pretty printers
+   show, plus the answer tuples (variable bindings and the XML of each
+   result image). *)
+let report_to_json (r : report) : Axml_obs.Json.t =
+  let module J = Axml_obs.Json in
+  J.Obj
+    [
+      ( "answers",
+        J.List
+          (List.map
+             (fun (b : Eval.binding) ->
+               J.Obj
+                 [
+                   ("vars", J.Obj (List.map (fun (x, v) -> (x, J.String v)) b.Eval.vars));
+                   ( "results",
+                     J.List
+                       (List.map
+                          (fun (_, n) ->
+                            J.String (Axml_xml.Print.to_string (Doc.node_to_xml n)))
+                          b.Eval.results) );
+                 ])
+             r.answers) );
+      ("invoked", J.Int r.invoked);
+      ("pushed", J.Int r.pushed);
+      ("rounds", J.Int r.rounds);
+      ("passes", J.Int r.passes);
+      ("relevance_evals", J.Int r.relevance_evals);
+      ("candidates_checked", J.Int r.candidates_checked);
+      ("layer_count", J.Int r.layer_count);
+      ("simulated_seconds", J.Float r.simulated_seconds);
+      ("analysis_seconds", J.Float r.analysis_seconds);
+      ("bytes_transferred", J.Int r.bytes_transferred);
+      ("retries", J.Int r.retries);
+      ("timeouts", J.Int r.timeouts);
+      ("failed_calls", J.Int r.failed_calls);
+      ("backoff_seconds", J.Float r.backoff_seconds);
+      ("complete", J.Bool r.complete);
+    ]

@@ -87,6 +87,7 @@ type report = {
 val run :
   ?strategy:strategy ->
   ?schema:Axml_schema.Schema.t ->
+  ?obs:Axml_obs.Obs.t ->
   registry:Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->
@@ -96,4 +97,19 @@ val run :
     NFQ layers) and evaluates [q] on the result. A schema is required for
     the typing modes (silently ignored otherwise). Parallel batches are
     accounted at the cost of their slowest invocation; sequential
-    invocations add up. *)
+    invocations add up.
+
+    [obs] (default: disabled) records the whole evaluation as a span
+    tree — [eval.run] ⊃ [eval.layer] ⊃ [eval.pass] ⊃ [eval.detect] /
+    [eval.round] ⊃ [service.invoke] ⊃ [service.attempt] — and mirrors
+    every report counter into [eval.*] metrics (identical increments, so
+    [Metrics.count obs.metrics "eval.invoked"] equals [report.invoked]
+    exactly, and likewise for [retries], [timeouts], [bytes],
+    [backoff_seconds], [rounds], [passes], …). On the trace's simulated
+    timeline, the members of a parallel batch are laid end to end; the
+    aggregated (max) charge is the round span's [batch_cost_s]
+    attribute. *)
+
+val report_to_json : report -> Axml_obs.Json.t
+(** The full report as JSON — the [--report-json] wire format: answer
+    tuples (variable bindings plus result XML) and every counter. *)

@@ -6,6 +6,9 @@ module P = Axml_query.Pattern
 module Eval = Axml_query.Eval
 module Doc = Axml_doc
 module Registry = Axml_services.Registry
+module Obs = Axml_obs.Obs
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
 
 type stats = {
   invoked : int;
@@ -44,7 +47,10 @@ let call_name_exn (call : Doc.node) =
     invocations are sequential (summed costs). A call whose retry budget
     is exhausted ({!Registry.Service_failure}) is left in place as an
     unexpanded function node and never re-attempted. *)
-let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) : stats =
+let materialize ?(max_calls = 100_000) ?(parallel = true) ?(obs = Obs.null) registry
+    (d : Doc.t) : stats =
+  let m = obs.Obs.metrics in
+  let tr = obs.Obs.trace in
   let invoked = ref 0 in
   let rounds = ref 0 in
   let seconds = ref 0.0 in
@@ -64,12 +70,24 @@ let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) :
     if calls = [] then continue := false
     else begin
       incr rounds;
+      Metrics.incr m "eval.rounds";
+      let span =
+        if Trace.enabled tr then
+          Trace.open_span tr
+            ~attrs:[ ("calls", Trace.Int (List.length calls)); ("parallel", Trace.Bool parallel) ]
+            "eval.round"
+        else Trace.none
+      in
       let round_cost = ref 0.0 in
       let account (inv : Registry.invocation) =
         bytes := !bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
         retries := !retries + inv.Registry.retries;
         timeouts := !timeouts + inv.Registry.timeouts;
         backoff := !backoff +. inv.Registry.backoff_seconds;
+        Metrics.incr m ~by:(inv.Registry.request_bytes + inv.Registry.response_bytes) "eval.bytes";
+        Metrics.incr m ~by:inv.Registry.retries "eval.retries";
+        Metrics.incr m ~by:inv.Registry.timeouts "eval.timeouts";
+        Metrics.add m "eval.backoff_seconds" inv.Registry.backoff_seconds;
         if parallel then round_cost := Float.max !round_cost inv.Registry.cost
         else round_cost := !round_cost +. inv.Registry.cost
       in
@@ -78,16 +96,21 @@ let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) :
           if !invoked >= max_calls then budget_hit := true
           else
             match
-              Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call) ()
+              Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call)
+                ~obs ()
             with
             | result, inv ->
               ignore (Doc.replace_call d call result);
               incr invoked;
+              Metrics.incr m "eval.invoked";
               account inv
             | exception Registry.Service_failure inv ->
               Hashtbl.replace failed call.Doc.id ();
+              Metrics.incr m "eval.failed_calls";
               account inv)
         calls;
+      if Trace.enabled tr then
+        Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float !round_cost) ] span;
       seconds := !seconds +. !round_cost;
       if !budget_hit then continue := false
     end
@@ -104,9 +127,26 @@ let materialize ?(max_calls = 100_000) ?(parallel = true) registry (d : Doc.t) :
     complete = (not !budget_hit) && Hashtbl.length failed = 0;
   }
 
-let run ?max_calls ?parallel registry (q : P.t) (d : Doc.t) : report =
-  let s = materialize ?max_calls ?parallel registry d in
+let run ?max_calls ?parallel ?(obs = Obs.null) registry (q : P.t) (d : Doc.t) : report =
+  let tr = obs.Obs.trace in
+  let root = if Trace.enabled tr then Trace.open_span tr "eval.naive" else Trace.none in
+  let s = materialize ?max_calls ?parallel ~obs registry d in
   let answers = Eval.eval q d in
+  if Obs.enabled obs then begin
+    Metrics.set obs.Obs.metrics "eval.answers" (float_of_int (List.length answers));
+    Metrics.set obs.Obs.metrics "eval.complete" (if s.complete then 1.0 else 0.0);
+    Metrics.set obs.Obs.metrics "eval.simulated_seconds" s.simulated_seconds;
+    Trace.close_span tr
+      ~attrs:
+        [
+          ("invoked", Trace.Int s.invoked);
+          ("rounds", Trace.Int s.rounds);
+          ("bytes", Trace.Int s.bytes_transferred);
+          ("simulated_s", Trace.Float s.simulated_seconds);
+          ("complete", Trace.Bool s.complete);
+        ]
+      root
+  end;
   {
     answers;
     invoked = s.invoked;
@@ -119,3 +159,33 @@ let run ?max_calls ?parallel registry (q : P.t) (d : Doc.t) : report =
     backoff_seconds = s.backoff_seconds;
     complete = s.complete;
   }
+
+let report_to_json (r : report) : Axml_obs.Json.t =
+  let module J = Axml_obs.Json in
+  J.Obj
+    [
+      ( "answers",
+        J.List
+          (List.map
+             (fun (b : Eval.binding) ->
+               J.Obj
+                 [
+                   ("vars", J.Obj (List.map (fun (x, v) -> (x, J.String v)) b.Eval.vars));
+                   ( "results",
+                     J.List
+                       (List.map
+                          (fun (_, n) ->
+                            J.String (Axml_xml.Print.to_string (Doc.node_to_xml n)))
+                          b.Eval.results) );
+                 ])
+             r.answers) );
+      ("invoked", J.Int r.invoked);
+      ("rounds", J.Int r.rounds);
+      ("simulated_seconds", J.Float r.simulated_seconds);
+      ("bytes_transferred", J.Int r.bytes_transferred);
+      ("retries", J.Int r.retries);
+      ("timeouts", J.Int r.timeouts);
+      ("failed_calls", J.Int r.failed_calls);
+      ("backoff_seconds", J.Float r.backoff_seconds);
+      ("complete", J.Bool r.complete);
+    ]

@@ -37,19 +37,33 @@ val call_name_exn : Axml_doc.node -> string
 (** Raises [Invalid_argument] on data nodes. *)
 
 val materialize :
-  ?max_calls:int -> ?parallel:bool -> Axml_services.Registry.t -> Axml_doc.t -> stats
+  ?max_calls:int ->
+  ?parallel:bool ->
+  ?obs:Axml_obs.Obs.t ->
+  Axml_services.Registry.t ->
+  Axml_doc.t ->
+  stats
 (** Materializes the document in place. With [parallel:true] (default)
     each round of visible calls is accounted as one parallel batch (max
     cost); otherwise costs add up. A call that permanently fails
     ({!Axml_services.Registry.Service_failure}) stays in the document as
     an unexpanded function node, counts in [failed_calls] and is never
     re-attempted; the evaluation degrades gracefully instead of
-    aborting. *)
+    aborting.
+
+    [obs] (default: disabled) records one [eval.round] span per fixpoint
+    round (service spans nested inside) and mirrors the stats into the
+    same [eval.*] metric names {!Axml_core.Lazy_eval.run} uses, so naive
+    and lazy snapshots compare directly. *)
 
 val run :
   ?max_calls:int ->
   ?parallel:bool ->
+  ?obs:Axml_obs.Obs.t ->
   Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->
   report
+
+val report_to_json : report -> Axml_obs.Json.t
+(** The full report as JSON — the [--report-json] wire format. *)

@@ -1,0 +1,182 @@
+type labels = (string * string) list
+
+type histogram = {
+  buckets : float array; (* upper bounds, ascending; +inf implicit *)
+  counts : int array; (* length = Array.length buckets + 1 *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type instrument =
+  | Counter of float ref
+  | Gauge of float ref
+  | Histogram of histogram
+
+type t = {
+  on : bool;
+  instruments : (string * labels, instrument) Hashtbl.t;
+}
+
+let null = { on = false; instruments = Hashtbl.create 1 }
+let create () = { on = true; instruments = Hashtbl.create 64 }
+let enabled t = t.on
+
+let default_buckets =
+  [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 50.0 ]
+
+let key name labels = (name, List.sort compare labels)
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let find t name labels ~make ~expect =
+  let k = key name labels in
+  match Hashtbl.find_opt t.instruments k with
+  | Some i ->
+    if expect i then i
+    else
+      invalid_arg
+        (Printf.sprintf "metric %s is a %s, used with a different kind" name (kind_name i))
+  | None ->
+    let i = make () in
+    Hashtbl.replace t.instruments k i;
+    i
+
+let counter t name labels =
+  match
+    find t name labels
+      ~make:(fun () -> Counter (ref 0.0))
+      ~expect:(function Counter _ -> true | _ -> false)
+  with
+  | Counter r -> r
+  | _ -> assert false
+
+let incr t ?(labels = []) ?(by = 1) name =
+  if t.on then begin
+    if by < 0 then invalid_arg "Metrics.incr: negative increment";
+    let r = counter t name labels in
+    r := !r +. float_of_int by
+  end
+
+let add t ?(labels = []) name v =
+  if t.on then begin
+    if v < 0.0 then invalid_arg "Metrics.add: negative increment";
+    let r = counter t name labels in
+    r := !r +. v
+  end
+
+let set t ?(labels = []) name v =
+  if t.on then
+    match
+      find t name labels
+        ~make:(fun () -> Gauge (ref v))
+        ~expect:(function Gauge _ -> true | _ -> false)
+    with
+    | Gauge r -> r := v
+    | _ -> assert false
+
+let observe t ?(labels = []) ?(buckets = default_buckets) name v =
+  if t.on then begin
+    let h =
+      match
+        find t name labels
+          ~make:(fun () ->
+            let sorted = List.sort_uniq compare buckets in
+            if sorted = [] then invalid_arg "Metrics.observe: empty bucket list";
+            let buckets = Array.of_list sorted in
+            Histogram { buckets; counts = Array.make (Array.length buckets + 1) 0; sum = 0.0; n = 0 })
+          ~expect:(function Histogram _ -> true | _ -> false)
+      with
+      | Histogram h -> h
+      | _ -> assert false
+    in
+    let rec slot i =
+      if i >= Array.length h.buckets || v <= h.buckets.(i) then i else slot (i + 1)
+    in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.n <- h.n + 1
+  end
+
+let value t ?(labels = []) name =
+  match Hashtbl.find_opt t.instruments (key name labels) with
+  | Some (Counter r) | Some (Gauge r) -> !r
+  | Some (Histogram h) -> h.sum
+  | None -> 0.0
+
+let count t ?labels name = int_of_float (value t ?labels name)
+
+let fold_name t name f acc =
+  Hashtbl.fold (fun (n, _) i acc -> if n = name then f i acc else acc) t.instruments acc
+
+let total t name =
+  fold_name t name
+    (fun i acc ->
+      match i with Counter r | Gauge r -> acc +. !r | Histogram h -> acc +. h.sum)
+    0.0
+
+let total_count t name =
+  fold_name t name
+    (fun i acc ->
+      match i with Counter r | Gauge r -> acc + int_of_float !r | Histogram h -> acc + h.n)
+    0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let number f = if Float.is_integer f && Float.abs f < 1e15 then Json.Int (int_of_float f) else Json.Float f
+
+let snapshot t =
+  let entries kindp render =
+    Hashtbl.fold
+      (fun (name, labels) i acc -> if kindp i then ((name, labels), i) :: acc else acc)
+      t.instruments []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun ((name, labels), i) ->
+           Json.Obj
+             ([ ("name", Json.String name) ]
+             @ (if labels = [] then [] else [ ("labels", labels_json labels) ])
+             @ render i))
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.List
+          (entries
+             (function Counter _ -> true | _ -> false)
+             (function Counter r -> [ ("value", number !r) ] | _ -> [])) );
+      ( "gauges",
+        Json.List
+          (entries
+             (function Gauge _ -> true | _ -> false)
+             (function Gauge r -> [ ("value", number !r) ] | _ -> [])) );
+      ( "histograms",
+        Json.List
+          (entries
+             (function Histogram _ -> true | _ -> false)
+             (function
+               | Histogram h ->
+                 (* cumulative counts, Prometheus-style *)
+                 let cumulative = ref 0 in
+                 let buckets =
+                   List.init
+                     (Array.length h.counts)
+                     (fun i ->
+                       cumulative := !cumulative + h.counts.(i);
+                       let le =
+                         if i < Array.length h.buckets then Json.Float h.buckets.(i)
+                         else Json.String "inf"
+                       in
+                       Json.Obj [ ("le", le); ("count", Json.Int !cumulative) ])
+                 in
+                 [
+                   ("buckets", Json.List buckets);
+                   ("sum", Json.Float h.sum);
+                   ("count", Json.Int h.n);
+                 ]
+               | _ -> [])) );
+    ]
+
+let write path t = Json.write_file ~indent:2 path (snapshot t)

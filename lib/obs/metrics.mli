@@ -1,0 +1,69 @@
+(** A metrics registry: counters, gauges and fixed-bucket histograms,
+    snapshot-able to JSON.
+
+    Instruments are identified by a name plus an optional label set
+    (e.g. the per-service latency histogram is
+    [observe m ~labels:["service", name] "service.cost" v]); the same
+    name may exist once per label combination. Like {!Trace.null}, the
+    {!null} registry is disabled and free: every operation returns
+    immediately, so instrumented code takes a [?metrics] argument
+    defaulting to {!null}.
+
+    A name must keep one instrument kind — incrementing a gauge or
+    observing into a counter raises [Invalid_argument]; that is a bug in
+    the instrumentation, not in user input. *)
+
+type t
+
+val null : t
+(** The disabled registry: records nothing. *)
+
+val create : unit -> t
+
+val enabled : t -> bool
+
+type labels = (string * string) list
+(** Sorted internally; order at call sites does not matter. *)
+
+(** {2 Recording} *)
+
+val incr : t -> ?labels:labels -> ?by:int -> string -> unit
+(** Counter increment, default [by:1]. [by] must be non-negative. *)
+
+val add : t -> ?labels:labels -> string -> float -> unit
+(** Counter increment by a float (e.g. backoff seconds). Must be
+    non-negative. *)
+
+val set : t -> ?labels:labels -> string -> float -> unit
+(** Gauge: last write wins. *)
+
+val observe : t -> ?labels:labels -> ?buckets:float list -> string -> float -> unit
+(** Histogram observation. [buckets] are the upper bounds (sorted
+    ascending, an implicit [+inf] bucket is appended); they are fixed by
+    the histogram's first observation and ignored afterwards. The
+    default buckets are exponential from 1 ms to 50 s. *)
+
+(** {2 Reading} *)
+
+val value : t -> ?labels:labels -> string -> float
+(** Current counter or gauge value; [0.] when never recorded. *)
+
+val count : t -> ?labels:labels -> string -> int
+(** {!value} truncated to an integer — for counters fed by {!incr}. *)
+
+val total : t -> string -> float
+(** A counter's value summed across all label sets — the reconciliation
+    totals ([total m "service.retries"] over every service). Histograms
+    contribute their observation {e sum}. *)
+
+val total_count : t -> string -> int
+(** {!total} truncated — also the observation count for histograms. *)
+
+val snapshot : t -> Json.t
+(** [{"counters": [...], "gauges": [...], "histograms": [...]}], each
+    instrument as [{"name", "labels", ...}], sorted by name then labels
+    so snapshots are diffable. Histograms carry cumulative bucket
+    counts, [sum] and [count]. *)
+
+val write : string -> t -> unit
+(** Pretty-printed {!snapshot} to a file. *)

@@ -1,0 +1,30 @@
+(** The observability hook handed down through the evaluators and the
+    service registry: one tracer plus one metrics registry.
+
+    Instrumented entry points ({!Axml_services.Registry.invoke},
+    {!Axml_core.Lazy_eval.run}, {!Axml_core.Naive.run}) take
+    [?obs:Obs.t] defaulting to {!null}, whose components are both
+    disabled — every recording call is a single branch, so the
+    instrumentation is free when nobody is watching. *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+val null : t
+(** Both components disabled. The default everywhere. *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** Both components enabled. [clock] feeds the tracer's wall clock
+    (default [Unix.gettimeofday]; tests inject a fake). *)
+
+val tracing : ?clock:(unit -> float) -> unit -> t
+(** Tracer only; metrics stay disabled. *)
+
+val measuring : unit -> t
+(** Metrics only; tracer stays disabled. *)
+
+val enabled : t -> bool
+(** At least one component is live — the guard for any work beyond a
+    plain recording call (building attribute lists, formatting). *)

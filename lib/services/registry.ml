@@ -1,5 +1,8 @@
 module Tree = Axml_xml.Tree
 module Print = Axml_xml.Print
+module Obs = Axml_obs.Obs
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
 
 type behavior = Tree.forest -> Tree.forest
 
@@ -25,8 +28,12 @@ let default_policy =
   }
 
 let backoff_before policy ~retry =
-  Float.min policy.max_backoff
-    (policy.base_backoff *. (policy.backoff_factor ** float_of_int (retry - 1)))
+  (* [retry] is 1-based: the wait before retry #1 is [base_backoff].
+     There is no wait before the first attempt (retry 0). *)
+  if retry <= 0 then 0.0
+  else
+    Float.min policy.max_backoff
+      (policy.base_backoff *. (policy.backoff_factor ** float_of_int (retry - 1)))
 
 type invocation = {
   service : string;
@@ -98,8 +105,51 @@ let find_exn t name =
 let fault_schedule t name = (find_exn t name).faults
 let retry_policy t name = (find_exn t name).retry
 
-let invoke t ~name ~params ?push () =
+(* Per-service metrics for one finished invocation (successful, cached
+   or permanently failed). The totals reconcile with the evaluators'
+   report fields by construction: both are folded from the same
+   invocation records. *)
+let account_metrics m ~name (inv : invocation) =
+  if Metrics.enabled m then begin
+    let labels = [ ("service", name) ] in
+    Metrics.incr m ~labels "service.invocations";
+    if inv.cached then Metrics.incr m ~labels "service.cache_hits";
+    if inv.pushed then Metrics.incr m ~labels "service.pushed";
+    if inv.failed then Metrics.incr m ~labels "service.failures";
+    Metrics.incr m ~labels ~by:inv.retries "service.retries";
+    Metrics.incr m ~labels ~by:inv.timeouts "service.timeouts";
+    Metrics.add m ~labels "service.backoff_seconds" inv.backoff_seconds;
+    Metrics.incr m ~labels ~by:inv.request_bytes "service.request_bytes";
+    Metrics.incr m ~labels ~by:inv.response_bytes "service.response_bytes";
+    Metrics.observe m ~labels "service.cost" inv.cost
+  end
+
+(* Invocation-span close attributes: the measured outcome. *)
+let invocation_attrs (inv : invocation) =
+  [
+    ("cached", Trace.Bool inv.cached);
+    ("pushed", Trace.Bool inv.pushed);
+    ("failed", Trace.Bool inv.failed);
+    ("retries", Trace.Int inv.retries);
+    ("timeouts", Trace.Int inv.timeouts);
+    ("bytes", Trace.Int (inv.request_bytes + inv.response_bytes));
+    ("backoff_s", Trace.Float inv.backoff_seconds);
+    ("cost_s", Trace.Float inv.cost);
+  ]
+
+let invoke t ~name ~params ?push ?(obs = Obs.null) () =
   let service = find_exn t name in
+  let tr = obs.Obs.trace in
+  let traced = Trace.enabled tr in
+  let inv_span =
+    if traced then
+      Trace.open_span tr ~cat:"service" ~attrs:[ ("service", Trace.Str name) ] "service.invoke"
+    else Trace.none
+  in
+  let finish (inv : invocation) =
+    account_metrics obs.Obs.metrics ~name inv;
+    if traced then Trace.close_span tr ~attrs:(invocation_attrs inv) inv_span
+  in
   let cache_key =
     match service.cache with
     | None -> None
@@ -134,6 +184,7 @@ let invoke t ~name ~params ?push () =
       }
     in
     t.history <- invocation :: t.history;
+    finish invocation;
     (shipped, invocation)
   | None ->
     let policy = service.retry in
@@ -150,6 +201,15 @@ let invoke t ~name ~params ?push () =
     let rec go ~retry ~cost ~timeouts ~backoff =
       let attempt = service.attempts in
       service.attempts <- attempt + 1;
+      let attempt_span =
+        if traced then
+          Trace.open_span tr ~cat:"service"
+            ~attrs:[ ("service", Trace.Str name); ("retry", Trace.Int retry) ]
+            "service.attempt"
+        else Trace.none
+      in
+      if Metrics.enabled obs.Obs.metrics then
+        Metrics.incr obs.Obs.metrics ~labels:[ ("service", name) ] "service.attempts";
       let outcome = Faults.plan ~seed:t.fault_seed ~service:name ~attempt service.faults in
       let finish_ok ~extra =
         let full = Lazy.force result in
@@ -196,9 +256,26 @@ let invoke t ~name ~params ?push () =
       in
       match attempted with
       | `Ok (shipped, invocation) ->
+        let duration = invocation.cost -. cost in
+        Trace.advance tr duration;
+        if traced then
+          Trace.close_span tr
+            ~attrs:[ ("outcome", Trace.Str "ok"); ("sim_s", Trace.Float duration) ]
+            attempt_span;
         t.history <- invocation :: t.history;
+        finish invocation;
         (shipped, invocation)
       | `Failed (duration, kind) ->
+        Trace.advance tr duration;
+        if traced then
+          Trace.close_span tr
+            ~attrs:
+              [
+                ( "outcome",
+                  Trace.Str (match kind with `Timeout -> "timeout" | `Transient -> "transient") );
+                ("sim_s", Trace.Float duration);
+              ]
+            attempt_span;
         let timeouts = timeouts + (match kind with `Timeout -> 1 | `Transient -> 0) in
         let cost = cost +. duration in
         if retry >= policy.max_retries then begin
@@ -217,10 +294,16 @@ let invoke t ~name ~params ?push () =
             }
           in
           t.history <- invocation :: t.history;
+          finish invocation;
           raise (Service_failure invocation)
         end
         else begin
           let wait = backoff_before policy ~retry:(retry + 1) in
+          Trace.advance tr wait;
+          if traced then
+            Trace.instant tr ~cat:"service"
+              ~attrs:[ ("service", Trace.Str name); ("wait_s", Trace.Float wait) ]
+              "service.backoff";
           go ~retry:(retry + 1) ~cost:(cost +. wait) ~timeouts ~backoff:(backoff +. wait)
         end
     in

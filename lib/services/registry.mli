@@ -49,8 +49,14 @@ val default_policy : retry_policy
     timeout. *)
 
 val backoff_before : retry_policy -> retry:int -> float
-(** The wait inserted before retry number [retry] (1-based):
-    [min max_backoff (base_backoff * backoff_factor^(retry-1))]. *)
+(** The wait inserted before retry number [retry]:
+    [min max_backoff (base_backoff * backoff_factor^(retry-1))].
+
+    {b [retry] is 1-based}: the first {e retry} (i.e. the second wire
+    attempt) is number 1 and waits [base_backoff]; each further retry
+    multiplies the wait by [backoff_factor] (which need not be an
+    integer) until [max_backoff] clamps it. [retry <= 0] — the first
+    attempt, which is not a retry — waits [0.0]. *)
 
 type invocation = {
   service : string;
@@ -117,7 +123,12 @@ val retry_policy : t -> string -> retry_policy
 (** The service's current policy. Raises {!Unknown_service}. *)
 
 val invoke :
-  t -> name:string -> params:Axml_xml.Tree.forest -> ?push:Axml_query.Pattern.node -> unit ->
+  t ->
+  name:string ->
+  params:Axml_xml.Tree.forest ->
+  ?push:Axml_query.Pattern.node ->
+  ?obs:Axml_obs.Obs.t ->
+  unit ->
   Axml_xml.Tree.forest * invocation
 (** Invokes the service, retrying per its policy when its fault schedule
     makes attempts fail. With [push] and a push-capable provider, the
@@ -126,7 +137,14 @@ val invoke :
     otherwise the full result ships. A cache hit on a memoized service
     answers locally and is never exposed to faults. Raises
     {!Unknown_service} on unknown names and {!Service_failure} when the
-    retry budget is exhausted. *)
+    retry budget is exhausted.
+
+    [obs] (default: disabled) records one [service.invoke] span per
+    invocation with one [service.attempt] child per wire attempt (carrying
+    retry index, fault outcome and simulated duration) and a
+    [service.backoff] instant per wait, advancing the tracer's simulated
+    clock as it goes; per-service [service.*] counters and the
+    [service.cost] latency histogram land in [obs]'s metrics registry. *)
 
 (** {2 Accounting} *)
 

@@ -65,6 +65,32 @@ let test_backoff_cap () =
     feq "sum of capped backoffs" 2.5 inv.Registry.backoff_seconds;
     feq "cost is pure backoff" 2.5 inv.Registry.cost)
 
+let test_backoff_edge_cases () =
+  (* [retry] is 1-based: retry 0 — the first attempt — never waits, and
+     neither does anything below it *)
+  let p = policy ~base_backoff:0.5 ~backoff_factor:2.0 ~max_backoff:10.0 () in
+  feq "retry 0 waits nothing" 0.0 (Registry.backoff_before p ~retry:0);
+  feq "negative retry waits nothing" 0.0 (Registry.backoff_before p ~retry:(-3));
+  feq "retry 1 waits the base" 0.5 (Registry.backoff_before p ~retry:1);
+  (* non-integer factors: base * factor^(retry - 1) *)
+  let p = policy ~base_backoff:0.1 ~backoff_factor:1.5 ~max_backoff:10.0 () in
+  feq "factor 1.5, retry 1" 0.1 (Registry.backoff_before p ~retry:1);
+  feq "factor 1.5, retry 2" 0.15 (Registry.backoff_before p ~retry:2);
+  feq "factor 1.5, retry 3" 0.225 (Registry.backoff_before p ~retry:3);
+  (* max_backoff below the base clamps even the first wait *)
+  let p = policy ~base_backoff:2.0 ~backoff_factor:2.0 ~max_backoff:0.5 () in
+  feq "clamped below the base" 0.5 (Registry.backoff_before p ~retry:1);
+  (* a zero-retry policy never backs off: its single attempt is retry 0 *)
+  let r = Registry.create () in
+  Registry.register r ~name:"once" ~cost:no_transfer ~faults:[ Faults.Fail_transient ]
+    ~retry:(policy ~max_retries:0 ~base_backoff:5.0 ()) (fun _ -> [ t "never" ]);
+  match Registry.invoke r ~name:"once" ~params:[] () with
+  | _ -> Alcotest.fail "expected Service_failure"
+  | exception Registry.Service_failure inv ->
+    Alcotest.(check int) "one attempt, zero retries" 0 inv.Registry.retries;
+    feq "no backoff" 0.0 inv.Registry.backoff_seconds;
+    feq "cost is one latency" 1.0 inv.Registry.cost
+
 let test_timeout_classification () =
   let r = Registry.create () in
   (* the provider hangs for 5 s; the caller abandons each attempt at its
@@ -404,6 +430,7 @@ let () =
         [
           quick "permanent failure accounting" test_permanent_failure_accounting;
           quick "backoff cap arithmetic" test_backoff_cap;
+          quick "backoff edge cases" test_backoff_edge_cases;
           quick "timeout classification" test_timeout_classification;
           quick "slow within budget succeeds" test_slow_within_budget_succeeds;
           quick "request ships per attempt" test_request_ships_per_attempt;
