@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs bench examples doc clean trace-demo
+.PHONY: all build test test-faults test-obs test-net bench examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -14,6 +14,12 @@ test-faults:
 test-obs:
 	dune exec test/test_obs.exe
 
+# loopback client/server integration tests: wire codec, handshake,
+# remote invocation with pooling, degradation when the peer dies, and
+# the city-guide E2E (identical answers, fewer wire calls, push bytes)
+test-net:
+	dune exec test/test_net.exe
+
 # record a traced + measured run, then pretty-print the span tree;
 # load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev
 trace-demo:
@@ -22,6 +28,16 @@ trace-demo:
 	  --metrics /tmp/axml-demo.metrics.json \
 	  --report-json /tmp/axml-demo.report.json
 	dune exec bin/axml.exe -- trace /tmp/axml-demo.trace.json
+
+# serve the weather spec on one terminal; evaluate against it from a
+# second with:
+#   ./_build/default/bin/axml.exe eval -d examples/data/weather.xml \
+#     --connect 127.0.0.1:7342 --xml '/weather/tomorrow/sky!'
+# (run the built binary, not `dune exec`, which would block on the
+# build lock the serving side still holds)
+serve-demo:
+	dune build bin/axml.exe
+	./_build/default/bin/axml.exe serve --services examples/data/weather.services.xml
 
 bench:
 	dune exec bench/main.exe

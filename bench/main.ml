@@ -3,7 +3,7 @@
    table; a final Bechamel section micro-benchmarks the core operation
    behind each table.
 
-   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|micro]...
+   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|e8|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -33,6 +33,9 @@ module Synthetic = Axml_workload.Synthetic
 module Obs = Axml_obs.Obs
 module Metrics = Axml_obs.Metrics
 module Trace = Axml_obs.Trace
+module Server = Axml_net.Server
+module Client = Axml_net.Client
+module Remote = Axml_net.Remote
 
 (* ------------------------------------------------------------------ *)
 (* Per-experiment metrics snapshots.
@@ -718,6 +721,99 @@ let e7 () =
     budget_rows
 
 (* ------------------------------------------------------------------ *)
+(* E8: query pushing over a real wire. E4 measures pushing against the
+   simulated cost model; E8 reruns the comparison against an actual
+   [axmld] peer on loopback — the city services live behind a TCP
+   server, the evaluator invokes them through the [Remote] transport,
+   and the table reports what really crossed the wire (frame bytes,
+   both directions) plus wall-clock time. Loopback has neither the
+   50 ms latency nor the 1 µs/byte of the simulated model, so the
+   absolute times are much smaller than E4's; the byte reduction is the
+   transferable number (see EXPERIMENTS.md §E8). *)
+
+let e8 () =
+  let series = ref [] in
+  let rows =
+    List.map
+      (fun blurb_bytes ->
+        (* seed 1 yields a non-empty answer set at this scale *)
+        let cfg =
+          { City.default_config with City.hotels = 8; seed = 1; blurb_bytes }
+        in
+        let served = City.generate cfg in
+        let server = Server.create ~registry:served.City.registry () in
+        Server.start server;
+        Fun.protect
+          ~finally:(fun () -> Server.stop server)
+          (fun () ->
+            let run ~push =
+              let inst = City.generate cfg in
+              let registry = Registry.create () in
+              let client =
+                Client.create ~host:"127.0.0.1" ~port:(Server.port server) ()
+              in
+              Fun.protect
+                ~finally:(fun () -> Client.close client)
+                (fun () ->
+                  ignore (Remote.register ~memoize:false ~registry client);
+                  let strategy =
+                    if push then Lazy_eval.with_push Lazy_eval.nfqa_typed
+                    else Lazy_eval.nfqa_typed
+                  in
+                  let r, elapsed =
+                    wall (fun () ->
+                        Lazy_eval.run ~registry ~schema:inst.City.schema ~strategy
+                          ~obs:!bench_obs inst.City.query inst.City.doc)
+                  in
+                  let bytes =
+                    List.fold_left
+                      (fun acc (i : Registry.invocation) ->
+                        acc + i.Registry.request_bytes + i.Registry.response_bytes)
+                      0 (Registry.history registry)
+                  in
+                  (r, bytes, elapsed))
+            in
+            let plain, plain_bytes, plain_wall = run ~push:false in
+            let pushed, pushed_bytes, pushed_wall = run ~push:true in
+            assert (tuples plain.Lazy_eval.answers = tuples pushed.Lazy_eval.answers);
+            assert (plain.Lazy_eval.complete && pushed.Lazy_eval.complete);
+            series :=
+              ( Printf.sprintf "%dB" blurb_bytes,
+                [
+                  ("full results", float_of_int plain_bytes);
+                  ("pushed", float_of_int pushed_bytes);
+                ] )
+              :: !series;
+            [
+              string_of_int blurb_bytes;
+              string_of_int plain.Lazy_eval.invoked;
+              string_of_int plain_bytes;
+              string_of_int pushed_bytes;
+              Printf.sprintf "%.1fx"
+                (float_of_int plain_bytes /. Float.max 1.0 (float_of_int pushed_bytes));
+              ms plain_wall;
+              ms pushed_wall;
+              string_of_int (List.length (tuples pushed.Lazy_eval.answers));
+            ]))
+      [ 256; 1024; 4096 ]
+  in
+  print_table ~title:"E8: query pushing over loopback TCP (8 hotels)"
+    ~header:
+      [
+        "blurb";
+        "calls";
+        "wire bytes";
+        "wire bytes(push)";
+        "reduction";
+        "wall(ms)";
+        "wall(ms, push)";
+        "answers";
+      ]
+    rows;
+  print_figure ~title:"Figure E8: bytes on the wire vs review blurb size" ~unit:"B"
+    (List.rev !series)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -820,6 +916,7 @@ let experiments =
     ("e5", e5);
     ("e6", e6);
     ("e7", e7);
+    ("e8", e8);
     ("micro", micro);
   ]
 

@@ -23,6 +23,9 @@ module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
 module Json = Axml_obs.Json
+module Server = Axml_net.Server
+module Client = Axml_net.Client
+module Remote = Axml_net.Remote
 
 open Cmdliner
 
@@ -149,6 +152,51 @@ let apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout =
       else Option.iter (Registry.set_fault_seed registry) fault_seed;
       Ok ()
   end
+
+(* ---------------- remote peers ---------------- *)
+
+let endpoint_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+      | _ -> Error (`Msg (Printf.sprintf "%S: expected HOST:PORT" s)))
+    | None -> Error (`Msg (Printf.sprintf "%S: expected HOST:PORT" s))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt_all endpoint_conv []
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Register the services an $(b,axml serve) peer advertises at $(docv) as remote \
+           services (repeatable). Remote invocations go over TCP with real retries, backoff \
+           and per-attempt socket timeouts; push-capable remote services evaluate pushed \
+           subqueries provider-side.")
+
+(* Dial each peer and register what it advertises. Local registrations
+   (from --services) win on name clashes because register_remote refuses
+   duplicates — so only register names not already present. *)
+let connect_peers registry endpoints =
+  try
+    Ok
+      (List.concat_map
+         (fun (host, port) ->
+           let client = Client.create ~host ~port () in
+           let advertised =
+             List.map (fun (s : Axml_net.Wire.service_info) -> s.Axml_net.Wire.name)
+               (Client.services client ())
+           in
+           let local = Registry.names registry in
+           let fresh = List.filter (fun n -> not (List.mem n local)) advertised in
+           Remote.register ~names:fresh ~registry client)
+         endpoints)
+  with Registry.Transport_error { reason; _ } -> Error ("connect: " ^ reason)
 
 (* ---------------- observability knobs ---------------- *)
 
@@ -505,8 +553,8 @@ let generate_cmd =
 
 (* ---------------- eval (user files) ---------------- *)
 
-let eval_files verbose doc_path schema_path services_path strategy push fguide xml flwr fault_rate
-    fault_seed max_retries timeout trace_out metrics_out report_json query_src =
+let eval_files verbose doc_path schema_path services_path connect strategy push fguide xml flwr
+    fault_rate fault_seed max_retries timeout trace_out metrics_out report_json query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -531,6 +579,11 @@ let eval_files verbose doc_path schema_path services_path strategy push fguide x
       (match names with
       | Some names -> Printf.eprintf "registered services: %s\n%!" (String.concat ", " names)
       | None -> ());
+      match connect_peers registry connect with
+      | Error m -> fail "%s" m
+      | Ok remote_names -> (
+      if remote_names <> [] then
+        Printf.eprintf "remote services: %s\n%!" (String.concat ", " remote_names);
       match apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout with
       | Error m -> fail "%s" m
       | Ok () -> (
@@ -568,7 +621,7 @@ let eval_files verbose doc_path schema_path services_path strategy push fguide x
           print_fault_counters registry;
           write_obs ~trace:trace_out ~metrics:metrics_out obs;
           emit_report_json report_json (Lazy_eval.report_to_json r);
-          `Ok ())))
+          `Ok ()))))
 
 let eval_cmd =
   let doc =
@@ -593,9 +646,10 @@ let eval_cmd =
     (Cmd.info "eval" ~doc)
     Term.(
       ret
-        (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ strategy_arg
-       $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ fault_rate_arg $ fault_seed_arg
-       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
+        (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ connect_arg
+       $ strategy_arg $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ fault_rate_arg
+       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg
+       $ report_json_arg $ query_arg))
 
 (* ---------------- trace ---------------- *)
 
@@ -702,6 +756,63 @@ let termination_cmd =
   in
   Cmd.v (Cmd.info "termination" ~doc) Term.(ret (const termination $ schema_required $ doc_opt))
 
+(* ---------------- serve ---------------- *)
+
+let serve verbose services_path host port fault_rate fault_seed max_retries timeout trace_out
+    metrics_out =
+  setup_logs verbose;
+  let registry = Registry.create () in
+  match Axml_services.Spec.load_file registry services_path with
+  | exception Axml_services.Spec.Error m -> fail "services: %s" m
+  | exception Sys_error m -> fail "%s" m
+  | names -> (
+    match apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout with
+    | Error m -> fail "%s" m
+    | Ok () -> (
+      let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
+      match Server.create ~host ~port ~obs ~registry () with
+      | exception Unix.Unix_error (e, _, _) ->
+        fail "cannot listen on %s:%d: %s" host port (Unix.error_message e)
+      | server ->
+        Printf.printf "serving %d service(s) on %s:%d: %s\n%!" (List.length names) host
+          (Server.port server) (String.concat ", " names);
+        let shutdown _ = Server.stop server in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+        Server.run server;
+        write_obs ~trace:trace_out ~metrics:metrics_out obs;
+        `Ok ()))
+
+let serve_cmd =
+  let doc =
+    "Serve a registry to remote AXML peers over TCP: loads a declarative service spec (the \
+     $(b,--services) format of $(b,axml eval)) and answers $(b,invoke) requests, evaluating \
+     pushed subqueries provider-side. Stop with SIGINT/SIGTERM. Peers connect with $(b,axml \
+     eval --connect HOST:PORT)."
+  in
+  let services_required =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "services" ] ~docv:"FILE" ~doc:"Table-driven service definitions to serve.")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (default loopback).")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7342
+      & info [ "port" ] ~docv:"PORT" ~doc:"Port to bind; 0 picks an ephemeral port.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const serve $ verbose_flag $ services_required $ host_arg $ port_arg $ fault_rate_arg
+       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg))
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -718,6 +829,7 @@ let () =
             guide_cmd;
             run_cmd;
             eval_cmd;
+            serve_cmd;
             trace_cmd;
             generate_cmd;
             validate_cmd;

@@ -1,0 +1,245 @@
+module Registry = Axml_services.Registry
+module Obs = Axml_obs.Obs
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
+
+type conn = { fd : Unix.file_descr; mutable next_id : int }
+
+type t = {
+  host : string;
+  port : int;
+  pool_size : int;
+  connect_timeout : float;
+  mu : Mutex.t;
+  mutable idle : conn list;
+  mutable advertised : Wire.service_info list option;
+}
+
+let create ?(pool_size = 4) ?(connect_timeout = 10.0) ~host ~port () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  {
+    host;
+    port;
+    pool_size;
+    connect_timeout;
+    mu = Mutex.create ();
+    idle = [];
+    advertised = None;
+  }
+
+let host t = t.host
+let port t = t.port
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+
+let set_deadline fd seconds =
+  let s = if seconds = infinity || seconds <= 0.0 then 0.0 else seconds in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+
+(* Dial + handshake. Raises Unix_error / Wire.Protocol_error / Wire.Closed;
+   the caller wraps those into Transport_error. *)
+let dial t ~obs =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    set_deadline fd t.connect_timeout;
+    Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    ignore (Wire.send fd (Wire.Hello { version = Wire.version }));
+    match Wire.recv fd with
+    | Wire.Welcome { version; services }, _ when version = Wire.version ->
+      Mutex.protect t.mu (fun () -> t.advertised <- Some services);
+      Metrics.incr obs.Obs.metrics "net.connects";
+      { fd; next_id = 1 }
+    | Wire.Error { message; _ }, _ -> raise (Wire.Protocol_error message)
+    | _ -> raise (Wire.Protocol_error "expected a welcome handshake")
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* An idle connection that polls readable is stale: request/response
+   leaves nothing in flight, so pending bytes mean EOF or garbage. *)
+let healthy conn =
+  match Unix.select [ conn.fd ] [] [] 0.0 with
+  | [], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+let rec borrow t ~obs =
+  let pooled =
+    Mutex.protect t.mu (fun () ->
+        match t.idle with
+        | [] -> None
+        | conn :: rest ->
+          t.idle <- rest;
+          Some conn)
+  in
+  match pooled with
+  | None -> dial t ~obs
+  | Some conn ->
+    if healthy conn then begin
+      Metrics.incr obs.Obs.metrics "net.reuses";
+      conn
+    end
+    else begin
+      Metrics.incr obs.Obs.metrics "net.stale_drops";
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      borrow t ~obs
+    end
+
+let giveback t conn =
+  let keep =
+    Mutex.protect t.mu (fun () ->
+        if List.length t.idle < t.pool_size then begin
+          t.idle <- conn :: t.idle;
+          true
+        end
+        else false)
+  in
+  if not keep then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let discard conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let services t ?(obs = Obs.null) () =
+  match Mutex.protect t.mu (fun () -> t.advertised) with
+  | Some s -> s
+  | None -> (
+    match borrow t ~obs with
+    | conn ->
+      giveback t conn;
+      Mutex.protect t.mu (fun () -> Option.value t.advertised ~default:[])
+    | exception Unix.Unix_error (e, _, _) ->
+      raise
+        (Registry.Transport_error
+           {
+             wire = { Registry.sent = 0; received = 0; served_push = false; elapsed = 0.0 };
+             transient = true;
+             timeout = false;
+             reason = Unix.error_message e;
+           })
+    | exception (Wire.Protocol_error m | Failure m) ->
+      raise
+        (Registry.Transport_error
+           {
+             wire = { Registry.sent = 0; received = 0; served_push = false; elapsed = 0.0 };
+             transient = false;
+             timeout = false;
+             reason = m;
+           })
+    | exception Wire.Closed ->
+      raise
+        (Registry.Transport_error
+           {
+             wire = { Registry.sent = 0; received = 0; served_push = false; elapsed = 0.0 };
+             transient = true;
+             timeout = false;
+             reason = "connection closed during handshake";
+           }))
+
+let call t ~obs ~timeout ~service ~params ~push =
+  let t0 = Unix.gettimeofday () in
+  let m = obs.Obs.metrics in
+  let tr = obs.Obs.trace in
+  let span =
+    if Trace.enabled tr then
+      Trace.open_span tr ~cat:"net"
+        ~attrs:
+          [
+            ("service", Trace.Str service);
+            ("endpoint", Trace.Str (Printf.sprintf "%s:%d" t.host t.port));
+            ("pushed", Trace.Bool (push <> None));
+          ]
+        "net.request"
+    else Trace.none
+  in
+  let close_span ~outcome ~sent ~received =
+    if Trace.enabled tr then
+      Trace.close_span tr
+        ~attrs:
+          [
+            ("outcome", Trace.Str outcome);
+            ("sent", Trace.Int sent);
+            ("received", Trace.Int received);
+          ]
+        span
+  in
+  let wire ~sent ~received ~pushed =
+    {
+      Registry.sent;
+      received;
+      served_push = pushed;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  let fail ?(sent = 0) ?(received = 0) ~outcome ~transient ~timeout:timed_out reason =
+    Metrics.incr m (if timed_out then "net.timeouts" else "net.errors");
+    close_span ~outcome ~sent ~received;
+    raise
+      (Registry.Transport_error
+         { wire = wire ~sent ~received ~pushed:false; transient; timeout = timed_out; reason })
+  in
+  match borrow t ~obs with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    fail ~outcome:"timeout" ~transient:true ~timeout:true "handshake timed out"
+  | exception Unix.Unix_error (e, _, _) ->
+    fail ~outcome:"connect" ~transient:true ~timeout:false (Unix.error_message e)
+  | exception (Wire.Protocol_error reason | Failure reason) ->
+    fail ~outcome:"protocol" ~transient:false ~timeout:false reason
+  | exception Wire.Closed ->
+    fail ~outcome:"closed" ~transient:true ~timeout:false
+      "connection closed during handshake"
+  | conn -> (
+    let id = conn.next_id in
+    conn.next_id <- id + 1;
+    Metrics.incr m ~labels:[ ("service", service) ] "net.requests";
+    match
+      set_deadline conn.fd timeout;
+      let sent = Wire.send conn.fd (Wire.Invoke { id; service; params; push }) in
+      let reply, received = Wire.recv conn.fd in
+      (sent, reply, received)
+    with
+    | sent, Wire.Result { id = rid; pushed; forest }, received when rid = id ->
+      giveback t conn;
+      Metrics.incr m ~by:sent "net.request_bytes";
+      Metrics.incr m ~by:received "net.response_bytes";
+      close_span ~outcome:"ok" ~sent ~received;
+      (forest, wire ~sent ~received ~pushed)
+    | sent, Wire.Degraded { id = rid; message; _ }, received when rid = id ->
+      (* The server's own retry budget is spent; retrying the wire would
+         only repeat its defeat. Degrade instead. *)
+      giveback t conn;
+      fail ~sent ~received ~outcome:"degraded" ~transient:false ~timeout:false
+        ("provider degraded: " ^ message)
+    | sent, Wire.Error { id = rid; transient; message }, received when rid = id ->
+      giveback t conn;
+      fail ~sent ~received ~outcome:"error" ~transient ~timeout:false message
+    | sent, _, received ->
+      discard conn;
+      fail ~sent ~received ~outcome:"protocol" ~transient:false ~timeout:false
+        "mismatched response id"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      discard conn;
+      fail ~outcome:"timeout" ~transient:true ~timeout:true
+        (Printf.sprintf "no response within %gs" timeout)
+    | exception Unix.Unix_error (e, _, _) ->
+      discard conn;
+      fail ~outcome:"io" ~transient:true ~timeout:false (Unix.error_message e)
+    | exception Wire.Closed ->
+      discard conn;
+      fail ~outcome:"closed" ~transient:true ~timeout:false "connection closed by peer"
+    | exception Wire.Protocol_error reason ->
+      discard conn;
+      fail ~outcome:"protocol" ~transient:false ~timeout:false reason)
+
+let close t =
+  let conns =
+    Mutex.protect t.mu (fun () ->
+        let cs = t.idle in
+        t.idle <- [];
+        cs)
+  in
+  List.iter discard conns

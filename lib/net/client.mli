@@ -1,0 +1,51 @@
+(** TCP client for AXML peers: a bounded connection pool plus the
+    request primitive the {!Remote} transport is built on.
+
+    Connections are created lazily, handshaken on connect
+    ({!Wire.Hello}/{!Wire.Welcome}) and returned to a bounded idle pool
+    after each successful exchange. A borrowed connection is
+    health-checked first: an idle socket that polls readable is either
+    at EOF or carries stray bytes — both mean it is unusable for a
+    request/response exchange, so it is discarded and a fresh connection
+    is dialed. Connections that fail mid-request are never returned.
+
+    Every wire interaction is observable: [net.request] spans (one per
+    attempt, nested under the registry's [service.attempt] when called
+    through {!Remote}), and [net.connects] / [net.reuses] /
+    [net.stale_drops] / [net.requests] / [net.request_bytes] /
+    [net.response_bytes] / [net.timeouts] / [net.errors] counters. *)
+
+type t
+
+val create : ?pool_size:int -> ?connect_timeout:float -> host:string -> port:int -> unit -> t
+(** No I/O happens until the first call. [pool_size] (default 4) bounds
+    the {e idle} connections kept for reuse; [connect_timeout] (default
+    10 s) is the socket deadline for the dial + handshake. *)
+
+val host : t -> string
+val port : t -> int
+
+val services : t -> ?obs:Axml_obs.Obs.t -> unit -> Wire.service_info list
+(** The service list the server advertised in its {!Wire.Welcome} —
+    dials a connection if none was established yet. Raises
+    {!Axml_services.Registry.Transport_error} when the peer cannot be
+    reached or speaks another protocol version. *)
+
+val call :
+  t ->
+  obs:Axml_obs.Obs.t ->
+  timeout:float ->
+  service:string ->
+  params:Axml_xml.Tree.forest ->
+  push:Axml_query.Pattern.node option ->
+  Axml_xml.Tree.forest * Axml_services.Registry.wire
+(** One request/response exchange — exactly the
+    {!Axml_services.Registry.transport} contract: [timeout] becomes the
+    socket deadline for the exchange ([infinity] = none), and failures
+    raise {!Axml_services.Registry.Transport_error} with [transient]
+    set for connection/timeout faults and cleared for protocol errors,
+    {!Wire.Degraded} and non-transient {!Wire.Error} replies. *)
+
+val close : t -> unit
+(** Closes every idle pooled connection. The client remains usable — a
+    later call simply dials again. *)

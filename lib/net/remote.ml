@@ -1,0 +1,27 @@
+module Registry = Axml_services.Registry
+
+let register ?names ?retry ?(memoize = true) ~registry client =
+  let advertised = Client.services client () in
+  let selected =
+    match names with
+    | None -> advertised
+    | Some wanted ->
+      List.map
+        (fun n ->
+          match List.find_opt (fun (s : Wire.service_info) -> s.name = n) advertised with
+          | Some s -> s
+          | None ->
+            invalid_arg
+              (Printf.sprintf "peer %s:%d does not serve %S" (Client.host client)
+                 (Client.port client) n))
+        wanted
+  in
+  List.iter
+    (fun (s : Wire.service_info) ->
+      let transport ~name ~params ~push ~timeout ~obs =
+        Client.call client ~obs ~timeout ~service:name ~params ~push
+      in
+      Registry.register_remote registry ~name:s.name ~push_capable:s.push ~memoize
+        ?retry transport)
+    selected;
+  List.map (fun (s : Wire.service_info) -> s.name) selected

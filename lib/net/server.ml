@@ -1,0 +1,253 @@
+module Registry = Axml_services.Registry
+module Obs = Axml_obs.Obs
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
+
+let log_src = Logs.Src.create "axml.net.server" ~doc:"axmld server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  registry : Registry.t;
+  obs : Obs.t;
+  listen_fd : Unix.file_descr;
+  host : string;
+  port : int;
+  mu : Mutex.t;  (* guards registry access and the mutable state below *)
+  mutable conns : (int * Unix.file_descr) list;
+  mutable next_conn : int;
+  mutable stopped : bool;
+  mutable stop_after_reply : bool;
+  stop_r : Unix.file_descr;  (* self-pipe waking the accept loop *)
+  stop_w : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+}
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ~registry () =
+  (* A peer hanging up mid-write must surface as EPIPE, not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (resolve host, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    registry;
+    obs;
+    listen_fd = fd;
+    host;
+    port;
+    mu = Mutex.create ();
+    conns = [];
+    next_conn = 0;
+    stopped = false;
+    stop_after_reply = false;
+    stop_r;
+    stop_w;
+    accept_thread = None;
+  }
+
+let port t = t.port
+let host t = t.host
+let connections t = Mutex.protect t.mu (fun () -> List.length t.conns)
+
+let welcome t =
+  Mutex.protect t.mu (fun () ->
+      Wire.Welcome
+        {
+          version = Wire.version;
+          services =
+            List.map
+              (fun n -> { Wire.name = n; push = Registry.push_capable t.registry n })
+              (Registry.names t.registry);
+        })
+
+(* One request against the served registry, under the registry mutex (the
+   obs sink is single-threaded, so spans are recorded under it too). *)
+let handle_invoke t ~id ~service ~params ~push =
+  Mutex.protect t.mu (fun () ->
+      let tr = t.obs.Obs.trace in
+      let span =
+        if Trace.enabled tr then
+          Trace.open_span tr ~cat:"net"
+            ~attrs:
+              [ ("service", Trace.Str service); ("pushed", Trace.Bool (push <> None)) ]
+            "net.serve"
+        else Trace.none
+      in
+      Metrics.incr t.obs.Obs.metrics ~labels:[ ("service", service) ] "net.served";
+      let reply =
+        match Registry.invoke t.registry ~name:service ~params ?push ~obs:t.obs () with
+        | forest, inv -> Wire.Result { id; pushed = inv.Registry.pushed; forest }
+        | exception Registry.Unknown_service n ->
+          Wire.Error { id; transient = false; message = "unknown service " ^ n }
+        | exception Registry.Service_failure inv ->
+          Wire.Degraded
+            {
+              id;
+              message =
+                Printf.sprintf "service %s failed after %d retries" service
+                  inv.Registry.retries;
+              retries = inv.Registry.retries;
+              timeouts = inv.Registry.timeouts;
+            }
+        | exception e ->
+          Wire.Error { id; transient = false; message = Printexc.to_string e }
+      in
+      let outcome =
+        match reply with
+        | Wire.Result _ -> "ok"
+        | Wire.Degraded _ -> "degraded"
+        | _ -> "error"
+      in
+      if Trace.enabled tr then
+        Trace.close_span tr ~attrs:[ ("outcome", Trace.Str outcome) ] span;
+      reply)
+
+(* Stop accepting: mark stopped, close the listener (so reconnects are
+   refused synchronously from here on) and wake the accept loop. *)
+let stop_listening t =
+  let was_running =
+    Mutex.protect t.mu (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          true
+        end)
+  in
+  if was_running then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try ignore (Unix.write t.stop_w (Bytes.make 1 'x') 0 1)
+    with Unix.Unix_error _ -> ()
+  end
+
+let shutdown_conns ?except t =
+  let conns = Mutex.protect t.mu (fun () -> t.conns) in
+  List.iter
+    (fun (id, fd) ->
+      if except <> Some id then
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns
+
+let serve_conn t conn_id fd =
+  let cleanup () =
+    Mutex.protect t.mu (fun () ->
+        t.conns <- List.filter (fun (id, _) -> id <> conn_id) t.conns);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      try
+        (match Wire.recv fd with
+        | Wire.Hello { version }, _ when version = Wire.version ->
+          ignore (Wire.send fd (welcome t))
+        | Wire.Hello { version }, _ ->
+          ignore
+            (Wire.send fd
+               (Wire.Error
+                  {
+                    id = 0;
+                    transient = false;
+                    message =
+                      Printf.sprintf "unsupported protocol version %d (this peer speaks %d)"
+                        version Wire.version;
+                  }));
+          raise Exit
+        | _ ->
+          ignore
+            (Wire.send fd
+               (Wire.Error
+                  { id = 0; transient = false; message = "expected a hello handshake" }));
+          raise Exit);
+        let rec loop () =
+          match Wire.recv fd with
+          | Wire.Invoke { id; service; params; push }, _ ->
+            let reply = handle_invoke t ~id ~service ~params ~push in
+            if t.stop_after_reply then begin
+              (* Deterministic mid-run death: refuse reconnects *before*
+                 the reply reaches the client, so everything after this
+                 answer fails even through retries. *)
+              stop_listening t;
+              shutdown_conns ~except:conn_id t;
+              ignore (Wire.send fd reply)
+            end
+            else begin
+              ignore (Wire.send fd reply);
+              loop ()
+            end
+          | _, _ ->
+            ignore
+              (Wire.send fd
+                 (Wire.Error
+                    { id = 0; transient = false; message = "expected an invoke request" }))
+        in
+        loop ()
+      with
+      | Wire.Closed | Exit -> ()
+      | Unix.Unix_error _ -> ()
+      | Wire.Protocol_error m -> (
+        Log.debug (fun f -> f "closing connection on protocol error: %s" m);
+        try ignore (Wire.send fd (Wire.Error { id = 0; transient = false; message = m }))
+        with Wire.Protocol_error _ | Unix.Unix_error _ -> ()))
+
+let accept_loop t =
+  let rec loop () =
+    let stop_now = Mutex.protect t.mu (fun () -> t.stopped) in
+    if not stop_now then begin
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+      | rs, _, _ when List.mem t.stop_r rs -> ()
+      | _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          let conn_id =
+            Mutex.protect t.mu (fun () ->
+                let id = t.next_conn in
+                t.next_conn <- id + 1;
+                t.conns <- (id, fd) :: t.conns;
+                id)
+          in
+          ignore (Thread.create (fun () -> serve_conn t conn_id fd) ());
+          loop ()
+        | exception
+            Unix.Unix_error
+              ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+          loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    end
+  in
+  loop ()
+
+let start t =
+  match t.accept_thread with
+  | Some _ -> ()
+  | None -> t.accept_thread <- Some (Thread.create accept_loop t)
+
+let run t = accept_loop t
+
+let stop t =
+  stop_listening t;
+  shutdown_conns t;
+  (match t.accept_thread with
+  | Some th ->
+    t.accept_thread <- None;
+    Thread.join th
+  | None -> ());
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+
+let kill_after_reply t = t.stop_after_reply <- true

@@ -1,0 +1,60 @@
+(** [axmld]: serve a {!Axml_services.Registry} to remote AXML peers.
+
+    The server binds a TCP socket, accepts connections on a dedicated
+    thread and runs one [Thread] per connection. Each connection is
+    handshaken ({!Wire.Hello}/{!Wire.Welcome}, exact version match),
+    then serves {!Wire.Invoke} requests by calling
+    {!Axml_services.Registry.invoke} on the served registry — pushed
+    [sub_q_v] patterns are evaluated provider-side through exactly the
+    same {!Axml_services.Witness.prune} path as in-process pushing, and
+    the served registry's own fault schedules, retry policies and
+    memoization all apply (a flaky spec makes the {e server} retry its
+    simulated backends; when its budget runs out the client receives
+    {!Wire.Degraded}).
+
+    Registry access is serialized by a mutex: behaviors run one at a
+    time, so the mutable document-free registry state (history, caches,
+    attempt counters) stays consistent under concurrent connections. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?obs:Axml_obs.Obs.t ->
+  registry:Axml_services.Registry.t ->
+  unit ->
+  t
+(** Binds and listens. [host] defaults to ["127.0.0.1"], [port] to [0]
+    (an ephemeral port — read it back with {!port}). [obs] (default
+    disabled) records one [net.serve] span per request, with the
+    registry's [service.*] spans and metrics nested inside; it is
+    sampled under the registry mutex, so it is safe under concurrency.
+    Raises [Unix.Unix_error] when the address cannot be bound. *)
+
+val port : t -> int
+(** The actual bound port (useful after [~port:0]). *)
+
+val host : t -> string
+
+val start : t -> unit
+(** Spawns the accept loop on a background thread and returns. *)
+
+val run : t -> unit
+(** Runs the accept loop in the calling thread (the [axml serve]
+    foreground mode); returns after {!stop}. *)
+
+val stop : t -> unit
+(** Stops accepting (the listening socket closes synchronously, so new
+    connections are refused from this point on), shuts down every live
+    connection, and waits for the accept thread if {!start} spawned
+    one. Idempotent. Must not be called from a connection handler. *)
+
+val kill_after_reply : t -> unit
+(** Test hook for degradation experiments: after the next reply is
+    flushed, the server stops exactly as {!stop} does — the client sees
+    one successful response and then a dead peer, deterministically
+    "mid-run". *)
+
+val connections : t -> int
+(** Live connection count. *)

@@ -1,0 +1,309 @@
+module Tree = Axml_xml.Tree
+module P = Axml_query.Pattern
+module Json = Axml_obs.Json
+
+let version = 1
+let max_frame = 64 * 1024 * 1024
+
+exception Protocol_error of string
+exception Closed
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Trees *)
+
+let rec tree_to_json = function
+  | Tree.Text s -> Json.String s
+  | Tree.Element { Tree.name; attrs; children } ->
+    Json.Obj
+      (("n", Json.String name)
+      :: ((if attrs = [] then []
+           else
+             [
+               ( "a",
+                 Json.List
+                   (List.map (fun (k, v) -> Json.List [ Json.String k; Json.String v ]) attrs)
+               );
+             ])
+         @
+         if children = [] then []
+         else [ ("c", Json.List (List.map tree_to_json children)) ]))
+
+let forest_to_json f = Json.List (List.map tree_to_json f)
+
+let rec tree_of_json = function
+  | Json.String s -> Tree.Text s
+  | Json.Obj _ as j ->
+    let name =
+      match Json.member "n" j with
+      | Json.String s -> s
+      | _ -> fail "tree element without a string \"n\" field"
+    in
+    let attrs =
+      match Json.member "a" j with
+      | Json.Null -> []
+      | Json.List kvs ->
+        List.map
+          (function
+            | Json.List [ Json.String k; Json.String v ] -> (k, v)
+            | _ -> fail "tree attribute is not a [key, value] string pair")
+          kvs
+      | _ -> fail "tree \"a\" field is not a list"
+    in
+    let children =
+      match Json.member "c" j with
+      | Json.Null -> []
+      | Json.List cs -> List.map tree_of_json cs
+      | _ -> fail "tree \"c\" field is not a list"
+    in
+    Tree.Element { Tree.name; attrs; children }
+  | _ -> fail "tree node is neither a string nor an object"
+
+let forest_of_json = function
+  | Json.List ts -> List.map tree_of_json ts
+  | _ -> fail "forest is not a list"
+
+(* ------------------------------------------------------------------ *)
+(* Patterns *)
+
+let axis_to_json = function
+  | P.Child -> Json.String "child"
+  | P.Descendant -> Json.String "desc"
+
+let axis_of_json = function
+  | Json.String "child" -> P.Child
+  | Json.String "desc" -> P.Descendant
+  | _ -> fail "pattern axis is neither \"child\" nor \"desc\""
+
+let label_to_json = function
+  | P.Const s -> Json.Obj [ ("const", Json.String s) ]
+  | P.Value s -> Json.Obj [ ("value", Json.String s) ]
+  | P.Var s -> Json.Obj [ ("var", Json.String s) ]
+  | P.Wildcard -> Json.String "*"
+  | P.Or -> Json.String "or"
+  | P.Fun P.Any_fun -> Json.Obj [ ("fun", Json.Null) ]
+  | P.Fun (P.Named names) ->
+    Json.Obj [ ("fun", Json.List (List.map (fun n -> Json.String n) names)) ]
+
+let label_of_json = function
+  | Json.String "*" -> P.Wildcard
+  | Json.String "or" -> P.Or
+  | Json.Obj [ (key, v) ] -> (
+    match (key, v) with
+    | "const", Json.String s -> P.Const s
+    | "value", Json.String s -> P.Value s
+    | "var", Json.String s -> P.Var s
+    | "fun", Json.Null -> P.Fun P.Any_fun
+    | "fun", Json.List names ->
+      P.Fun
+        (P.Named
+           (List.map
+              (function Json.String n -> n | _ -> fail "pattern fun name is not a string")
+              names))
+    | _ -> fail "unknown pattern label %S" key)
+  | _ -> fail "pattern label does not decode"
+
+let rec pattern_to_json (n : P.node) =
+  Json.Obj
+    [
+      ("axis", axis_to_json n.P.axis);
+      ("label", label_to_json n.P.label);
+      ("result", Json.Bool n.P.result);
+      ("children", Json.List (List.map pattern_to_json n.P.children));
+    ]
+
+let rec pattern_of_json j =
+  match j with
+  | Json.Obj _ ->
+    let axis = axis_of_json (Json.member "axis" j) in
+    let label = label_of_json (Json.member "label" j) in
+    let result =
+      match Json.member "result" j with
+      | Json.Bool b -> b
+      | Json.Null -> false
+      | _ -> fail "pattern result flag is not a boolean"
+    in
+    let children =
+      match Json.member "children" j with
+      | Json.Null -> []
+      | Json.List cs -> List.map pattern_of_json cs
+      | _ -> fail "pattern children is not a list"
+    in
+    P.make ~axis ~result label children
+  | _ -> fail "pattern node is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Envelopes *)
+
+type service_info = { name : string; push : bool }
+
+type message =
+  | Hello of { version : int }
+  | Welcome of { version : int; services : service_info list }
+  | Invoke of {
+      id : int;
+      service : string;
+      params : Tree.forest;
+      push : P.node option;
+    }
+  | Result of { id : int; pushed : bool; forest : Tree.forest }
+  | Error of { id : int; transient : bool; message : string }
+  | Degraded of { id : int; message : string; retries : int; timeouts : int }
+
+let message_to_json = function
+  | Hello { version } ->
+    Json.Obj [ ("type", Json.String "hello"); ("version", Json.Int version) ]
+  | Welcome { version; services } ->
+    Json.Obj
+      [
+        ("type", Json.String "welcome");
+        ("version", Json.Int version);
+        ( "services",
+          Json.List
+            (List.map
+               (fun s ->
+                 Json.Obj [ ("name", Json.String s.name); ("push", Json.Bool s.push) ])
+               services) );
+      ]
+  | Invoke { id; service; params; push } ->
+    Json.Obj
+      ([
+         ("type", Json.String "invoke");
+         ("id", Json.Int id);
+         ("service", Json.String service);
+         ("params", forest_to_json params);
+       ]
+      @ match push with None -> [] | Some p -> [ ("push", pattern_to_json p) ])
+  | Result { id; pushed; forest } ->
+    Json.Obj
+      [
+        ("type", Json.String "result");
+        ("id", Json.Int id);
+        ("pushed", Json.Bool pushed);
+        ("forest", forest_to_json forest);
+      ]
+  | Error { id; transient; message } ->
+    Json.Obj
+      [
+        ("type", Json.String "error");
+        ("id", Json.Int id);
+        ("transient", Json.Bool transient);
+        ("message", Json.String message);
+      ]
+  | Degraded { id; message; retries; timeouts } ->
+    Json.Obj
+      [
+        ("type", Json.String "degraded");
+        ("id", Json.Int id);
+        ("message", Json.String message);
+        ("retries", Json.Int retries);
+        ("timeouts", Json.Int timeouts);
+      ]
+
+let int_field key j =
+  match Json.member key j with Json.Int i -> i | _ -> fail "missing int field %S" key
+
+let string_field key j =
+  match Json.member key j with
+  | Json.String s -> s
+  | _ -> fail "missing string field %S" key
+
+let bool_field key j =
+  match Json.member key j with Json.Bool b -> b | _ -> fail "missing bool field %S" key
+
+let message_of_json j =
+  match Json.member "type" j with
+  | Json.String "hello" -> Hello { version = int_field "version" j }
+  | Json.String "welcome" ->
+    let services =
+      List.map
+        (fun s -> { name = string_field "name" s; push = bool_field "push" s })
+        (Json.to_list (Json.member "services" j))
+    in
+    Welcome { version = int_field "version" j; services }
+  | Json.String "invoke" ->
+    let push =
+      match Json.member "push" j with
+      | Json.Null -> None
+      | p -> Some (pattern_of_json p)
+    in
+    Invoke
+      {
+        id = int_field "id" j;
+        service = string_field "service" j;
+        params = forest_of_json (Json.member "params" j);
+        push;
+      }
+  | Json.String "result" ->
+    Result
+      {
+        id = int_field "id" j;
+        pushed = bool_field "pushed" j;
+        forest = forest_of_json (Json.member "forest" j);
+      }
+  | Json.String "error" ->
+    Error
+      {
+        id = int_field "id" j;
+        transient = bool_field "transient" j;
+        message = string_field "message" j;
+      }
+  | Json.String "degraded" ->
+    Degraded
+      {
+        id = int_field "id" j;
+        message = string_field "message" j;
+        retries = int_field "retries" j;
+        timeouts = int_field "timeouts" j;
+      }
+  | Json.String other -> fail "unknown message type %S" other
+  | _ -> fail "envelope without a \"type\" field"
+
+(* ------------------------------------------------------------------ *)
+(* Frames *)
+
+let rec really_write fd buf off len =
+  if len > 0 then
+    match Unix.write fd buf off len with
+    | n -> really_write fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_write fd buf off len
+
+let rec really_read fd buf off len =
+  if len > 0 then
+    match Unix.read fd buf off len with
+    | 0 -> raise Closed
+    | n -> really_read fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_read fd buf off len
+
+let write_frame fd json =
+  let payload = Json.to_string json in
+  let len = String.length payload in
+  if len > max_frame then fail "frame of %d bytes exceeds the %d-byte limit" len max_frame;
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 buf 4 len;
+  really_write fd buf 0 (4 + len);
+  4 + len
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  really_read fd header 0 4;
+  let byte i = Char.code (Bytes.get header i) in
+  let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  if len <= 0 || len > max_frame then
+    fail "frame length %d is outside (0, %d]" len max_frame;
+  let payload = Bytes.create len in
+  really_read fd payload 0 len;
+  match Json.parse (Bytes.unsafe_to_string payload) with
+  | Ok v -> (v, 4 + len)
+  | Error m -> fail "frame payload is not JSON (%s)" m
+
+let send fd msg = write_frame fd (message_to_json msg)
+
+let recv fd =
+  let j, n = read_frame fd in
+  (message_of_json j, n)

@@ -1,0 +1,90 @@
+(** The AXML peer wire protocol.
+
+    Peers exchange {e frames}: a 4-byte big-endian length followed by
+    that many bytes of compact {!Axml_obs.Json} — the same hand-rolled
+    JSON the observability sinks use, so the whole protocol needs no
+    dependency beyond [Unix]. One JSON value per frame; the protocol is
+    strictly request/response over one connection.
+
+    A connection opens with a version handshake ({!Hello} from the
+    client, {!Welcome} from the server, which also advertises the served
+    registry), then carries any number of {!Invoke} requests. Each
+    request names a service, ships its parameter forest and optionally a
+    pushed [sub_q_v] tree pattern (§7 of the paper); the server answers
+    {!Result} (with the — possibly provider-side pruned — forest),
+    {!Error} (carrying a transient flag so clients know whether to
+    retry) or {!Degraded} (the server's own retry budget against its
+    backends was exhausted: the client should degrade gracefully, not
+    retry).
+
+    Trees and patterns are encoded structurally (not as embedded XML
+    text), so forests round-trip {e exactly} — including whitespace-only
+    text leaves the XML parser would drop. *)
+
+val version : int
+(** The protocol version sent in {!Hello} / {!Welcome}; peers must
+    match exactly. *)
+
+val max_frame : int
+(** Frames above this many payload bytes (64 MiB) are rejected with
+    {!Protocol_error} before any allocation. *)
+
+exception Protocol_error of string
+(** Malformed frame or envelope: bad length prefix, oversized frame,
+    JSON that does not parse, or an envelope that does not decode. *)
+
+exception Closed
+(** The peer closed the connection (EOF mid-frame or before one). *)
+
+(** {2 Codecs} *)
+
+val tree_to_json : Axml_xml.Tree.t -> Axml_obs.Json.t
+val tree_of_json : Axml_obs.Json.t -> Axml_xml.Tree.t
+(** Raises {!Protocol_error}. *)
+
+val forest_to_json : Axml_xml.Tree.forest -> Axml_obs.Json.t
+val forest_of_json : Axml_obs.Json.t -> Axml_xml.Tree.forest
+
+val pattern_to_json : Axml_query.Pattern.node -> Axml_obs.Json.t
+val pattern_of_json : Axml_obs.Json.t -> Axml_query.Pattern.node
+(** The decoded pattern carries fresh pids (pattern nodes are allocated
+    from a global counter); axes, labels, result flags and structure
+    round-trip exactly. Raises {!Protocol_error}. *)
+
+(** {2 Envelopes} *)
+
+type service_info = { name : string; push : bool }
+
+type message =
+  | Hello of { version : int }
+  | Welcome of { version : int; services : service_info list }
+  | Invoke of {
+      id : int;
+      service : string;
+      params : Axml_xml.Tree.forest;
+      push : Axml_query.Pattern.node option;
+    }
+  | Result of { id : int; pushed : bool; forest : Axml_xml.Tree.forest }
+  | Error of { id : int; transient : bool; message : string }
+  | Degraded of { id : int; message : string; retries : int; timeouts : int }
+
+val message_to_json : message -> Axml_obs.Json.t
+val message_of_json : Axml_obs.Json.t -> message
+(** Raises {!Protocol_error} on unknown or malformed envelopes. *)
+
+(** {2 Frame I/O}
+
+    All functions handle partial reads/writes and EINTR; other [Unix]
+    errors (including the EAGAIN a socket deadline raises) propagate to
+    the caller. Byte counts include the 4-byte header — they are what
+    the cost accounting reports as wire traffic. *)
+
+val write_frame : Unix.file_descr -> Axml_obs.Json.t -> int
+(** Returns the bytes written. *)
+
+val read_frame : Unix.file_descr -> Axml_obs.Json.t * int
+(** Returns the value and the bytes read. Raises {!Closed} on EOF,
+    {!Protocol_error} on garbage. *)
+
+val send : Unix.file_descr -> message -> int
+val recv : Unix.file_descr -> message * int

@@ -143,10 +143,16 @@ let parse_value s =
              | 'f' -> Buffer.add_char b '\012'; incr pos
              | 'u' ->
                if !pos + 4 >= n then error "truncated \\u escape";
-               let code =
-                 try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
-                 with Failure _ -> error "invalid \\u escape"
+               (* exactly four hex digits — int_of_string "0x…" would
+                  also accept underscores *)
+               let hex i =
+                 match s.[!pos + 1 + i] with
+                 | '0' .. '9' as c -> Char.code c - Char.code '0'
+                 | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                 | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                 | c -> error "invalid hex digit %C in \\u escape" c
                in
+               let code = (hex 0 lsl 12) lor (hex 1 lsl 8) lor (hex 2 lsl 4) lor hex 3 in
                (* UTF-8 encode the BMP code point *)
                if code < 0x80 then Buffer.add_char b (Char.chr code)
                else if code < 0x800 then begin

@@ -48,8 +48,34 @@ type invocation = {
   failed : bool;
 }
 
+type wire = {
+  sent : int;
+  received : int;
+  served_push : bool;
+  elapsed : float;
+}
+
+exception Transport_error of {
+  wire : wire;
+  transient : bool;
+  timeout : bool;
+  reason : string;
+}
+
+type transport =
+  name:string ->
+  params:Tree.forest ->
+  push:Axml_query.Pattern.node option ->
+  timeout:float ->
+  obs:Obs.t ->
+  Tree.forest * wire
+
+(* Where the service actually runs: an in-process closure charged on the
+   simulated clock, or a remote provider behind a real wire. *)
+type provider = Local of behavior | Remote of transport
+
 type service = {
-  behavior : behavior;
+  provider : provider;
   cost_model : cost_model;
   push_capable : bool;
   cache : (string, Tree.forest) Hashtbl.t option;
@@ -80,7 +106,22 @@ let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = f
   if not (Hashtbl.mem t.services name) then t.order <- name :: t.order;
   let cache = if memoize then Some (Hashtbl.create 16) else None in
   Hashtbl.replace t.services name
-    { behavior; cost_model = cost; push_capable; cache; faults; retry; attempts = 0 }
+    { provider = Local behavior; cost_model = cost; push_capable; cache; faults; retry; attempts = 0 }
+
+let register_remote t ~name ?(push_capable = true) ?(memoize = false)
+    ?(retry = default_policy) transport =
+  if not (Hashtbl.mem t.services name) then t.order <- name :: t.order;
+  let cache = if memoize then Some (Hashtbl.create 16) else None in
+  Hashtbl.replace t.services name
+    {
+      provider = Remote transport;
+      cost_model = default_cost;
+      push_capable;
+      cache;
+      faults = [];
+      retry;
+      attempts = 0;
+    }
 
 let is_registered t name = Hashtbl.mem t.services name
 let names t = List.rev t.order
@@ -104,6 +145,10 @@ let find_exn t name =
 
 let fault_schedule t name = (find_exn t name).faults
 let retry_policy t name = (find_exn t name).retry
+let push_capable t name = (find_exn t name).push_capable
+
+let is_remote t name =
+  match (find_exn t name).provider with Remote _ -> true | Local _ -> false
 
 (* Per-service metrics for one finished invocation (successful, cached
    or permanently failed). The totals reconcile with the evaluators'
@@ -187,12 +232,118 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
     finish invocation;
     (shipped, invocation)
   | None ->
+  match service.provider with
+  | Remote transport ->
+    (* A real wire: the transport performs one attempt; the same retry
+       loop runs here, but on real clocks — the backoff actually sleeps
+       and [cost] is measured wall time. The local fault schedule does
+       not apply; faults arrive as [Transport_error]s. *)
+    let policy = service.retry in
+    let push_arg =
+      match push with Some p when service.push_capable -> Some p | Some _ | None -> None
+    in
+    let rec go ~retry ~sent ~received ~cost ~timeouts ~backoff =
+      service.attempts <- service.attempts + 1;
+      let attempt_span =
+        if traced then
+          Trace.open_span tr ~cat:"service"
+            ~attrs:
+              [
+                ("service", Trace.Str name);
+                ("retry", Trace.Int retry);
+                ("transport", Trace.Str "net");
+              ]
+            "service.attempt"
+        else Trace.none
+      in
+      if Metrics.enabled obs.Obs.metrics then
+        Metrics.incr obs.Obs.metrics ~labels:[ ("service", name) ] "service.attempts";
+      match transport ~name ~params ~push:push_arg ~timeout:policy.attempt_timeout ~obs with
+      | result, w ->
+        Trace.advance tr w.elapsed;
+        if traced then
+          Trace.close_span tr
+            ~attrs:[ ("outcome", Trace.Str "ok"); ("wire_s", Trace.Float w.elapsed) ]
+            attempt_span;
+        (* Only full results are cacheable: a pushed response is pruned
+           to one pattern's witnesses and would poison later calls. *)
+        (match cache_key with
+        | Some (cache, key) when not w.served_push -> Hashtbl.replace cache key result
+        | Some _ | None -> ());
+        let invocation =
+          {
+            service = name;
+            request_bytes = sent + w.sent;
+            response_bytes = received + w.received;
+            cost = cost +. w.elapsed;
+            pushed = w.served_push;
+            cached = false;
+            retries = retry;
+            timeouts;
+            backoff_seconds = backoff;
+            failed = false;
+          }
+        in
+        t.history <- invocation :: t.history;
+        finish invocation;
+        (result, invocation)
+      | exception Transport_error { wire = w; transient; timeout = timed_out; reason } ->
+        Trace.advance tr w.elapsed;
+        if traced then
+          Trace.close_span tr
+            ~attrs:
+              [
+                ( "outcome",
+                  Trace.Str
+                    (if timed_out then "timeout"
+                     else if transient then "transient"
+                     else "fatal") );
+                ("reason", Trace.Str reason);
+                ("wire_s", Trace.Float w.elapsed);
+              ]
+            attempt_span;
+        let timeouts = timeouts + if timed_out then 1 else 0 in
+        let sent = sent + w.sent and received = received + w.received in
+        let cost = cost +. w.elapsed in
+        if (not transient) || retry >= policy.max_retries then begin
+          let invocation =
+            {
+              service = name;
+              request_bytes = sent;
+              response_bytes = received;
+              cost;
+              pushed = false;
+              cached = false;
+              retries = retry;
+              timeouts;
+              backoff_seconds = backoff;
+              failed = true;
+            }
+          in
+          t.history <- invocation :: t.history;
+          finish invocation;
+          raise (Service_failure invocation)
+        end
+        else begin
+          let wait = backoff_before policy ~retry:(retry + 1) in
+          if wait > 0.0 then Unix.sleepf wait;
+          Trace.advance tr wait;
+          if traced then
+            Trace.instant tr ~cat:"service"
+              ~attrs:[ ("service", Trace.Str name); ("wait_s", Trace.Float wait) ]
+              "service.backoff";
+          go ~retry:(retry + 1) ~sent ~received ~cost:(cost +. wait) ~timeouts
+            ~backoff:(backoff +. wait)
+        end
+    in
+    go ~retry:0 ~sent:0 ~received:0 ~cost:0.0 ~timeouts:0 ~backoff:0.0
+  | Local behavior ->
     let policy = service.retry in
     let request_bytes = Print.forest_byte_size params in
     let request_time = service.cost_model.per_byte *. float_of_int request_bytes in
     (* Computed at most once; an attempt that fails before the provider
        answers never runs the behavior. *)
-    let result = lazy (service.behavior params) in
+    let result = lazy (behavior params) in
     let shipped_of result =
       match push with
       | Some pattern when service.push_capable -> (true, Witness.prune pattern result)

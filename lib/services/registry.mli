@@ -31,7 +31,15 @@ type cost_model = {
 }
 
 val default_cost : cost_model
-(** 50 ms latency, 1 µs/byte (≈ 1 MB/s) — a slow 2004-era Web service. *)
+(** 50 ms latency, 1 µs/byte — a slow 2004-era Web service. The
+    per-byte term alone amounts to ≈ 1 MB/s of payload throughput; the
+    {e effective} throughput is lower because the 50 ms latency is paid
+    on top of it once per attempt (e.g. a 50 kB transfer takes
+    0.05 s + 0.05 s = 0.1 s, i.e. ≈ 0.5 MB/s). The bytes charged per
+    attempt are the request {e and} the response serialization
+    ({!Axml_xml.Print.forest_byte_size} of each): the request ships
+    again on every retry, the response is only charged on the attempt
+    that succeeds. *)
 
 type retry_policy = {
   max_retries : int;  (** additional attempts after the first *)
@@ -73,6 +81,47 @@ type invocation = {
   failed : bool;  (** the retry budget was exhausted; no result *)
 }
 
+(** {2 Remote transports}
+
+    A service may live behind a real wire instead of an in-process
+    closure: a {!transport} performs one {e attempt} against a remote
+    provider and reports what actually crossed the wire. {!invoke} runs
+    the same retry loop for both kinds, but for remote services the
+    clocks are real — [attempt_timeout] becomes a socket deadline, the
+    exponential backoff actually sleeps, and [cost] is measured
+    wall-clock seconds instead of cost-model arithmetic. The fault
+    schedule of a remote service is ignored: real networks inject their
+    own faults ({!Transport_error}). See {!Axml_net} for the TCP
+    implementation. *)
+
+type wire = {
+  sent : int;  (** bytes put on the wire for this attempt (framing included) *)
+  received : int;  (** bytes read off the wire for this attempt *)
+  served_push : bool;  (** the provider applied the pushed pattern *)
+  elapsed : float;  (** measured wall-clock seconds for this attempt *)
+}
+
+exception Transport_error of {
+  wire : wire;  (** what the failed attempt still cost *)
+  transient : bool;
+      (** worth retrying: connection refused/reset, timeout. Permanent
+          protocol errors (version mismatch, unknown service, provider
+          degradation) fail the invocation immediately. *)
+  timeout : bool;  (** the attempt hit its socket deadline *)
+  reason : string;
+}
+
+type transport =
+  name:string ->
+  params:Axml_xml.Tree.forest ->
+  push:Axml_query.Pattern.node option ->
+  timeout:float ->
+  obs:Axml_obs.Obs.t ->
+  Axml_xml.Tree.forest * wire
+(** One wire attempt. [timeout] is the per-attempt budget in real
+    seconds ([infinity] = none); [push] is only passed for push-capable
+    services. Raises {!Transport_error} on failure. *)
+
 type t
 
 exception Unknown_service of string
@@ -102,16 +151,42 @@ val register :
     [faults] (default none) is the service's fault schedule and [retry]
     its policy; raises [Invalid_argument] on an invalid schedule. *)
 
+val register_remote :
+  t ->
+  name:string ->
+  ?push_capable:bool ->
+  ?memoize:bool ->
+  ?retry:retry_policy ->
+  transport ->
+  unit
+(** Registers a service served by a remote provider. [push_capable]
+    (default [true]) should mirror what the provider's handshake
+    advertises — pushing to an incapable provider would silently ship
+    full results. [memoize] caches full (un-pushed) results client-side
+    exactly like local memoization; pushed responses are never cached
+    (they are pruned, caching them would poison later calls).
+    [retry] defaults to {!default_policy}; its backoff is slept for
+    real, so remote registrations usually want a smaller
+    [base_backoff]. *)
+
 val is_registered : t -> string -> bool
 val names : t -> string list
+
+val is_remote : t -> string -> bool
+(** Raises {!Unknown_service}. *)
+
+val push_capable : t -> string -> bool
+(** Whether the provider accepts pushed subqueries — what a serving
+    peer advertises in its handshake. Raises {!Unknown_service}. *)
 
 val set_fault_seed : t -> int -> unit
 (** The seed keying every service's fault schedule (default 0). *)
 
 val inject_faults : t -> ?seed:int -> Faults.schedule -> unit
 (** Installs the schedule on every currently registered service —
-    the bench/CLI "--fault-rate" knob. Raises [Invalid_argument] on an
-    invalid schedule. *)
+    the bench/CLI "--fault-rate" knob. Remote services keep the
+    schedule but never consult it (their faults come off the wire).
+    Raises [Invalid_argument] on an invalid schedule. *)
 
 val set_retry_policy : t -> retry_policy -> unit
 (** Installs the policy on every currently registered service. *)

@@ -1,0 +1,410 @@
+(* Tests for the Axml_net subsystem: wire codec round-trips and garbage
+   rejection, the loopback client/server path (handshake, version
+   mismatch, pool reuse), graceful degradation when the peer dies
+   mid-run, and the E2E acceptance assertions — identical answers remote
+   vs in-process, strictly fewer wire invocations lazy vs naive, and
+   strictly fewer response bytes with query pushing than without. *)
+
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module P = Axml_query.Pattern
+module Parser = Axml_query.Parser
+module Eval = Axml_query.Eval
+module Registry = Axml_services.Registry
+module Lazy_eval = Axml_core.Lazy_eval
+module Naive = Axml_core.Naive
+module City = Axml_workload.City
+module Obs = Axml_obs.Obs
+module Metrics = Axml_obs.Metrics
+module Json = Axml_obs.Json
+module Wire = Axml_net.Wire
+module Server = Axml_net.Server
+module Client = Axml_net.Client
+module Remote = Axml_net.Remote
+
+let t = Tree.text
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let el name children = Tree.Element { Tree.name; attrs = []; children }
+
+(* A retry policy whose backoff is slept for real — keep it tiny. *)
+let fast_policy =
+  {
+    Registry.max_retries = 2;
+    base_backoff = 0.005;
+    backoff_factor = 2.0;
+    max_backoff = 0.02;
+    attempt_timeout = 5.0;
+  }
+
+let with_server ?obs registry f =
+  let server = Server.create ?obs ~registry () in
+  Server.start server;
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let test_tree_roundtrip () =
+  let forest =
+    [
+      Tree.Element
+        {
+          Tree.name = "guide";
+          attrs = [ ("lang", "fr"); ("v", "1") ];
+          children =
+            [
+              el "hotel" [ t "Le Méridien"; el "empty" [] ];
+              t "  ";
+              (* whitespace-only text must survive — XML printing would drop it *)
+              t "a \"quoted\"\nvalue with \x01 control bytes";
+            ];
+        };
+      t "top-level text";
+    ]
+  in
+  let decoded = Wire.forest_of_json (Wire.forest_to_json forest) in
+  Alcotest.(check bool) "forest round-trips exactly" true (decoded = forest);
+  (* and through an actual serialized frame *)
+  let s = Json.to_string (Wire.forest_to_json forest) in
+  match Json.parse s with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+    Alcotest.(check bool) "via JSON text too" true (Wire.forest_of_json j = forest)
+
+let test_pattern_roundtrip () =
+  let q =
+    Parser.parse
+      {|/guide/hotel[name="Best Western"][rating=$R!]/nearby//restaurant[name=$X!]|}
+  in
+  let reencoded p = Json.to_string (Wire.pattern_to_json p) in
+  let before = reencoded q.P.root in
+  let decoded = Wire.pattern_of_json (Wire.pattern_to_json q.P.root) in
+  Alcotest.(check string) "pattern round-trips structurally" before (reencoded decoded)
+
+let test_message_roundtrip () =
+  let push = (Parser.parse "/r//s[v=$X!]").P.root in
+  let msgs =
+    [
+      Wire.Hello { version = Wire.version };
+      Wire.Welcome
+        {
+          version = Wire.version;
+          services = [ { Wire.name = "a"; push = true }; { Wire.name = "b"; push = false } ];
+        };
+      Wire.Invoke { id = 7; service = "getrating"; params = [ t "Hôtel" ]; push = Some push };
+      Wire.Invoke { id = 8; service = "getrating"; params = []; push = None };
+      Wire.Result { id = 7; pushed = true; forest = [ el "rating" [ t "5" ] ] };
+      Wire.Error { id = 9; transient = true; message = "try again" };
+      Wire.Degraded { id = 10; message = "backend down"; retries = 3; timeouts = 1 };
+    ]
+  in
+  List.iter
+    (fun m ->
+      let reencode m = Json.to_string (Wire.message_to_json m) in
+      Alcotest.(check string) "message round-trips" (reencode m)
+        (reencode (Wire.message_of_json (Wire.message_to_json m))))
+    msgs
+
+let test_envelope_rejection () =
+  List.iter
+    (fun j ->
+      match Wire.message_of_json j with
+      | _ -> Alcotest.fail "garbage envelope decoded"
+      | exception Wire.Protocol_error _ -> ())
+    [
+      Json.Null;
+      Json.Obj [];
+      Json.Obj [ ("type", Json.String "frobnicate") ];
+      Json.Obj [ ("type", Json.String "invoke") ];
+      (* missing fields *)
+      Json.Obj [ ("type", Json.Int 3) ];
+      Json.String "hello";
+    ]
+
+(* Frame-level rejection, against a real socketpair. *)
+let test_frame_rejection () =
+  let header len =
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+    Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+    Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set b 3 (Char.chr (len land 0xff));
+    b
+  in
+  let on_pair payload check =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close a with Unix.Unix_error _ -> ());
+        try Unix.close b with Unix.Unix_error _ -> ())
+      (fun () ->
+        ignore (Unix.write a payload 0 (Bytes.length payload));
+        check b)
+  in
+  let expect_protocol_error fd =
+    match Wire.read_frame fd with
+    | _ -> Alcotest.fail "garbage frame accepted"
+    | exception Wire.Protocol_error _ -> ()
+  in
+  (* zero length *)
+  on_pair (header 0) expect_protocol_error;
+  (* oversized: rejected from the header alone, before any payload *)
+  on_pair (header (Wire.max_frame + 1)) expect_protocol_error;
+  (* advertised length with a non-JSON payload *)
+  on_pair (Bytes.cat (header 5) (Bytes.of_string "hello")) expect_protocol_error;
+  (* EOF before a frame *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close a;
+  (match Wire.read_frame b with
+  | _ -> Alcotest.fail "EOF produced a frame"
+  | exception Wire.Closed -> ());
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Handshake *)
+
+let echo_registry () =
+  let r = Registry.create () in
+  Registry.register r ~name:"echo" (fun params -> [ el "val" params ]);
+  r
+
+let test_version_mismatch () =
+  with_server (echo_registry ()) (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+          ignore (Wire.send fd (Wire.Hello { version = Wire.version + 42 }));
+          match Wire.recv fd with
+          | Wire.Error { transient = false; message; _ }, _ ->
+            Alcotest.(check bool) "says version" true (contains ~sub:"version" message)
+          | _ -> Alcotest.fail "expected a non-transient error reply"))
+
+let test_handshake_advertises_push () =
+  let r = Registry.create () in
+  Registry.register r ~name:"pushy" (fun _ -> []);
+  Registry.register r ~name:"plain" ~push_capable:false (fun _ -> []);
+  with_server r (fun server ->
+      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let infos =
+            List.sort compare
+              (List.map (fun (s : Wire.service_info) -> (s.Wire.name, s.Wire.push))
+                 (Client.services client ()))
+          in
+          Alcotest.(check bool) "advertised capabilities" true
+            (infos = [ ("plain", false); ("pushy", true) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Remote invocation basics *)
+
+let test_remote_invoke_and_pool_reuse () =
+  with_server (echo_registry ()) (fun server ->
+      let registry = Registry.create () in
+      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let names = Remote.register ~retry:fast_policy ~memoize:false ~registry client in
+          Alcotest.(check (list string)) "registered" [ "echo" ] names;
+          Alcotest.(check bool) "marked remote" true (Registry.is_remote registry "echo");
+          let obs = Obs.measuring () in
+          for i = 1 to 5 do
+            let result, inv =
+              Registry.invoke registry ~name:"echo"
+                ~params:[ t (string_of_int i) ]
+                ~obs ()
+            in
+            Alcotest.(check bool) "echoed" true (result = [ el "val" [ t (string_of_int i) ] ]);
+            Alcotest.(check bool) "bytes on the wire" true
+              (inv.Registry.request_bytes > 0 && inv.Registry.response_bytes > 0)
+          done;
+          Alcotest.(check int) "every request counted" 5
+            (Metrics.count obs.Obs.metrics "net.requests" ~labels:[ ("service", "echo") ]);
+          (* one connection was dialed during registration; every request
+             after it reuses the pooled one *)
+          Alcotest.(check int) "no extra dials" 0
+            (Metrics.count obs.Obs.metrics "net.connects");
+          Alcotest.(check int) "pool reuse" 5 (Metrics.count obs.Obs.metrics "net.reuses")))
+
+let test_unknown_remote_service_fails_fast () =
+  with_server (echo_registry ()) (fun server ->
+      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          match
+            Client.call client ~obs:Obs.null ~timeout:5.0 ~service:"nope" ~params:[]
+              ~push:None
+          with
+          | _ -> Alcotest.fail "unknown service answered"
+          | exception Registry.Transport_error { transient; _ } ->
+            Alcotest.(check bool) "not worth retrying" false transient))
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation over the wire *)
+
+let test_server_killed_mid_run () =
+  let doc =
+    Doc.of_xml
+      (Axml_xml.Parse.tree
+         {|<root><item><axml:call name="echo">a</axml:call></item><item><axml:call name="echo">b</axml:call></item><item><axml:call name="echo">c</axml:call></item></root>|})
+  in
+  let query = Parser.parse "/root/item[val=$X!]" in
+  let server = Server.create ~registry:(echo_registry ()) () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let registry = Registry.create () in
+      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          ignore (Remote.register ~retry:fast_policy ~memoize:false ~registry client);
+          (* the server dies right after its first reply: call 1 expands,
+             calls 2 and 3 fail through the whole real retry/backoff loop *)
+          Server.kill_after_reply server;
+          let r = Lazy_eval.run ~strategy:Lazy_eval.nfqa ~registry query doc in
+          Alcotest.(check bool) "degraded, not crashed" false r.Lazy_eval.complete;
+          Alcotest.(check int) "two calls permanently failed" 2 r.Lazy_eval.failed_calls;
+          Alcotest.(check int) "first answer survives" 1 (List.length r.Lazy_eval.answers);
+          Alcotest.(check int) "real retries happened" (2 * fast_policy.Registry.max_retries)
+            r.Lazy_eval.retries;
+          (* the unexpanded calls survive in the document and its serialization *)
+          Alcotest.(check int) "calls still pending" 2 (Doc.count_calls doc);
+          let xml = Doc.to_string doc in
+          Alcotest.(check bool) "unexpanded call serializes" true
+            (contains ~sub:"axml:call" xml)))
+
+(* ------------------------------------------------------------------ *)
+(* E2E acceptance: the city-guide workload over loopback *)
+
+(* seed 1 yields a non-empty answer set at this scale *)
+let city_config = { City.default_config with City.hotels = 8; seed = 1 }
+
+let tuples answers =
+  List.map (fun (b : Eval.binding) -> List.sort compare b.Eval.vars) answers
+  |> List.sort_uniq compare
+
+let wire_invocations registry =
+  List.length (List.filter (fun i -> not i.Registry.cached) (Registry.history registry))
+
+let wire_response_bytes registry =
+  List.fold_left
+    (fun acc (i : Registry.invocation) ->
+      if i.Registry.cached then acc else acc + i.Registry.response_bytes)
+    0 (Registry.history registry)
+
+(* Run the city workload against a serving peer. Documents mutate in
+   place, so every run generates a fresh (deterministic) instance; only
+   the server's registry is shared. *)
+let remote_run ~port ~eval () =
+  let inst = City.generate city_config in
+  let registry = Registry.create () in
+  let client = Client.create ~host:"127.0.0.1" ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      ignore (Remote.register ~retry:fast_policy ~memoize:false ~registry client);
+      let result = eval ~registry ~inst in
+      (result, registry))
+
+let lazy_eval ~push ~registry ~inst =
+  let strategy =
+    if push then Lazy_eval.with_push Lazy_eval.nfqa_typed else Lazy_eval.nfqa_typed
+  in
+  Lazy_eval.run ~strategy ~schema:inst.City.schema ~registry inst.City.query inst.City.doc
+
+let test_e2e_city_acceptance () =
+  let served = City.generate city_config in
+  with_server served.City.registry (fun server ->
+      let port = Server.port server in
+      (* (a) identical answers remote vs in-process *)
+      let local_inst = City.generate city_config in
+      let local =
+        Lazy_eval.run ~strategy:Lazy_eval.nfqa_typed ~schema:local_inst.City.schema
+          ~registry:local_inst.City.registry local_inst.City.query local_inst.City.doc
+      in
+      let remote_lazy, lazy_reg = remote_run ~port ~eval:(lazy_eval ~push:false) () in
+      Alcotest.(check bool) "remote evaluation is complete" true
+        remote_lazy.Lazy_eval.complete;
+      Alcotest.(check bool) "identical answers remote vs in-process" true
+        (tuples remote_lazy.Lazy_eval.answers = tuples local.Lazy_eval.answers);
+      Alcotest.(check bool) "answers are non-trivial" true
+        (tuples remote_lazy.Lazy_eval.answers <> []);
+      (* (b) lazy crosses the wire strictly less often than naive *)
+      let remote_naive, naive_reg =
+        remote_run ~port
+          ~eval:(fun ~registry ~inst -> Naive.run registry inst.City.query inst.City.doc)
+          ()
+      in
+      Alcotest.(check bool) "naive finds the same answers" true
+        (tuples remote_naive.Naive.answers = tuples local.Lazy_eval.answers);
+      let lazy_wire = wire_invocations lazy_reg in
+      let naive_wire = wire_invocations naive_reg in
+      Alcotest.(check bool)
+        (Printf.sprintf "lazy (%d) < naive (%d) wire invocations" lazy_wire naive_wire)
+        true
+        (lazy_wire < naive_wire);
+      (* (c) pushing ships strictly fewer response bytes *)
+      let remote_push, push_reg = remote_run ~port ~eval:(lazy_eval ~push:true) () in
+      Alcotest.(check bool) "pushed answers still identical" true
+        (tuples remote_push.Lazy_eval.answers = tuples local.Lazy_eval.answers);
+      Alcotest.(check bool) "subqueries were actually pushed" true
+        (remote_push.Lazy_eval.pushed > 0);
+      let pushed_bytes = wire_response_bytes push_reg in
+      let plain_bytes = wire_response_bytes lazy_reg in
+      Alcotest.(check bool)
+        (Printf.sprintf "push (%d B) < no-push (%d B) response bytes" pushed_bytes
+           plain_bytes)
+        true
+        (pushed_bytes < plain_bytes))
+
+(* After a stop, the port refuses connections — no zombie listener. *)
+let test_stop_refuses_connections () =
+  let server = Server.create ~registry:(echo_registry ()) () in
+  Server.start server;
+  let port = Server.port server in
+  Server.stop server;
+  let client = Client.create ~host:"127.0.0.1" ~port () in
+  match Client.services client () with
+  | _ -> Alcotest.fail "stopped server answered"
+  | exception Registry.Transport_error { transient = true; _ } -> ()
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "tree round-trip" `Quick test_tree_roundtrip;
+          Alcotest.test_case "pattern round-trip" `Quick test_pattern_roundtrip;
+          Alcotest.test_case "message round-trip" `Quick test_message_roundtrip;
+          Alcotest.test_case "envelope rejection" `Quick test_envelope_rejection;
+          Alcotest.test_case "frame rejection" `Quick test_frame_rejection;
+        ] );
+      ( "handshake",
+        [
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "push capability advertised" `Quick
+            test_handshake_advertises_push;
+        ] );
+      ( "remote",
+        [
+          Alcotest.test_case "invoke + pool reuse" `Quick test_remote_invoke_and_pool_reuse;
+          Alcotest.test_case "unknown service fails fast" `Quick
+            test_unknown_remote_service_fails_fast;
+          Alcotest.test_case "stop refuses connections" `Quick test_stop_refuses_connections;
+        ] );
+      ( "degradation",
+        [ Alcotest.test_case "server killed mid-run" `Quick test_server_killed_mid_run ] );
+      ( "e2e", [ Alcotest.test_case "city over loopback" `Quick test_e2e_city_acceptance ] );
+    ]

@@ -88,6 +88,69 @@ let test_json_escapes () =
   | Ok _ -> Alcotest.fail "not a string"
   | Error m -> Alcotest.fail m
 
+(* Adversarial inputs: unicode escapes, control characters, integer
+   extremes and deep nesting must round-trip; near-miss garbage must be
+   rejected, not silently accepted. *)
+
+let test_json_unicode_escapes () =
+  let cases =
+    [
+      ("\"\\u0041\"", "A");
+      ("\"\\u00e9\"", "\xc3\xa9");  (* 2-byte UTF-8 *)
+      ("\"\\u20AC\"", "\xe2\x82\xac");  (* 3-byte UTF-8, uppercase hex *)
+      ("\"\\u0000\"", "\x00");
+      ("\"\\u001f\\u007F\"", "\x1f\x7f");
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      match Json.parse src with
+      | Ok (Json.String s) -> Alcotest.(check string) src expected s
+      | Ok _ -> Alcotest.failf "%s: not a string" src
+      | Error m -> Alcotest.failf "%s: %s" src m)
+    cases;
+  (* whatever the printer emits for control characters must load back *)
+  let hostile = Json.String "\x00\x01\x1f \"quote\" \\back\\ \xc3\xa9 \xe2\x82\xac" in
+  match Json.parse (Json.to_string hostile) with
+  | Ok v -> Alcotest.(check bool) "control chars round-trip" true (v = hostile)
+  | Error m -> Alcotest.fail m
+
+let test_json_unicode_rejection () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "accepted %S as %s" src (Json.to_string v))
+    [
+      {|"\u12_3"|};  (* int_of_string leniency: underscores are not hex *)
+      {|"\u 123"|};
+      {|"\u12"|};  (* truncated *)
+      {|"\uZZZZ"|};
+      {|"\u0x41"|};
+      {|"\q"|};
+    ]
+
+let test_json_int_extremes () =
+  List.iter
+    (fun i ->
+      match Json.parse (Json.to_string (Json.Int i)) with
+      | Ok (Json.Int j) -> Alcotest.(check int) (string_of_int i) i j
+      | Ok _ -> Alcotest.failf "%d did not come back as an int" i
+      | Error m -> Alcotest.fail m)
+    [ 0; -1; 1; max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_json_deep_nesting () =
+  let depth = 500 in
+  let rec build d = if d = 0 then Json.Int 7 else Json.Obj [ ("k", build (d - 1)) ] in
+  let rec probe d j =
+    if d = 0 then Alcotest.(check bool) "leaf" true (j = Json.Int 7)
+    else probe (d - 1) (Json.member "k" j)
+  in
+  let deep = build depth in
+  match Json.parse (Json.to_string deep) with
+  | Ok v -> probe depth v
+  | Error m -> Alcotest.fail m
+
 (* ------------------------------------------------------------------ *)
 (* Trace: span algebra *)
 
@@ -523,6 +586,10 @@ let () =
           quick "accessors" test_json_accessors;
           quick "jsonl" test_json_lines;
           quick "escapes" test_json_escapes;
+          quick "unicode escapes" test_json_unicode_escapes;
+          quick "unicode rejection" test_json_unicode_rejection;
+          quick "int extremes" test_json_int_extremes;
+          quick "deep nesting" test_json_deep_nesting;
         ] );
       ( "trace",
         [
