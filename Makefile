@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net bench examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec bench bench-e9-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -19,6 +19,11 @@ test-obs:
 # the city-guide E2E (identical answers, fewer wire calls, push bytes)
 test-net:
 	dune exec test/test_net.exe
+
+# worker-pool tests: map_batch semantics plus the differential check
+# that pooled evaluation is byte-identical to sequential
+test-exec:
+	dune exec test/test_exec.exe
 
 # record a traced + measured run, then pretty-print the span tree;
 # load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev
@@ -41,6 +46,11 @@ serve-demo:
 
 bench:
 	dune exec bench/main.exe
+
+# the CI-sized E9: two loopback peers with injected latency, asserting
+# that --jobs 4 beats --jobs 1 on the wall clock with identical answers
+bench-e9-smoke:
+	dune exec bench/main.exe -- e9smoke
 
 examples:
 	dune exec examples/quickstart.exe

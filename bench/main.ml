@@ -3,7 +3,7 @@
    table; a final Bechamel section micro-benchmarks the core operation
    behind each table.
 
-   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|e8|micro]...
+   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -36,6 +36,7 @@ module Trace = Axml_obs.Trace
 module Server = Axml_net.Server
 module Client = Axml_net.Client
 module Remote = Axml_net.Remote
+module Exec = Axml_exec.Exec
 
 (* ------------------------------------------------------------------ *)
 (* Per-experiment metrics snapshots.
@@ -814,6 +815,135 @@ let e8 () =
     (List.rev !series)
 
 (* ------------------------------------------------------------------ *)
+(* E9: real concurrent batch invocation (§4.4 on the wall clock). The
+   simulated cost model charges a parallel batch the max of its members'
+   costs; E9 checks the wall clock agrees once the calls really overlap.
+   The city services live behind loopback [axmld] peers that sleep
+   [delay] real seconds per request ([Server.create ~delay], the
+   [axml serve --latency] knob); the evaluator invokes them through
+   [Remote] with a worker pool at --jobs 1/2/4/8. The answers (bytes),
+   the invocation count and completeness must be identical at every jobs
+   level — only the wall clock is allowed to move. The speedup ceiling
+   is the width of the narrowest layer, not the jobs count, so the
+   column to read is wall(s) against the j=1 baseline. *)
+
+(* One evaluation at [jobs] workers against [servers], the advertised
+   services split alternately across the peers. Returns the answers
+   serialized to bytes, so equality means byte-identical output. *)
+let e9_run ~servers ~cfg ~jobs =
+  let inst = City.generate cfg in
+  let registry = Registry.create () in
+  let clients =
+    List.map
+      (fun srv ->
+        Client.create ~pool_size:(max 4 jobs) ~host:"127.0.0.1"
+          ~port:(Server.port srv) ())
+      servers
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Client.close clients)
+    (fun () ->
+      (match clients with
+      | [ c1; c2 ] ->
+        let names =
+          List.map
+            (fun (s : Axml_net.Wire.service_info) -> s.Axml_net.Wire.name)
+            (Client.services c1 ())
+        in
+        let a, b =
+          List.partition (fun n -> Hashtbl.hash n mod 2 = 0) names
+        in
+        ignore (Remote.register ~memoize:false ~names:a ~registry c1);
+        ignore (Remote.register ~memoize:false ~names:b ~registry c2)
+      | cs ->
+        List.iter (fun c -> ignore (Remote.register ~memoize:false ~registry c)) cs);
+      let pool = if jobs > 1 then Some (Exec.create ~jobs ()) else None in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Exec.shutdown pool)
+        (fun () ->
+          let r, elapsed =
+            wall (fun () ->
+                Lazy_eval.run ~registry ~schema:inst.City.schema
+                  ~strategy:Lazy_eval.nfqa_typed ?pool ~obs:!bench_obs
+                  inst.City.query inst.City.doc)
+          in
+          let answer_bytes =
+            Axml_xml.Print.forest_to_string (Eval.bindings_to_xml r.Lazy_eval.answers)
+          in
+          (r, answer_bytes, elapsed)))
+
+let e9_sweep ~title ~hotels ~delay ~jobs_list =
+  (* Every hotel is an extensional "Best Western" with an intensional
+     rating and nearby list: each layer is [hotels] calls wide, so the
+     pool has real §4.4 batches to overlap. *)
+  let cfg =
+    {
+      City.default_config with
+      City.hotels;
+      seed = 1;
+      extensional_fraction = 1.0;
+      intensional_rating_fraction = 1.0;
+      intensional_nearby_fraction = 1.0;
+      target_fraction = 1.0;
+      five_star_fraction = 1.0;
+    }
+  in
+  let mk_server () =
+    let served = City.generate cfg in
+    let server = Server.create ~delay ~registry:served.City.registry () in
+    Server.start server;
+    server
+  in
+  let servers = [ mk_server (); mk_server () ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop servers)
+    (fun () ->
+      let runs = List.map (fun jobs -> (jobs, e9_run ~servers ~cfg ~jobs)) jobs_list in
+      let _, (base, base_answers, base_wall) = List.hd runs in
+      let rows =
+        List.map
+          (fun (jobs, (r, answers, elapsed)) ->
+            (* the §4.4 contract: concurrency must not change the result *)
+            assert (answers = base_answers);
+            assert (r.Lazy_eval.invoked = base.Lazy_eval.invoked);
+            assert (r.Lazy_eval.complete = base.Lazy_eval.complete);
+            [
+              string_of_int jobs;
+              string_of_int r.Lazy_eval.invoked;
+              secs r.Lazy_eval.simulated_seconds;
+              secs elapsed;
+              Printf.sprintf "%.2fx" (base_wall /. Float.max 1e-9 elapsed);
+              string_of_int (List.length (tuples r.Lazy_eval.answers));
+            ])
+          runs
+      in
+      print_table ~title
+        ~header:[ "jobs"; "invoked"; "sim(s)"; "wall(s)"; "speedup"; "answers" ]
+        rows;
+      runs)
+
+let e9 () =
+  ignore
+    (e9_sweep
+       ~title:
+         "E9: worker-pool speedup over 2 loopback peers (12 hotels, 50 ms injected latency)"
+       ~hotels:12 ~delay:0.05 ~jobs_list:[ 1; 2; 4; 8 ])
+
+(* The CI-sized variant: 2 peers, 20 ms, jobs 1 vs 4, and a hard
+   assertion that pooling actually beat sequential on the wall clock. *)
+let e9smoke () =
+  match
+    e9_sweep ~title:"E9 (smoke): 2 loopback peers (8 hotels, 20 ms injected latency)"
+      ~hotels:8 ~delay:0.02 ~jobs_list:[ 1; 4 ]
+  with
+  | [ (1, (_, _, wall1)); (4, (_, _, wall4)) ] ->
+    if wall4 >= wall1 then begin
+      Printf.eprintf "e9smoke: no speedup (wall(4)=%.3fs >= wall(1)=%.3fs)\n" wall4 wall1;
+      exit 1
+    end
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -917,6 +1047,8 @@ let experiments =
     ("e6", e6);
     ("e7", e7);
     ("e8", e8);
+    ("e9", e9);
+    ("e9smoke", e9smoke);
     ("micro", micro);
   ]
 

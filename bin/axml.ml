@@ -26,6 +26,7 @@ module Json = Axml_obs.Json
 module Server = Axml_net.Server
 module Client = Axml_net.Client
 module Remote = Axml_net.Remote
+module Exec = Axml_exec.Exec
 
 open Cmdliner
 
@@ -153,6 +154,31 @@ let apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout =
       Ok ()
   end
 
+(* ---------------- worker pool ---------------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Invoke each parallel batch of service calls on $(docv) worker threads, so the \
+           \xc2\xa74.4 batches overlap on the wall clock too (answers and counts are \
+           unchanged). 1 (the default) stays sequential; 0 picks a machine-dependent \
+           default.")
+
+(* Resolve --jobs into an optional pool; [f] runs with it and the pool
+   is always shut down, even on error. *)
+let with_pool jobs f =
+  if jobs < 0 then fail "jobs must be >= 0"
+  else
+    let n = if jobs = 0 then Exec.default_jobs () else jobs in
+    if n <= 1 then f None
+    else begin
+      let pool = Exec.create ~jobs:n () in
+      Fun.protect ~finally:(fun () -> Exec.shutdown pool) (fun () -> f (Some pool))
+    end
+
 (* ---------------- remote peers ---------------- *)
 
 let endpoint_conv =
@@ -182,12 +208,14 @@ let connect_arg =
 (* Dial each peer and register what it advertises. Local registrations
    (from --services) win on name clashes because register_remote refuses
    duplicates — so only register names not already present. *)
-let connect_peers registry endpoints =
+let connect_peers ?(jobs = 1) registry endpoints =
   try
     Ok
       (List.concat_map
          (fun (host, port) ->
-           let client = Client.create ~host ~port () in
+           (* Size each peer's connection pool to the worker count, so
+              concurrent batch invocations don't fight over sockets. *)
+           let client = Client.create ~pool_size:(max 4 jobs) ~host ~port () in
            let advertised =
              List.map (fun (s : Axml_net.Wire.service_info) -> s.Axml_net.Wire.name)
                (Client.services client ())
@@ -398,7 +426,7 @@ let strategy_conv =
       ("naive", `Naive);
     ]
 
-let run_workload verbose workload strategy scale seed push fguide xml fault_rate fault_seed
+let run_workload verbose workload strategy scale seed push fguide xml jobs fault_rate fault_seed
     max_retries timeout trace_out metrics_out report_json query_override =
   setup_logs verbose;
   let instance =
@@ -434,9 +462,10 @@ let run_workload verbose workload strategy scale seed push fguide xml fault_rate
         (Doc.count_calls doc)
         (P.to_string query);
       let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
+      with_pool jobs (fun pool ->
       match strategy with
       | `Naive ->
-        let r = Naive.run ~obs registry query doc in
+        let r = Naive.run ?pool ~obs registry query doc in
         print_bindings ~xml r.Naive.answers;
         Printf.printf
           "\ninvoked %d call(s) in %d round(s), %.3f s simulated, %d bytes, complete=%b\n"
@@ -456,7 +485,7 @@ let run_workload verbose workload strategy scale seed push fguide xml fault_rate
         in
         let base = if push then Lazy_eval.with_push base else base in
         let strategy = if fguide then Lazy_eval.with_fguide base else base in
-        let r = Lazy_eval.run ~registry ~schema ~strategy ~obs query doc in
+        let r = Lazy_eval.run ~registry ~schema ~strategy ~obs ?pool query doc in
         print_bindings ~xml r.Lazy_eval.answers;
         Printf.printf
           "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
@@ -469,7 +498,7 @@ let run_workload verbose workload strategy scale seed push fguide xml fault_rate
         print_fault_counters registry;
         write_obs ~trace:trace_out ~metrics:metrics_out obs;
         emit_report_json report_json (Lazy_eval.report_to_json r);
-        `Ok ()))
+        `Ok ())))
 
 let run_cmd =
   let doc =
@@ -500,8 +529,8 @@ let run_cmd =
     Term.(
       ret
         (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
-       $ push_arg $ fguide_arg $ xml_flag $ fault_rate_arg $ fault_seed_arg $ max_retries_arg
-       $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
+       $ push_arg $ fguide_arg $ xml_flag $ jobs_arg $ fault_rate_arg $ fault_seed_arg
+       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
 
 (* ---------------- generate ---------------- *)
 
@@ -554,7 +583,7 @@ let generate_cmd =
 (* ---------------- eval (user files) ---------------- *)
 
 let eval_files verbose doc_path schema_path services_path connect strategy push fguide xml flwr
-    fault_rate fault_seed max_retries timeout trace_out metrics_out report_json query_src =
+    jobs fault_rate fault_seed max_retries timeout trace_out metrics_out report_json query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -579,7 +608,9 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
       (match names with
       | Some names -> Printf.eprintf "registered services: %s\n%!" (String.concat ", " names)
       | None -> ());
-      match connect_peers registry connect with
+      match
+        connect_peers ~jobs:(if jobs = 0 then Exec.default_jobs () else jobs) registry connect
+      with
       | Error m -> fail "%s" m
       | Ok remote_names -> (
       if remote_names <> [] then
@@ -588,9 +619,10 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
       | Error m -> fail "%s" m
       | Ok () -> (
         let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
+        with_pool jobs (fun pool ->
         match strategy with
         | `Naive ->
-          let r = Naive.run ~obs registry query doc in
+          let r = Naive.run ?pool ~obs registry query doc in
           print_bindings ~xml r.Naive.answers;
           Printf.printf "\ninvoked %d call(s), %.3f s simulated, complete=%b\n" r.Naive.invoked
             r.Naive.simulated_seconds r.Naive.complete;
@@ -608,7 +640,7 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
           in
           let base = if push then Lazy_eval.with_push base else base in
           let strategy = if fguide then Lazy_eval.with_fguide base else base in
-          let r = Lazy_eval.run ?schema ~registry ~strategy ~obs query doc in
+          let r = Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool query doc in
           (match flwr_query with
           | Ok (Some q) ->
             print_endline
@@ -621,7 +653,7 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
           print_fault_counters registry;
           write_obs ~trace:trace_out ~metrics:metrics_out obs;
           emit_report_json report_json (Lazy_eval.report_to_json r);
-          `Ok ()))))
+          `Ok ())))))
 
 let eval_cmd =
   let doc =
@@ -647,7 +679,7 @@ let eval_cmd =
     Term.(
       ret
         (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ connect_arg
-       $ strategy_arg $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ fault_rate_arg
+       $ strategy_arg $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ jobs_arg $ fault_rate_arg
        $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg
        $ report_json_arg $ query_arg))
 
@@ -758,9 +790,11 @@ let termination_cmd =
 
 (* ---------------- serve ---------------- *)
 
-let serve verbose services_path host port fault_rate fault_seed max_retries timeout trace_out
-    metrics_out =
+let serve verbose services_path host port latency fault_rate fault_seed max_retries timeout
+    trace_out metrics_out =
   setup_logs verbose;
+  if latency < 0.0 then fail "latency must be >= 0"
+  else
   let registry = Registry.create () in
   match Axml_services.Spec.load_file registry services_path with
   | exception Axml_services.Spec.Error m -> fail "services: %s" m
@@ -770,7 +804,7 @@ let serve verbose services_path host port fault_rate fault_seed max_retries time
     | Error m -> fail "%s" m
     | Ok () -> (
       let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
-      match Server.create ~host ~port ~obs ~registry () with
+      match Server.create ~host ~port ~obs ~delay:latency ~registry () with
       | exception Unix.Unix_error (e, _, _) ->
         fail "cannot listen on %s:%d: %s" host port (Unix.error_message e)
       | server ->
@@ -806,12 +840,21 @@ let serve_cmd =
       value & opt int 7342
       & info [ "port" ] ~docv:"PORT" ~doc:"Port to bind; 0 picks an ephemeral port.")
   in
+  let latency_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "latency" ] ~docv:"SECONDS"
+          ~doc:
+            "Sleep $(docv) of real wall-clock time before serving each invoke request — \
+             injected provider latency for wall-clock experiments (E9).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const serve $ verbose_flag $ services_required $ host_arg $ port_arg $ fault_rate_arg
-       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg))
+        (const serve $ verbose_flag $ services_required $ host_arg $ port_arg $ latency_arg
+       $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg
+       $ metrics_arg))
 
 (* ---------------- main ---------------- *)
 

@@ -29,6 +29,7 @@ module Sat = Axml_schema.Sat
 module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
+module Exec = Axml_exec.Exec
 
 type relevance_mode =
   | Nfq_relevance  (** node-focused queries: exact relevant-call detection *)
@@ -120,6 +121,10 @@ type state = {
   registry : Registry.t;
   doc : Doc.t;
   obs : Obs.t;
+  pool : Exec.pool option;
+      (* worker pool for §4.4 batches: with one, parallel batches are
+         invoked concurrently on the wall clock; without, sequentially
+         (the simulated-clock accounting is the max either way) *)
 
   sub_of : (int, P.node) Hashtbl.t;  (* original-query pid -> subtree *)
   push_of : (int, P.node) Hashtbl.t;  (* cached optimistic push patterns *)
@@ -278,12 +283,29 @@ let account_attempts st (inv : Registry.invocation) =
   Metrics.add m "eval.backoff_seconds" inv.Registry.backoff_seconds;
   Metrics.incr m ~by:(inv.Registry.request_bytes + inv.Registry.response_bytes) "eval.bytes"
 
-let invoke_one st ?push (call : Doc.node) =
+(* One invocation is split in two halves. [request_one] is the
+   worker-safe half: just the registry exchange (thread-safe, only
+   reads the document), with failures captured as data. [apply_one] is
+   the sequential half: document mutation, F-guide maintenance and
+   every counter — always run on the coordinating thread, in batch
+   input order, so the evaluator state needs no locks of its own. *)
+
+type outcome =
+  | O_ok of Axml_xml.Tree.forest * Registry.invocation
+  | O_failed of Registry.invocation
+
+let request_one st ~obs ?push (call : Doc.node) =
   let name = Naive.call_name_exn call in
   match
-    Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push ~obs:st.obs ()
+    Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push ~obs ()
   with
-  | result, inv ->
+  | result, inv -> O_ok (result, inv)
+  | exception Registry.Service_failure inv -> O_failed inv
+
+let apply_one st ?push (call : Doc.node) outcome =
+  let name = Naive.call_name_exn call in
+  match outcome with
+  | O_ok (result, inv) ->
     Log.debug (fun m ->
         m "invoke [%d]%s%s"
           (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
@@ -303,7 +325,7 @@ let invoke_one st ?push (call : Doc.node) =
     end;
     account_attempts st inv;
     inv.Registry.cost
-  | exception Registry.Service_failure inv ->
+  | O_failed inv ->
     (* Graceful degradation: the call stays in place as an unexpanded
        function node; the answer may only lose bindings (Def. 4). *)
     Log.debug (fun m ->
@@ -314,6 +336,52 @@ let invoke_one st ?push (call : Doc.node) =
     Metrics.incr st.obs.Obs.metrics "eval.failed_calls";
     account_attempts st inv;
     inv.Registry.cost
+
+let invoke_one st ?push (call : Doc.node) =
+  apply_one st ?push call (request_one st ~obs:st.obs ?push call)
+
+(* A §4.4 parallel batch. With a pool, the batch members' registry
+   exchanges run concurrently (condition ★ guarantees no member's
+   parameters depend on another member's result, so requesting against
+   the pre-batch document is exactly what the sequential order does
+   too); the apply phase then runs sequentially in input order, which
+   keeps answers, counters and traces identical to the sequential path.
+   Either way the batch is charged the max of its members' costs on the
+   simulated clock. The pool is only used when the whole batch fits in
+   the remaining call budget — a partially-invokable batch falls back
+   to the sequential fold so the budget cuts at the same call at every
+   jobs level. *)
+let invoke_batch st ?push calls =
+  let pooled =
+    match st.pool with
+    | Some pool
+      when Exec.jobs pool > 1
+           && List.length calls > 1
+           && st.invoked + List.length calls <= st.strategy.max_calls ->
+      Some pool
+    | _ -> None
+  in
+  match pooled with
+  | None ->
+    List.fold_left
+      (fun worst call ->
+        if st.invoked < st.strategy.max_calls then
+          Float.max worst (invoke_one st ?push call)
+        else worst)
+      0.0 calls
+  | Some pool ->
+    let outcomes =
+      Exec.map_batch pool
+        (fun call ->
+          let obs = Obs.fork st.obs in
+          (obs, request_one st ~obs ?push call))
+        calls
+    in
+    List.fold_left2
+      (fun worst call (obs, outcome) ->
+        Obs.join st.obs obs;
+        Float.max worst (apply_one st ?push call outcome))
+      0.0 calls outcomes
 
 let within_budget st =
   st.invoked < st.strategy.max_calls && st.passes < st.strategy.max_passes
@@ -364,13 +432,7 @@ let materialize_answers st (q : P.t) =
             "eval.round"
         else Trace.none
       in
-      let batch_cost =
-        List.fold_left
-          (fun worst call ->
-            if st.invoked < st.strategy.max_calls then Float.max worst (invoke_one st call)
-            else worst)
-          0.0 pending
-      in
+      let batch_cost = invoke_batch st pending in
       if Trace.enabled tr then
         Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float batch_cost) ] span;
       st.simulated_seconds <- st.simulated_seconds +. batch_cost
@@ -424,12 +486,7 @@ let process_layer st (layer : Relevance.t list) =
               let batch_cost =
                 if parallel then
                   (* batch: parallel invocation, accounted at the slowest call *)
-                  List.fold_left
-                    (fun worst call ->
-                      if st.invoked < st.strategy.max_calls then
-                        Float.max worst (invoke_one st ?push:(push_pattern st rq) call)
-                      else worst)
-                    0.0 calls
+                  invoke_batch st ?push:(push_pattern st rq) calls
                 else begin
                   match calls with
                   | call :: _ -> invoke_one st ?push:(push_pattern st rq) call
@@ -446,7 +503,8 @@ let process_layer st (layer : Relevance.t list) =
 let relevance_name = function Nfq_relevance -> "nfq" | Lpq_relevance -> "lpq"
 let typing_name = function No_types -> "none" | Lenient_types -> "lenient" | Exact_types -> "exact"
 
-let run ?(strategy = default) ?schema ?(obs = Obs.null) ~registry (q : P.t) (d : Doc.t) : report =
+let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t) (d : Doc.t) :
+    report =
   let rqs =
     match strategy.relevance with
     | Nfq_relevance -> Nfq.of_query q
@@ -482,6 +540,7 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ~registry (q : P.t) (d :
       registry;
       doc = d;
       obs;
+      pool;
       sub_of;
       push_of = Hashtbl.create 16;
       typing;

@@ -88,6 +88,7 @@ val run :
   ?strategy:strategy ->
   ?schema:Axml_schema.Schema.t ->
   ?obs:Axml_obs.Obs.t ->
+  ?pool:Axml_exec.Exec.pool ->
   registry:Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->
@@ -99,6 +100,14 @@ val run :
     accounted at the cost of their slowest invocation; sequential
     invocations add up.
 
+    [pool] (default: none) makes §4.4 parallelism real on the wall
+    clock: the members of a parallel batch are dispatched concurrently
+    onto the {!Axml_exec.Exec} worker pool, while document mutation and
+    all accounting stay on the calling thread — answers, [invoked]
+    counts and the simulated-clock charges are identical to the
+    sequential evaluation at every pool width. Without a pool (or with
+    [jobs = 1]) batches are invoked one by one, as before.
+
     [obs] (default: disabled) records the whole evaluation as a span
     tree — [eval.run] ⊃ [eval.layer] ⊃ [eval.pass] ⊃ [eval.detect] /
     [eval.round] ⊃ [service.invoke] ⊃ [service.attempt] — and mirrors
@@ -106,9 +115,11 @@ val run :
     [Metrics.count obs.metrics "eval.invoked"] equals [report.invoked]
     exactly, and likewise for [retries], [timeouts], [bytes],
     [backoff_seconds], [rounds], [passes], …). On the trace's simulated
-    timeline, the members of a parallel batch are laid end to end; the
-    aggregated (max) charge is the round span's [batch_cost_s]
-    attribute. *)
+    timeline, a sequentially-invoked parallel batch lays its members end
+    to end, while a pooled one ends at the max-aggregated charge
+    (fragments are clock-clamped as they are absorbed, see
+    {!Axml_obs.Trace.absorb}); either way the aggregated (max) charge is
+    the round span's [batch_cost_s] attribute. *)
 
 val report_to_json : report -> Axml_obs.Json.t
 (** The full report as JSON — the [--report-json] wire format: answer

@@ -9,6 +9,7 @@ module Registry = Axml_services.Registry
 module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
+module Exec = Axml_exec.Exec
 
 type stats = {
   invoked : int;
@@ -47,7 +48,7 @@ let call_name_exn (call : Doc.node) =
     invocations are sequential (summed costs). A call whose retry budget
     is exhausted ({!Registry.Service_failure}) is left in place as an
     unexpanded function node and never re-attempted. *)
-let materialize ?(max_calls = 100_000) ?(parallel = true) ?(obs = Obs.null) registry
+let materialize ?(max_calls = 100_000) ?(parallel = true) ?pool ?(obs = Obs.null) registry
     (d : Doc.t) : stats =
   let m = obs.Obs.metrics in
   let tr = obs.Obs.trace in
@@ -91,24 +92,56 @@ let materialize ?(max_calls = 100_000) ?(parallel = true) ?(obs = Obs.null) regi
         if parallel then round_cost := Float.max !round_cost inv.Registry.cost
         else round_cost := !round_cost +. inv.Registry.cost
       in
-      List.iter
-        (fun (call : Doc.node) ->
-          if !invoked >= max_calls then budget_hit := true
-          else
-            match
-              Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call)
-                ~obs ()
-            with
-            | result, inv ->
-              ignore (Doc.replace_call d call result);
-              incr invoked;
-              Metrics.incr m "eval.invoked";
-              account inv
-            | exception Registry.Service_failure inv ->
-              Hashtbl.replace failed call.Doc.id ();
-              Metrics.incr m "eval.failed_calls";
-              account inv)
-        calls;
+      (* request (thread-safe) and apply (doc mutation + counters,
+         sequential) halves, mirroring the lazy evaluator's split *)
+      let request ~obs (call : Doc.node) =
+        match
+          Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call)
+            ~obs ()
+        with
+        | result, inv -> Ok (result, inv)
+        | exception Registry.Service_failure inv -> Error inv
+      in
+      let apply (call : Doc.node) = function
+        | Ok (result, inv) ->
+          ignore (Doc.replace_call d call result);
+          incr invoked;
+          Metrics.incr m "eval.invoked";
+          account inv
+        | Error inv ->
+          Hashtbl.replace failed call.Doc.id ();
+          Metrics.incr m "eval.failed_calls";
+          account inv
+      in
+      let pooled =
+        match pool with
+        | Some p ->
+          parallel && Exec.jobs p > 1
+          && List.length calls > 1
+          && !invoked + List.length calls <= max_calls
+        | None -> false
+      in
+      if pooled then begin
+        let p = Option.get pool in
+        let outcomes =
+          Exec.map_batch p
+            (fun call ->
+              let obs = Obs.fork obs in
+              (obs, request ~obs call))
+            calls
+        in
+        List.iter2
+          (fun call (o, outcome) ->
+            Obs.join obs o;
+            apply call outcome)
+          calls outcomes
+      end
+      else
+        List.iter
+          (fun (call : Doc.node) ->
+            if !invoked >= max_calls then budget_hit := true
+            else apply call (request ~obs call))
+          calls;
       if Trace.enabled tr then
         Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float !round_cost) ] span;
       seconds := !seconds +. !round_cost;
@@ -127,10 +160,10 @@ let materialize ?(max_calls = 100_000) ?(parallel = true) ?(obs = Obs.null) regi
     complete = (not !budget_hit) && Hashtbl.length failed = 0;
   }
 
-let run ?max_calls ?parallel ?(obs = Obs.null) registry (q : P.t) (d : Doc.t) : report =
+let run ?max_calls ?parallel ?pool ?(obs = Obs.null) registry (q : P.t) (d : Doc.t) : report =
   let tr = obs.Obs.trace in
   let root = if Trace.enabled tr then Trace.open_span tr "eval.naive" else Trace.none in
-  let s = materialize ?max_calls ?parallel ~obs registry d in
+  let s = materialize ?max_calls ?parallel ?pool ~obs registry d in
   let answers = Eval.eval q d in
   if Obs.enabled obs then begin
     Metrics.set obs.Obs.metrics "eval.answers" (float_of_int (List.length answers));

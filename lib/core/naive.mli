@@ -39,17 +39,20 @@ val call_name_exn : Axml_doc.node -> string
 val materialize :
   ?max_calls:int ->
   ?parallel:bool ->
+  ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
   Axml_services.Registry.t ->
   Axml_doc.t ->
   stats
 (** Materializes the document in place. With [parallel:true] (default)
     each round of visible calls is accounted as one parallel batch (max
-    cost); otherwise costs add up. A call that permanently fails
-    ({!Axml_services.Registry.Service_failure}) stays in the document as
-    an unexpanded function node, counts in [failed_calls] and is never
-    re-attempted; the evaluation degrades gracefully instead of
-    aborting.
+    cost); otherwise costs add up. With [pool] (and [parallel]), each
+    round's calls are also {e invoked} concurrently on the worker pool —
+    same answers and counts, real wall-clock overlap. A call that
+    permanently fails ({!Axml_services.Registry.Service_failure}) stays
+    in the document as an unexpanded function node, counts in
+    [failed_calls] and is never re-attempted; the evaluation degrades
+    gracefully instead of aborting.
 
     [obs] (default: disabled) records one [eval.round] span per fixpoint
     round (service spans nested inside) and mirrors the stats into the
@@ -59,6 +62,7 @@ val materialize :
 val run :
   ?max_calls:int ->
   ?parallel:bool ->
+  ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
   Axml_services.Registry.t ->
   Axml_query.Pattern.t ->

@@ -1,0 +1,122 @@
+type pool = {
+  jobs : int;
+  mu : Mutex.t;
+  cond : Condition.t;  (* signaled when the queue gains a task or on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable workers : Thread.t list;
+  mutable stopped : bool;
+}
+
+let default_jobs () = max 2 (Domain.recommended_domain_count ())
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.mu;
+    while Queue.is_empty pool.queue && not pool.stopped do
+      Condition.wait pool.cond pool.mu
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mu (* stopped *)
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mu;
+      (* batch tasks carry their outcome in the batch's result cells;
+         nothing can escape here *)
+      (try task () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let pool =
+    {
+      jobs;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      stopped = false;
+    }
+  in
+  (* the caller of [map_batch] is the jobs-th executor *)
+  pool.workers <- List.init (jobs - 1) (fun _ -> Thread.create worker_loop pool);
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mu;
+  pool.stopped <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mu;
+  List.iter Thread.join pool.workers;
+  pool.workers <- []
+
+let map_batch pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when pool.jobs <= 1 || pool.stopped -> List.map f xs
+  | xs ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let bmu = Mutex.create () in
+    let bcond = Condition.create () in
+    let next = ref 0 in
+    let completed = ref 0 in
+    let take () =
+      Mutex.lock bmu;
+      let i = !next in
+      if i < n then incr next;
+      Mutex.unlock bmu;
+      if i < n then Some i else None
+    in
+    let run_one i =
+      let r = try Ok (f arr.(i)) with e -> Error e in
+      Mutex.lock bmu;
+      results.(i) <- Some r;
+      incr completed;
+      if !completed = n then Condition.broadcast bcond;
+      Mutex.unlock bmu
+    in
+    (* claim-and-run until the batch is drained; also what the helper
+       tasks enqueued on the pool execute. A helper that a worker picks
+       up only after the batch finished finds [take] empty and returns
+       immediately. *)
+    let rec drain () =
+      match take () with
+      | Some i ->
+        run_one i;
+        drain ()
+      | None -> ()
+    in
+    let helpers = min (n - 1) (pool.jobs - 1) in
+    Mutex.lock pool.mu;
+    for _ = 1 to helpers do
+      Queue.push drain pool.queue
+    done;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mu;
+    (* the caller participates: guarantees progress even when every
+       worker is busy with other (possibly nested) batches *)
+    drain ();
+    Mutex.lock bmu;
+    while !completed < n do
+      Condition.wait bcond bmu
+    done;
+    Mutex.unlock bmu;
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Error e) -> first_error := Some e
+      | _ -> ()
+    done;
+    (match !first_error with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | _ -> assert false (* completed = n and no Error *))
+         results)

@@ -12,6 +12,9 @@ type t = {
   connect_timeout : float;
   mu : Mutex.t;
   mutable idle : conn list;
+  mutable idle_len : int;
+      (* length of [idle], maintained so giveback's pool-bound check is
+         O(1) instead of walking the list under the mutex *)
   mutable advertised : Wire.service_info list option;
 }
 
@@ -24,6 +27,7 @@ let create ?(pool_size = 4) ?(connect_timeout = 10.0) ~host ~port () =
     connect_timeout;
     mu = Mutex.create ();
     idle = [];
+    idle_len = 0;
     advertised = None;
   }
 
@@ -76,6 +80,7 @@ let rec borrow t ~obs =
         | [] -> None
         | conn :: rest ->
           t.idle <- rest;
+          t.idle_len <- t.idle_len - 1;
           Some conn)
   in
   match pooled with
@@ -94,8 +99,9 @@ let rec borrow t ~obs =
 let giveback t conn =
   let keep =
     Mutex.protect t.mu (fun () ->
-        if List.length t.idle < t.pool_size then begin
+        if t.idle_len < t.pool_size then begin
           t.idle <- conn :: t.idle;
+          t.idle_len <- t.idle_len + 1;
           true
         end
         else false)
@@ -240,6 +246,7 @@ let close t =
     Mutex.protect t.mu (fun () ->
         let cs = t.idle in
         t.idle <- [];
+        t.idle_len <- 0;
         cs)
   in
   List.iter discard conns

@@ -10,10 +10,11 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type t = {
   registry : Registry.t;
   obs : Obs.t;
+  delay : float;  (* injected per-request latency, really slept *)
   listen_fd : Unix.file_descr;
   host : string;
   port : int;
-  mu : Mutex.t;  (* guards registry access and the mutable state below *)
+  mu : Mutex.t;  (* guards the connection bookkeeping below *)
   mutable conns : (int * Unix.file_descr) list;
   mutable next_conn : int;
   mutable stopped : bool;
@@ -29,7 +30,7 @@ let resolve host =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
 
-let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ~registry () =
+let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?(delay = 0.0) ~registry () =
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -48,6 +49,7 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ~registry () =
   {
     registry;
     obs;
+    delay = Float.max 0.0 delay;
     listen_fd = fd;
     host;
     port;
@@ -76,47 +78,52 @@ let welcome t =
               (Registry.names t.registry);
         })
 
-(* One request against the served registry, under the registry mutex (the
-   obs sink is single-threaded, so spans are recorded under it too). *)
+(* One request against the served registry. The registry and the obs
+   sinks are thread-safe, so concurrent connections serve concurrently:
+   no lock is held here. Each request records its span into a trace
+   fragment of its own and folds it back in when done, so overlapping
+   requests cannot interleave their open/close events. *)
 let handle_invoke t ~id ~service ~params ~push =
-  Mutex.protect t.mu (fun () ->
-      let tr = t.obs.Obs.trace in
-      let span =
-        if Trace.enabled tr then
-          Trace.open_span tr ~cat:"net"
-            ~attrs:
-              [ ("service", Trace.Str service); ("pushed", Trace.Bool (push <> None)) ]
-            "net.serve"
-        else Trace.none
-      in
-      Metrics.incr t.obs.Obs.metrics ~labels:[ ("service", service) ] "net.served";
-      let reply =
-        match Registry.invoke t.registry ~name:service ~params ?push ~obs:t.obs () with
-        | forest, inv -> Wire.Result { id; pushed = inv.Registry.pushed; forest }
-        | exception Registry.Unknown_service n ->
-          Wire.Error { id; transient = false; message = "unknown service " ^ n }
-        | exception Registry.Service_failure inv ->
-          Wire.Degraded
-            {
-              id;
-              message =
-                Printf.sprintf "service %s failed after %d retries" service
-                  inv.Registry.retries;
-              retries = inv.Registry.retries;
-              timeouts = inv.Registry.timeouts;
-            }
-        | exception e ->
-          Wire.Error { id; transient = false; message = Printexc.to_string e }
-      in
-      let outcome =
-        match reply with
-        | Wire.Result _ -> "ok"
-        | Wire.Degraded _ -> "degraded"
-        | _ -> "error"
-      in
-      if Trace.enabled tr then
-        Trace.close_span tr ~attrs:[ ("outcome", Trace.Str outcome) ] span;
-      reply)
+  if t.delay > 0.0 then Unix.sleepf t.delay;
+  let obs = Obs.fork t.obs in
+  let tr = obs.Obs.trace in
+  let span =
+    if Trace.enabled tr then
+      Trace.open_span tr ~cat:"net"
+        ~attrs:
+          [ ("service", Trace.Str service); ("pushed", Trace.Bool (push <> None)) ]
+        "net.serve"
+    else Trace.none
+  in
+  Metrics.incr obs.Obs.metrics ~labels:[ ("service", service) ] "net.served";
+  let reply =
+    match Registry.invoke t.registry ~name:service ~params ?push ~obs () with
+    | forest, inv -> Wire.Result { id; pushed = inv.Registry.pushed; forest }
+    | exception Registry.Unknown_service n ->
+      Wire.Error { id; transient = false; message = "unknown service " ^ n }
+    | exception Registry.Service_failure inv ->
+      Wire.Degraded
+        {
+          id;
+          message =
+            Printf.sprintf "service %s failed after %d retries" service
+              inv.Registry.retries;
+          retries = inv.Registry.retries;
+          timeouts = inv.Registry.timeouts;
+        }
+    | exception e ->
+      Wire.Error { id; transient = false; message = Printexc.to_string e }
+  in
+  let outcome =
+    match reply with
+    | Wire.Result _ -> "ok"
+    | Wire.Degraded _ -> "degraded"
+    | _ -> "error"
+  in
+  if Trace.enabled tr then
+    Trace.close_span tr ~attrs:[ ("outcome", Trace.Str outcome) ] span;
+  Obs.join t.obs obs;
+  reply
 
 (* Stop accepting: mark stopped, close the listener (so reconnects are
    refused synchronously from here on) and wake the accept loop. *)

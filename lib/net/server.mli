@@ -12,9 +12,11 @@
     simulated backends; when its budget runs out the client receives
     {!Wire.Degraded}).
 
-    Registry access is serialized by a mutex: behaviors run one at a
-    time, so the mutable document-free registry state (history, caches,
-    attempt counters) stays consistent under concurrent connections. *)
+    Requests from different connections run {e concurrently}: the
+    registry and the observability sinks are thread-safe, so no lock is
+    held around behavior execution. Fault draws are keyed by the logical
+    call ({!Axml_services.Faults.invocation_key}), so a seeded schedule
+    produces the same fates regardless of how connections interleave. *)
 
 type t
 
@@ -22,15 +24,21 @@ val create :
   ?host:string ->
   ?port:int ->
   ?obs:Axml_obs.Obs.t ->
+  ?delay:float ->
   registry:Axml_services.Registry.t ->
   unit ->
   t
 (** Binds and listens. [host] defaults to ["127.0.0.1"], [port] to [0]
     (an ephemeral port — read it back with {!port}). [obs] (default
     disabled) records one [net.serve] span per request, with the
-    registry's [service.*] spans and metrics nested inside; it is
-    sampled under the registry mutex, so it is safe under concurrency.
-    Raises [Unix.Unix_error] when the address cannot be bound. *)
+    registry's [service.*] spans and metrics nested inside; each request
+    records into a private trace fragment ({!Axml_obs.Obs.fork}) folded
+    back on completion, so concurrent requests keep the span tree
+    well-formed. [delay] (default [0.0]) injects that many seconds of
+    {e real} latency ([Unix.sleepf]) before serving each invoke request
+    — the knob behind [axml serve --latency] and the E9 speedup
+    benchmark. Raises [Unix.Unix_error] when the address cannot be
+    bound. *)
 
 val port : t -> int
 (** The actual bound port (useful after [~port:0]). *)

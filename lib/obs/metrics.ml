@@ -14,12 +14,17 @@ type instrument =
 
 type t = {
   on : bool;
+  mu : Mutex.t;
+      (* one registry is shared by every thread of a run: pool workers
+         and server connection handlers bump counters concurrently *)
   instruments : (string * labels, instrument) Hashtbl.t;
 }
 
-let null = { on = false; instruments = Hashtbl.create 1 }
-let create () = { on = true; instruments = Hashtbl.create 64 }
+let null = { on = false; mu = Mutex.create (); instruments = Hashtbl.create 1 }
+let create () = { on = true; mu = Mutex.create (); instruments = Hashtbl.create 64 }
 let enabled t = t.on
+
+let locked t f = Mutex.protect t.mu f
 
 let default_buckets =
   [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 50.0 ]
@@ -53,61 +58,67 @@ let counter t name labels =
 let incr t ?(labels = []) ?(by = 1) name =
   if t.on then begin
     if by < 0 then invalid_arg "Metrics.incr: negative increment";
-    let r = counter t name labels in
-    r := !r +. float_of_int by
+    locked t (fun () ->
+        let r = counter t name labels in
+        r := !r +. float_of_int by)
   end
 
 let add t ?(labels = []) name v =
   if t.on then begin
     if v < 0.0 then invalid_arg "Metrics.add: negative increment";
-    let r = counter t name labels in
-    r := !r +. v
+    locked t (fun () ->
+        let r = counter t name labels in
+        r := !r +. v)
   end
 
 let set t ?(labels = []) name v =
   if t.on then
-    match
-      find t name labels
-        ~make:(fun () -> Gauge (ref v))
-        ~expect:(function Gauge _ -> true | _ -> false)
-    with
-    | Gauge r -> r := v
-    | _ -> assert false
+    locked t (fun () ->
+        match
+          find t name labels
+            ~make:(fun () -> Gauge (ref v))
+            ~expect:(function Gauge _ -> true | _ -> false)
+        with
+        | Gauge r -> r := v
+        | _ -> assert false)
 
 let observe t ?(labels = []) ?(buckets = default_buckets) name v =
-  if t.on then begin
-    let h =
-      match
-        find t name labels
-          ~make:(fun () ->
-            let sorted = List.sort_uniq compare buckets in
-            if sorted = [] then invalid_arg "Metrics.observe: empty bucket list";
-            let buckets = Array.of_list sorted in
-            Histogram { buckets; counts = Array.make (Array.length buckets + 1) 0; sum = 0.0; n = 0 })
-          ~expect:(function Histogram _ -> true | _ -> false)
-      with
-      | Histogram h -> h
-      | _ -> assert false
-    in
-    let rec slot i =
-      if i >= Array.length h.buckets || v <= h.buckets.(i) then i else slot (i + 1)
-    in
-    let i = slot 0 in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.sum <- h.sum +. v;
-    h.n <- h.n + 1
-  end
+  if t.on then
+    locked t (fun () ->
+        let h =
+          match
+            find t name labels
+              ~make:(fun () ->
+                let sorted = List.sort_uniq compare buckets in
+                if sorted = [] then invalid_arg "Metrics.observe: empty bucket list";
+                let buckets = Array.of_list sorted in
+                Histogram
+                  { buckets; counts = Array.make (Array.length buckets + 1) 0; sum = 0.0; n = 0 })
+              ~expect:(function Histogram _ -> true | _ -> false)
+          with
+          | Histogram h -> h
+          | _ -> assert false
+        in
+        let rec slot i =
+          if i >= Array.length h.buckets || v <= h.buckets.(i) then i else slot (i + 1)
+        in
+        let i = slot 0 in
+        h.counts.(i) <- h.counts.(i) + 1;
+        h.sum <- h.sum +. v;
+        h.n <- h.n + 1)
 
 let value t ?(labels = []) name =
-  match Hashtbl.find_opt t.instruments (key name labels) with
-  | Some (Counter r) | Some (Gauge r) -> !r
-  | Some (Histogram h) -> h.sum
-  | None -> 0.0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.instruments (key name labels) with
+      | Some (Counter r) | Some (Gauge r) -> !r
+      | Some (Histogram h) -> h.sum
+      | None -> 0.0)
 
 let count t ?labels name = int_of_float (value t ?labels name)
 
 let fold_name t name f acc =
-  Hashtbl.fold (fun (n, _) i acc -> if n = name then f i acc else acc) t.instruments acc
+  locked t (fun () ->
+      Hashtbl.fold (fun (n, _) i acc -> if n = name then f i acc else acc) t.instruments acc)
 
 let total t name =
   fold_name t name
@@ -130,9 +141,10 @@ let number f = if Float.is_integer f && Float.abs f < 1e15 then Json.Int (int_of
 
 let snapshot t =
   let entries kindp render =
-    Hashtbl.fold
-      (fun (name, labels) i acc -> if kindp i then ((name, labels), i) :: acc else acc)
-      t.instruments []
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun (name, labels) i acc -> if kindp i then ((name, labels), i) :: acc else acc)
+          t.instruments [])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
     |> List.map (fun ((name, labels), i) ->
            Json.Obj

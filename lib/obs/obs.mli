@@ -28,3 +28,16 @@ val measuring : unit -> t
 val enabled : t -> bool
 (** At least one component is live — the guard for any work beyond a
     plain recording call (building attribute lists, formatting). *)
+
+val fork : t -> t
+(** The hook to hand one member of a concurrent batch: the metrics
+    registry is shared (it is mutex-guarded and its counters commute),
+    the tracer is replaced by a private {!Trace.fragment} so concurrent
+    spans cannot interleave on the parent's span stack. [fork null] is
+    [null]. *)
+
+val join : t -> t -> unit
+(** [join parent child] absorbs the child's trace fragment back into
+    the parent ({!Trace.absorb}); call it sequentially, in batch input
+    order, after the worker finished. No-op when {!fork} returned the
+    parent unchanged. *)

@@ -17,6 +17,9 @@ type t = {
   on : bool;
   clock : unit -> float;
   t0 : float;
+  mu : Mutex.t;
+      (* guards every mutable field: spans and instants may be recorded
+         from pool workers and server connection threads *)
   mutable events : event list; (* newest first *)
   mutable next_id : int;
   mutable stack : int list; (* open span ids, innermost first *)
@@ -24,16 +27,18 @@ type t = {
 }
 
 let null =
-  { on = false; clock = (fun () -> 0.0); t0 = 0.0; events = []; next_id = 0; stack = []; sim = 0.0 }
+  { on = false; clock = (fun () -> 0.0); t0 = 0.0; mu = Mutex.create (); events = [];
+    next_id = 0; stack = []; sim = 0.0 }
 
 let create ?(clock = Unix.gettimeofday) () =
-  { on = true; clock; t0 = clock (); events = []; next_id = 0; stack = []; sim = 0.0 }
+  { on = true; clock; t0 = clock (); mu = Mutex.create (); events = []; next_id = 0;
+    stack = []; sim = 0.0 }
 
 let enabled t = t.on
 
-let advance t d = if t.on then t.sim <- t.sim +. d
-let set_sim t s = if t.on then t.sim <- s
-let sim_now t = t.sim
+let advance t d = if t.on then Mutex.protect t.mu (fun () -> t.sim <- t.sim +. d)
+let set_sim t s = if t.on then Mutex.protect t.mu (fun () -> t.sim <- s)
+let sim_now t = if t.on then Mutex.protect t.mu (fun () -> t.sim) else t.sim
 
 type span = int
 
@@ -46,24 +51,24 @@ let record t kind id name cat attrs =
 
 let open_span t ?(cat = "eval") ?(attrs = []) name =
   if not t.on then none
-  else begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    record t Open id name cat attrs;
-    t.stack <- id :: t.stack;
-    id
-  end
+  else
+    Mutex.protect t.mu (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        record t Open id name cat attrs;
+        t.stack <- id :: t.stack;
+        id)
 
 let close_span t ?(attrs = []) span =
-  if t.on && span >= 0 then begin
-    (* the id identifies the span; the parent field of a Close is the
-       span it closes out of, i.e. the span itself *)
-    t.stack <- List.filter (fun id -> id <> span) t.stack;
-    t.events <-
-      { kind = Close; id = span; parent = span; name = ""; cat = ""; wall = t.clock () -. t.t0;
-        sim = t.sim; attrs }
-      :: t.events
-  end
+  if t.on && span >= 0 then
+    Mutex.protect t.mu (fun () ->
+        (* the id identifies the span; the parent field of a Close is the
+           span it closes out of, i.e. the span itself *)
+        t.stack <- List.filter (fun id -> id <> span) t.stack;
+        t.events <-
+          { kind = Close; id = span; parent = span; name = ""; cat = "";
+            wall = t.clock () -. t.t0; sim = t.sim; attrs }
+          :: t.events)
 
 let with_span t ?cat ?attrs name f =
   if not t.on then f ()
@@ -79,13 +84,66 @@ let with_span t ?cat ?attrs name f =
   end
 
 let instant t ?(cat = "eval") ?(attrs = []) name =
-  if t.on then begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    record t Instant id name cat attrs
-  end
+  if t.on then
+    Mutex.protect t.mu (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        record t Instant id name cat attrs)
 
-let events t = List.rev t.events
+let events t = if t.on then Mutex.protect t.mu (fun () -> List.rev t.events) else []
+
+(* ------------------------------------------------------------------ *)
+(* Fragments: per-task sinks for concurrent batch members.
+
+   A worker must not record straight into the parent sink — concurrent
+   opens would interleave on the shared span stack and break the strict
+   LIFO nesting the span algebra (and every consumer) relies on.
+   Instead each batch member records into a private [fragment] sharing
+   the parent's clock and epoch, and the sequential phase that follows
+   the join splices the fragments back with [absorb], one after the
+   other in input order. Clamping each absorbed event's clocks to the
+   running maximum keeps the merged sequence monotone; on the simulated
+   timeline the clamp realizes exactly the §4.4 parallel accounting —
+   the batch ends at [base + max(member costs)], not at the sum. *)
+
+let fragment parent =
+  if not parent.on then null
+  else
+    let sim = Mutex.protect parent.mu (fun () -> parent.sim) in
+    { on = true; clock = parent.clock; t0 = parent.t0; mu = Mutex.create (); events = [];
+      next_id = 0; stack = []; sim }
+
+let absorb parent frag =
+  if parent.on && frag.on && frag != parent && frag.events <> [] then
+    Mutex.protect parent.mu (fun () ->
+        let offset = parent.next_id in
+        let base_parent = match parent.stack with [] -> -1 | p :: _ -> p in
+        let last_wall =
+          ref (match parent.events with [] -> neg_infinity | e :: _ -> e.wall)
+        and last_sim =
+          ref (match parent.events with [] -> neg_infinity | e :: _ -> e.sim)
+        in
+        let remap ev =
+          let id = if ev.id >= 0 then ev.id + offset else ev.id in
+          let parent_id =
+            match ev.kind with
+            | Close -> id (* a Close's parent is the span itself *)
+            | Open | Instant ->
+              if ev.parent >= 0 then ev.parent + offset else base_parent
+          in
+          let wall = Float.max ev.wall !last_wall in
+          let sim = Float.max ev.sim !last_sim in
+          last_wall := wall;
+          last_sim := sim;
+          { ev with id; parent = parent_id; wall; sim }
+        in
+        (* clamp in chronological order, then prepend newest-first *)
+        let remapped =
+          List.fold_left (fun acc ev -> remap ev :: acc) [] (List.rev frag.events)
+        in
+        parent.events <- remapped @ parent.events;
+        parent.next_id <- parent.next_id + frag.next_id;
+        parent.sim <- Float.max parent.sim !last_sim)
 
 (* ------------------------------------------------------------------ *)
 (* Well-formedness and tree building *)

@@ -87,6 +87,31 @@ val instant : t -> ?cat:string -> ?attrs:(string * attr) list -> string -> unit
 val events : t -> event list
 (** Everything recorded so far, in chronological order. *)
 
+(** {2 Concurrency}
+
+    Every operation on a sink is guarded by an internal mutex, so spans
+    and instants may be recorded from multiple threads. Interleaving
+    opens from concurrent threads directly into one sink would still
+    break the LIFO span algebra, though — concurrent workers should
+    record into a {!fragment} each and have the coordinating thread
+    {!absorb} them after the join. *)
+
+val fragment : t -> t
+(** A fresh, empty sink sharing the parent's wall-clock epoch and
+    starting at the parent's current simulated time — what one member
+    of a concurrent batch records into. [fragment null] is {!null}. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent frag] splices everything [frag] recorded into
+    [parent], as children of the span currently open in [parent]
+    (top-level if none). Span ids are renumbered, and both clocks are
+    clamped to the running maximum of the merged sequence so it stays
+    monotone; absorbing the fragments of a batch in order therefore
+    leaves the simulated clock at [base + max(member advances)] — the
+    §4.4 parallel cost. Call it after the worker has finished, from one
+    thread at a time; a fragment must be absorbed at most once. No-op
+    on disabled sinks and empty fragments. *)
+
 val well_formed : t -> (unit, string) result
 (** Checks span algebra over {!events}: every [Close] matches the most
     recently opened still-open span, no span closes twice, every

@@ -23,19 +23,28 @@ let absorb_string key s =
   String.iter (fun c -> k := absorb !k (Char.code c)) s;
   absorb !k (String.length s)
 
-let uniform ~seed ~service ~attempt ~salt =
-  let key = absorb (absorb (absorb_string (absorb 0L seed) service) attempt) salt in
-  (* 53 high bits -> [0, 1) *)
-  Int64.to_float (Int64.shift_right_logical key 11) *. (1.0 /. 9007199254740992.0)
+let invocation_key params =
+  (* a 62-bit digest of the serialized parameters: the part of the PRNG
+     key that identifies the logical call independently of when (or on
+     which thread) it is attempted *)
+  Int64.to_int (Int64.shift_right_logical (absorb_string 0L params) 2)
 
-let plan ~seed ~service ~attempt schedule =
+let uniform ~seed ~service ~key ~retry ~salt =
+  let k =
+    absorb (absorb (absorb (absorb_string (absorb 0L seed) service) key) retry) salt
+  in
+  (* 53 high bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical k 11) *. (1.0 /. 9007199254740992.0)
+
+let plan ~seed ~service ~key ~retry schedule =
   let rec first salt = function
     | [] -> Healthy
     | Fail_transient :: _ -> Dropped
     | Timeout hang :: _ -> Unresponsive hang
     | Slow extra :: _ -> Delayed extra
     | Flaky p :: rest ->
-      if uniform ~seed ~service ~attempt ~salt < p then Dropped else first (salt + 1) rest
+      if uniform ~seed ~service ~key ~retry ~salt < p then Dropped
+      else first (salt + 1) rest
   in
   first 0 schedule
 

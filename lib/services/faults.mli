@@ -4,10 +4,21 @@
     drop connections and answer slowly. This module gives each service a
     seeded {e fault schedule}: a list of fault kinds evaluated for every
     invocation attempt, with all randomness drawn from a splittable
-    counter-based PRNG keyed by [(seed, service, attempt_index)]. Same
-    seed and same attempt sequence ⇒ the same faults, so every
-    degradation experiment is exactly reproducible — the same property
-    the cost model already has for latency.
+    counter-based PRNG keyed by
+    [(seed, service, invocation_key, retry_index)] — the invocation key
+    is a digest of the call's serialized parameters ({!invocation_key}).
+
+    {b Determinism under concurrency.} Because the key is a property of
+    the {e logical call} (what is being invoked, and which wire attempt
+    of it), not of a shared mutable cursor, the fate of every attempt is
+    independent of scheduling: the same seed reproduces the same fault
+    set whether the evaluator invokes sequentially or through a worker
+    pool at any [--jobs] level, and regardless of thread interleaving.
+    Every degradation experiment is exactly reproducible — the same
+    property the cost model already has for latency. (The flip side:
+    two calls to the same service with {e identical} parameters draw
+    identically at equal retry indices; distinct calls in real
+    workloads have distinct parameters.)
 
     Schedules are consumed by {!Registry.invoke}'s retry loop; evaluators
     never see this module directly. *)
@@ -40,13 +51,23 @@ type outcome =
   | Dropped  (** fails fast, retriable *)
   | Unresponsive of float  (** no answer within that many seconds *)
 
-val plan : seed:int -> service:string -> attempt:int -> schedule -> outcome
-(** The outcome of one invocation attempt. [attempt] is the service's
-    global attempt counter (retries included), so retried attempts get
-    fresh draws — without that, a [Flaky] failure would repeat forever
-    and retrying could never help. Pure: same key, same outcome. *)
+val invocation_key : string -> int
+(** A non-negative digest of a call's serialized parameters — the PRNG
+    key component identifying the logical call. {!Registry.invoke}
+    passes the serialized parameter forest; tests predicting schedules
+    must do the same. *)
 
-val uniform : seed:int -> service:string -> attempt:int -> salt:int -> float
+val plan :
+  seed:int -> service:string -> key:int -> retry:int -> schedule -> outcome
+(** The outcome of one invocation attempt. [key] is the call's
+    {!invocation_key}; [retry] is the 0-based wire-attempt index within
+    the invocation (0 = first attempt), so retried attempts get fresh
+    draws — without that, a [Flaky] failure would repeat forever and
+    retrying could never help. Pure: same key, same outcome, on any
+    thread, in any order. *)
+
+val uniform :
+  seed:int -> service:string -> key:int -> retry:int -> salt:int -> float
 (** The underlying splittable generator: a uniform draw in [\[0, 1)]
     from the mixed key. Exposed so tests can predict schedules. *)
 

@@ -82,11 +82,15 @@ type service = {
       (* memoized services: parameter serialization -> full result *)
   mutable faults : Faults.schedule;
   mutable retry : retry_policy;
-  mutable attempts : int;  (* global attempt counter: the fault-PRNG key *)
 }
 
 type t = {
   services : (string, service) Hashtbl.t;
+  mu : Mutex.t;
+      (* guards [history] and the memo caches; registration and fault/
+         policy installation must precede concurrent invocation. The
+         lock is never held while a behavior, a transport or a backoff
+         sleep runs. *)
   mutable order : string list; (* registration order, newest first *)
   mutable history : invocation list; (* newest first *)
   mutable fault_seed : int;
@@ -96,7 +100,16 @@ exception Unknown_service of string
 
 exception Service_failure of invocation
 
-let create () = { services = Hashtbl.create 16; order = []; history = []; fault_seed = 0 }
+let create () =
+  {
+    services = Hashtbl.create 16;
+    mu = Mutex.create ();
+    order = [];
+    history = [];
+    fault_seed = 0;
+  }
+
+let locked t f = Mutex.protect t.mu f
 
 let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = false)
     ?(faults = []) ?(retry = default_policy) behavior =
@@ -106,7 +119,7 @@ let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = f
   if not (Hashtbl.mem t.services name) then t.order <- name :: t.order;
   let cache = if memoize then Some (Hashtbl.create 16) else None in
   Hashtbl.replace t.services name
-    { provider = Local behavior; cost_model = cost; push_capable; cache; faults; retry; attempts = 0 }
+    { provider = Local behavior; cost_model = cost; push_capable; cache; faults; retry }
 
 let register_remote t ~name ?(push_capable = true) ?(memoize = false)
     ?(retry = default_policy) transport =
@@ -120,7 +133,6 @@ let register_remote t ~name ?(push_capable = true) ?(memoize = false)
       cache;
       faults = [];
       retry;
-      attempts = 0;
     }
 
 let is_registered t name = Hashtbl.mem t.services name
@@ -195,15 +207,17 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
     account_metrics obs.Obs.metrics ~name inv;
     if traced then Trace.close_span tr ~attrs:(invocation_attrs inv) inv_span
   in
+  (* the serialized parameters key both the memo cache and the fault
+     PRNG; serialize at most once *)
+  let params_str = lazy (Print.forest_to_string params) in
   let cache_key =
     match service.cache with
     | None -> None
-    | Some cache ->
-      let key = Print.forest_to_string params in
-      Some (cache, key)
+    | Some cache -> Some (cache, Lazy.force params_str)
   in
   let cached_result =
-    Option.bind cache_key (fun (cache, key) -> Hashtbl.find_opt cache key)
+    Option.bind cache_key (fun (cache, key) ->
+        locked t (fun () -> Hashtbl.find_opt cache key))
   in
   match cached_result with
   | Some result ->
@@ -228,7 +242,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
         failed = false;
       }
     in
-    t.history <- invocation :: t.history;
+    locked t (fun () -> t.history <- invocation :: t.history);
     finish invocation;
     (shipped, invocation)
   | None ->
@@ -243,7 +257,6 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
       match push with Some p when service.push_capable -> Some p | Some _ | None -> None
     in
     let rec go ~retry ~sent ~received ~cost ~timeouts ~backoff =
-      service.attempts <- service.attempts + 1;
       let attempt_span =
         if traced then
           Trace.open_span tr ~cat:"service"
@@ -268,7 +281,8 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
         (* Only full results are cacheable: a pushed response is pruned
            to one pattern's witnesses and would poison later calls. *)
         (match cache_key with
-        | Some (cache, key) when not w.served_push -> Hashtbl.replace cache key result
+        | Some (cache, key) when not w.served_push ->
+          locked t (fun () -> Hashtbl.replace cache key result)
         | Some _ | None -> ());
         let invocation =
           {
@@ -284,7 +298,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
             failed = false;
           }
         in
-        t.history <- invocation :: t.history;
+        locked t (fun () -> t.history <- invocation :: t.history);
         finish invocation;
         (result, invocation)
       | exception Transport_error { wire = w; transient; timeout = timed_out; reason } ->
@@ -320,7 +334,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
               failed = true;
             }
           in
-          t.history <- invocation :: t.history;
+          locked t (fun () -> t.history <- invocation :: t.history);
           finish invocation;
           raise (Service_failure invocation)
         end
@@ -349,9 +363,14 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
       | Some pattern when service.push_capable -> (true, Witness.prune pattern result)
       | Some _ | None -> (false, result)
     in
+    (* the fault-PRNG key of this logical call: a pure function of the
+       parameters, so the seeded fault fate is identical on any thread,
+       at any --jobs level, in any interleaving *)
+    let fault_key =
+      lazy (Faults.invocation_key (Lazy.force params_str))
+    in
+    let fault_seed = t.fault_seed in
     let rec go ~retry ~cost ~timeouts ~backoff =
-      let attempt = service.attempts in
-      service.attempts <- attempt + 1;
       let attempt_span =
         if traced then
           Trace.open_span tr ~cat:"service"
@@ -361,7 +380,12 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
       in
       if Metrics.enabled obs.Obs.metrics then
         Metrics.incr obs.Obs.metrics ~labels:[ ("service", name) ] "service.attempts";
-      let outcome = Faults.plan ~seed:t.fault_seed ~service:name ~attempt service.faults in
+      let outcome =
+        if service.faults = [] then Faults.Healthy
+        else
+          Faults.plan ~seed:fault_seed ~service:name ~key:(Lazy.force fault_key)
+            ~retry service.faults
+      in
       let finish_ok ~extra =
         let full = Lazy.force result in
         let pushed, shipped = shipped_of full in
@@ -375,7 +399,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
           `Failed (policy.attempt_timeout, `Timeout)
         else begin
           (match cache_key with
-          | Some (cache, key) -> Hashtbl.replace cache key full
+          | Some (cache, key) -> locked t (fun () -> Hashtbl.replace cache key full)
           | None -> ());
           let invocation =
             {
@@ -413,7 +437,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
           Trace.close_span tr
             ~attrs:[ ("outcome", Trace.Str "ok"); ("sim_s", Trace.Float duration) ]
             attempt_span;
-        t.history <- invocation :: t.history;
+        locked t (fun () -> t.history <- invocation :: t.history);
         finish invocation;
         (shipped, invocation)
       | `Failed (duration, kind) ->
@@ -444,7 +468,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
               failed = true;
             }
           in
-          t.history <- invocation :: t.history;
+          locked t (fun () -> t.history <- invocation :: t.history);
           finish invocation;
           raise (Service_failure invocation)
         end
@@ -460,24 +484,27 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
     in
     go ~retry:0 ~cost:0.0 ~timeouts:0 ~backoff:0.0
 
-let history t = List.rev t.history
-let invocation_count t = List.length t.history
+let history t = locked t (fun () -> List.rev t.history)
+let invocation_count t = locked t (fun () -> List.length t.history)
+
+let fold_history t f init =
+  locked t (fun () -> List.fold_left f init t.history)
 
 let total_bytes t =
-  List.fold_left (fun acc i -> acc + i.request_bytes + i.response_bytes) 0 t.history
+  fold_history t (fun acc i -> acc + i.request_bytes + i.response_bytes) 0
 
-let total_retries t = List.fold_left (fun acc i -> acc + i.retries) 0 t.history
-let total_timeouts t = List.fold_left (fun acc i -> acc + i.timeouts) 0 t.history
+let total_retries t = fold_history t (fun acc i -> acc + i.retries) 0
+let total_timeouts t = fold_history t (fun acc i -> acc + i.timeouts) 0
 
 let total_backoff t =
-  List.fold_left (fun acc i -> acc +. i.backoff_seconds) 0.0 t.history
+  fold_history t (fun acc i -> acc +. i.backoff_seconds) 0.0
 
 let failed_count t =
-  List.fold_left (fun acc i -> acc + if i.failed then 1 else 0) 0 t.history
+  fold_history t (fun acc i -> acc + if i.failed then 1 else 0) 0
 
 (* One exposure per attempt that drew a fault: every retried attempt
    failed, plus the last attempt of a permanently failed invocation. *)
 let fault_exposures t =
-  List.fold_left (fun acc i -> acc + i.retries + if i.failed then 1 else 0) 0 t.history
+  fold_history t (fun acc i -> acc + i.retries + if i.failed then 1 else 0) 0
 
-let reset_history t = t.history <- []
+let reset_history t = locked t (fun () -> t.history <- [])

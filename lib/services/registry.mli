@@ -20,7 +20,20 @@
     {!Service_failure} carries the invocation record of the defeat.
 
     Services may return forests containing further [<axml:call>] nodes —
-    this is what makes relevance detection "a continuous process" (§1). *)
+    this is what makes relevance detection "a continuous process" (§1).
+
+    {b Thread-safety.} {!invoke} may be called concurrently from worker
+    threads (the {!Axml_exec} pool, the {!Axml_net.Server} connection
+    handlers): the invocation history and the memo caches are guarded by
+    an internal mutex, and fault draws are keyed by the logical call
+    ({!Faults.invocation_key} of the serialized parameters plus the
+    retry index) rather than by a shared cursor, so seeded schedules are
+    reproducible at any concurrency level. Registration and fault/policy
+    installation are {e not} synchronized with invocation — complete
+    setup before invoking concurrently. One documented race: two
+    {e identical} concurrent calls to a memoized service may both miss
+    the cache and compute; both record full-cost invocations where a
+    sequential run would record one hit. Results are unaffected. *)
 
 type behavior = Axml_xml.Tree.forest -> Axml_xml.Tree.forest
 (** Maps the call's parameter forest to its result forest. *)

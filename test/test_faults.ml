@@ -165,25 +165,46 @@ let test_schedule_determinism () =
   Alcotest.(check bool) "same seed, identical invocation log" true
     (flaky_log 42 = flaky_log 42);
   (* a draw under another seed differs (the PRNG splits by seed) *)
+  let key = Faults.invocation_key "k" in
   Alcotest.(check bool) "seeds split the stream" true
-    (Faults.uniform ~seed:0 ~service:"a" ~attempt:0 ~salt:0
-    <> Faults.uniform ~seed:1 ~service:"a" ~attempt:0 ~salt:0)
+    (Faults.uniform ~seed:0 ~service:"a" ~key ~retry:0 ~salt:0
+    <> Faults.uniform ~seed:1 ~service:"a" ~key ~retry:0 ~salt:0);
+  (* ... and so do distinct invocation keys: the draw is a property of
+     the logical call, not of arrival order *)
+  Alcotest.(check bool) "keys split the stream" true
+    (Faults.uniform ~seed:0 ~service:"a" ~key:(Faults.invocation_key "k1") ~retry:0 ~salt:0
+    <> Faults.uniform ~seed:0 ~service:"a" ~key:(Faults.invocation_key "k2") ~retry:0 ~salt:0)
 
 let test_registry_matches_plan () =
   (* with max_retries = 0 each invocation is exactly one attempt, so the
-     registry's outcomes must replay Faults.plan draw for draw *)
+     registry's outcomes must replay Faults.plan draw for draw. Draws
+     are keyed by the serialized parameters (the logical call), so each
+     distinct params forest gets its own fate — independent of the order
+     the invocations happen to arrive in. *)
   let seed = 11 in
   let schedule = [ Faults.Flaky 0.5 ] in
   let r = Registry.create () in
   Registry.set_fault_seed r seed;
   Registry.register r ~name:"s" ~cost:no_transfer ~faults:schedule
     ~retry:(policy ~max_retries:0 ()) (fun _ -> [ t "ok" ]);
-  for attempt = 0 to 39 do
-    let expected = Faults.plan ~seed ~service:"s" ~attempt schedule in
-    match Registry.invoke r ~name:"s" ~params:[] () with
+  let fates = Hashtbl.create 40 in
+  for i = 0 to 39 do
+    let params = [ t (Printf.sprintf "p%d" i) ] in
+    let key = Faults.invocation_key (Axml_xml.Print.forest_to_string params) in
+    let expected = Faults.plan ~seed ~service:"s" ~key ~retry:0 schedule in
+    (match Registry.invoke r ~name:"s" ~params () with
     | _ -> Alcotest.(check bool) "plan said healthy" true (expected = Faults.Healthy)
     | exception Registry.Service_failure _ ->
-      Alcotest.(check bool) "plan said dropped" true (expected = Faults.Dropped)
+      Alcotest.(check bool) "plan said dropped" true (expected = Faults.Dropped));
+    Hashtbl.replace fates i expected
+  done;
+  (* replaying the same logical call repeats its fate exactly *)
+  for i = 0 to 39 do
+    let params = [ t (Printf.sprintf "p%d" i) ] in
+    match Registry.invoke r ~name:"s" ~params () with
+    | _ -> Alcotest.(check bool) "fate repeats (healthy)" true (Hashtbl.find fates i = Faults.Healthy)
+    | exception Registry.Service_failure _ ->
+      Alcotest.(check bool) "fate repeats (dropped)" true (Hashtbl.find fates i = Faults.Dropped)
   done
 
 let test_retries_eventually_mask_flakiness () =
