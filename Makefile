@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net test-exec bench bench-e9-smoke examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec test-engine check-one-report bench bench-e9-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -24,6 +24,21 @@ test-net:
 # that pooled evaluation is byte-identical to sequential
 test-exec:
 	dune exec test/test_exec.exe
+
+# unified-engine tests: pre-refactor fixture differential (both
+# strategies, jobs 1 and 4), report/metrics/trace reconciliation,
+# single-flight memoization, remote evaluation
+test-engine:
+	dune exec test/test_engine.exe
+
+# the unified report may not silently re-fork: downstream layers must
+# not reach into evaluator-specific report records, and only the engine
+# may define report_to_json
+check-one-report:
+	@! grep -rn '\.Naive\.\|\.Lazy_eval\.' bin bench lib/net --include='*.ml' \
+	  || { echo 'direct evaluator report field access outside lib/core'; exit 1; }
+	@test "$$(grep -rln 'let report_to_json' lib bin bench)" = "lib/engine/engine.ml" \
+	  || { echo 'report_to_json defined outside lib/engine'; exit 1; }
 
 # record a traced + measured run, then pretty-print the span tree;
 # load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev

@@ -25,7 +25,7 @@ module Lpq = Axml_core.Lpq
 module Influence = Axml_core.Influence
 module Typing = Axml_core.Typing
 module Fguide = Axml_core.Fguide
-module Naive = Axml_core.Naive
+module Engine = Axml_engine.Engine
 module Lazy_eval = Axml_core.Lazy_eval
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
@@ -42,7 +42,7 @@ module Exec = Axml_exec.Exec
 (* Per-experiment metrics snapshots.
 
    [bench_obs] is threaded (as [~obs]) through every [Lazy_eval.run] /
-   [Naive.run] call site below. Without [--metrics-dir] it is the no-op
+   [Engine.naive_run] call site below. Without [--metrics-dir] it is the no-op
    sink, so the experiments measure exactly what they measured before;
    with it, each experiment accumulates one metrics registry (counters
    sum over every run the experiment performs) that is written out as
@@ -171,7 +171,7 @@ let e1 () =
         let naive_inst = City.generate cfg in
         let initial_calls = Doc.count_calls naive_inst.City.doc in
         let naive =
-          Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
+          Engine.naive_run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
             naive_inst.City.query naive_inst.City.doc
         in
         let lazy_inst = City.generate cfg in
@@ -179,26 +179,26 @@ let e1 () =
           Lazy_eval.run ~registry:lazy_inst.City.registry ~schema:lazy_inst.City.schema
             ~strategy:sequential ~obs:!bench_obs lazy_inst.City.query lazy_inst.City.doc
         in
-        assert (tuples naive.Naive.answers = tuples lzy.Lazy_eval.answers);
+        assert (tuples naive.Engine.answers = tuples lzy.Engine.answers);
         let speedup =
-          naive.Naive.simulated_seconds /. Float.max 1e-9 lzy.Lazy_eval.simulated_seconds
+          naive.Engine.simulated_seconds /. Float.max 1e-9 lzy.Engine.simulated_seconds
         in
         series :=
           ( string_of_int hotels,
             [
-              ("naive", naive.Naive.simulated_seconds);
-              ("lazy", lzy.Lazy_eval.simulated_seconds);
+              ("naive", naive.Engine.simulated_seconds);
+              ("lazy", lzy.Engine.simulated_seconds);
             ] )
           :: !series;
         [
           string_of_int hotels;
           string_of_int initial_calls;
-          string_of_int naive.Naive.invoked;
-          secs naive.Naive.simulated_seconds;
-          string_of_int lzy.Lazy_eval.invoked;
-          secs lzy.Lazy_eval.simulated_seconds;
+          string_of_int naive.Engine.invoked;
+          secs naive.Engine.simulated_seconds;
+          string_of_int lzy.Engine.invoked;
+          secs lzy.Engine.simulated_seconds;
           Printf.sprintf "%.1fx" speedup;
-          string_of_int (List.length (tuples lzy.Lazy_eval.answers));
+          string_of_int (List.length (tuples lzy.Engine.answers));
         ])
       [ 10; 20; 40; 80; 160; 320 ]
   in
@@ -235,7 +235,7 @@ let e2 () =
   in
   let naive_inst = City.generate cfg in
   let naive =
-    Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry naive_inst.City.query
+    Engine.naive_run ~parallel:false ~obs:!bench_obs naive_inst.City.registry naive_inst.City.query
       naive_inst.City.doc
   in
   let rows =
@@ -247,23 +247,23 @@ let e2 () =
           Lazy_eval.run ~registry:inst.City.registry ~schema:inst.City.schema ~strategy
             ~obs:!bench_obs inst.City.query inst.City.doc
         in
-        assert (tuples r.Lazy_eval.answers = tuples naive.Naive.answers);
+        assert (tuples r.Engine.answers = tuples naive.Engine.answers);
         [
           name;
-          string_of_int r.Lazy_eval.invoked;
-          string_of_int r.Lazy_eval.relevance_evals;
-          ms r.Lazy_eval.analysis_seconds;
-          secs r.Lazy_eval.simulated_seconds;
+          string_of_int r.Engine.invoked;
+          string_of_int r.Engine.relevance_evals;
+          ms r.Engine.analysis_seconds;
+          secs r.Engine.simulated_seconds;
         ])
       strategies
   in
   let naive_row =
     [
       "naive (all calls)";
-      string_of_int naive.Naive.invoked;
+      string_of_int naive.Engine.invoked;
       "0";
       "0.00";
-      secs naive.Naive.simulated_seconds;
+      secs naive.Engine.simulated_seconds;
     ]
   in
   print_table ~title:"E2: relevance detection strategies (50 hotels)"
@@ -369,24 +369,24 @@ let e4 () =
         in
         let plain = run Lazy_eval.nfqa_typed in
         let pushed = run (Lazy_eval.with_push Lazy_eval.nfqa_typed) in
-        assert (tuples plain.Lazy_eval.answers = tuples pushed.Lazy_eval.answers);
+        assert (tuples plain.Engine.answers = tuples pushed.Engine.answers);
         series :=
           ( Printf.sprintf "%.0f%%" (five_star_fraction *. 100.0),
             [
-              ("full results", float_of_int plain.Lazy_eval.bytes_transferred);
-              ("pushed", float_of_int pushed.Lazy_eval.bytes_transferred);
+              ("full results", float_of_int plain.Engine.bytes_transferred);
+              ("pushed", float_of_int pushed.Engine.bytes_transferred);
             ] )
           :: !series;
         [
           Printf.sprintf "%.0f%%" (five_star_fraction *. 100.0);
-          string_of_int plain.Lazy_eval.bytes_transferred;
-          string_of_int pushed.Lazy_eval.bytes_transferred;
+          string_of_int plain.Engine.bytes_transferred;
+          string_of_int pushed.Engine.bytes_transferred;
           Printf.sprintf "%.1fx"
-            (float_of_int plain.Lazy_eval.bytes_transferred
-            /. Float.max 1.0 (float_of_int pushed.Lazy_eval.bytes_transferred));
-          secs plain.Lazy_eval.simulated_seconds;
-          secs pushed.Lazy_eval.simulated_seconds;
-          string_of_int (List.length (tuples pushed.Lazy_eval.answers));
+            (float_of_int plain.Engine.bytes_transferred
+            /. Float.max 1.0 (float_of_int pushed.Engine.bytes_transferred));
+          secs plain.Engine.simulated_seconds;
+          secs pushed.Engine.simulated_seconds;
+          string_of_int (List.length (tuples pushed.Engine.answers));
         ])
       [ 0.05; 0.2; 0.5; 0.9 ]
   in
@@ -437,16 +437,16 @@ let e5 () =
             ~obs:!bench_obs inst.City.query inst.City.doc
         in
         (match !reference with
-        | None -> reference := Some (tuples r.Lazy_eval.answers)
-        | Some t -> assert (t = tuples r.Lazy_eval.answers));
+        | None -> reference := Some (tuples r.Engine.answers)
+        | Some t -> assert (t = tuples r.Engine.answers));
         [
           name;
-          string_of_int r.Lazy_eval.layer_count;
-          string_of_int r.Lazy_eval.relevance_evals;
-          string_of_int r.Lazy_eval.rounds;
-          string_of_int r.Lazy_eval.invoked;
-          ms r.Lazy_eval.analysis_seconds;
-          secs r.Lazy_eval.simulated_seconds;
+          string_of_int r.Engine.layer_count;
+          string_of_int r.Engine.relevance_evals;
+          string_of_int r.Engine.rounds;
+          string_of_int r.Engine.invoked;
+          ms r.Engine.analysis_seconds;
+          secs r.Engine.simulated_seconds;
         ])
       variants
   in
@@ -496,7 +496,7 @@ let e6 () =
             Lazy_eval.run ~registry:inst.City.registry ~schema ~strategy ~obs:!bench_obs
               inst.City.query inst.City.doc
           in
-          (r.Lazy_eval.analysis_seconds, r.Lazy_eval.invoked)
+          (r.Engine.analysis_seconds, r.Engine.invoked)
         in
         let exact_t, exact_calls = time_mode `Exact in
         let lenient_t, lenient_calls = time_mode `Lenient in
@@ -554,10 +554,10 @@ elements:
         let lenient = run Lazy_eval.Lenient_types in
         [
           string_of_int shops;
-          string_of_int exact.Lazy_eval.invoked;
-          string_of_int lenient.Lazy_eval.invoked;
-          secs exact.Lazy_eval.simulated_seconds;
-          secs lenient.Lazy_eval.simulated_seconds;
+          string_of_int exact.Engine.invoked;
+          string_of_int lenient.Engine.invoked;
+          secs exact.Engine.simulated_seconds;
+          secs lenient.Engine.simulated_seconds;
         ])
       [ 10; 50; 200 ]
   in
@@ -587,9 +587,9 @@ let e7 () =
   let reference =
     let inst = City.generate cfg in
     tuples
-      (Naive.run ~parallel:false ~obs:!bench_obs inst.City.registry inst.City.query
+      (Engine.naive_run ~parallel:false ~obs:!bench_obs inst.City.registry inst.City.query
          inst.City.doc)
-        .Naive.answers
+        .Engine.answers
   in
   let series = ref [] in
   let rows =
@@ -603,7 +603,7 @@ let e7 () =
         in
         let naive_inst = prepare () in
         let naive =
-          Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
+          Engine.naive_run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
             naive_inst.City.query naive_inst.City.doc
         in
         let naive_exposures = Registry.fault_exposures naive_inst.City.registry in
@@ -616,10 +616,10 @@ let e7 () =
         let lazy_exposures = Registry.fault_exposures lazy_inst.City.registry in
         (* Def. 4 leniency: faults lose bindings, never fabricate them. *)
         let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
-        assert (subset (tuples naive.Naive.answers) reference);
-        assert (subset (tuples lzy.Lazy_eval.answers) reference);
-        if naive.Naive.complete then assert (tuples naive.Naive.answers = reference);
-        if lzy.Lazy_eval.complete then assert (tuples lzy.Lazy_eval.answers = reference);
+        assert (subset (tuples naive.Engine.answers) reference);
+        assert (subset (tuples lzy.Engine.answers) reference);
+        if naive.Engine.complete then assert (tuples naive.Engine.answers = reference);
+        if lzy.Engine.complete then assert (tuples lzy.Engine.answers = reference);
         (* graceful degradation: fewer calls => strictly fewer exposures *)
         if rate > 0.0 then assert (lazy_exposures < naive_exposures);
         series :=
@@ -631,16 +631,16 @@ let e7 () =
           :: !series;
         [
           Printf.sprintf "%.0f%%" (rate *. 100.0);
-          string_of_int naive.Naive.invoked;
+          string_of_int naive.Engine.invoked;
           string_of_int naive_exposures;
-          string_of_int naive.Naive.failed_calls;
-          secs naive.Naive.simulated_seconds;
-          string_of_bool naive.Naive.complete;
-          string_of_int lzy.Lazy_eval.invoked;
+          string_of_int naive.Engine.failed_calls;
+          secs naive.Engine.simulated_seconds;
+          string_of_bool naive.Engine.complete;
+          string_of_int lzy.Engine.invoked;
           string_of_int lazy_exposures;
-          string_of_int lzy.Lazy_eval.failed_calls;
-          secs lzy.Lazy_eval.simulated_seconds;
-          string_of_bool lzy.Lazy_eval.complete;
+          string_of_int lzy.Engine.failed_calls;
+          secs lzy.Engine.simulated_seconds;
+          string_of_bool lzy.Engine.complete;
         ])
       [ 0.0; 0.1; 0.2; 0.3; 0.5; 0.7 ]
   in
@@ -679,7 +679,7 @@ let e7 () =
         in
         let naive_inst = prepare () in
         let naive =
-          Naive.run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
+          Engine.naive_run ~parallel:false ~obs:!bench_obs naive_inst.City.registry
             naive_inst.City.query naive_inst.City.doc
         in
         let lazy_inst = prepare () in
@@ -689,18 +689,18 @@ let e7 () =
             ~obs:!bench_obs lazy_inst.City.query lazy_inst.City.doc
         in
         let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
-        assert (subset (tuples naive.Naive.answers) reference);
-        assert (subset (tuples lzy.Lazy_eval.answers) reference);
-        assert (lzy.Lazy_eval.complete = (lzy.Lazy_eval.failed_calls = 0));
-        if lzy.Lazy_eval.complete then assert (tuples lzy.Lazy_eval.answers = reference);
+        assert (subset (tuples naive.Engine.answers) reference);
+        assert (subset (tuples lzy.Engine.answers) reference);
+        assert (lzy.Engine.complete = (lzy.Engine.failed_calls = 0));
+        if lzy.Engine.complete then assert (tuples lzy.Engine.answers = reference);
         [
           string_of_int max_retries;
-          string_of_int naive.Naive.failed_calls;
-          string_of_int (List.length (tuples naive.Naive.answers));
-          string_of_bool naive.Naive.complete;
-          string_of_int lzy.Lazy_eval.failed_calls;
-          string_of_int (List.length (tuples lzy.Lazy_eval.answers));
-          string_of_bool lzy.Lazy_eval.complete;
+          string_of_int naive.Engine.failed_calls;
+          string_of_int (List.length (tuples naive.Engine.answers));
+          string_of_bool naive.Engine.complete;
+          string_of_int lzy.Engine.failed_calls;
+          string_of_int (List.length (tuples lzy.Engine.answers));
+          string_of_bool lzy.Engine.complete;
         ])
       [ 0; 1; 2; 4; 8 ]
   in
@@ -776,8 +776,8 @@ let e8 () =
             in
             let plain, plain_bytes, plain_wall = run ~push:false in
             let pushed, pushed_bytes, pushed_wall = run ~push:true in
-            assert (tuples plain.Lazy_eval.answers = tuples pushed.Lazy_eval.answers);
-            assert (plain.Lazy_eval.complete && pushed.Lazy_eval.complete);
+            assert (tuples plain.Engine.answers = tuples pushed.Engine.answers);
+            assert (plain.Engine.complete && pushed.Engine.complete);
             series :=
               ( Printf.sprintf "%dB" blurb_bytes,
                 [
@@ -787,14 +787,14 @@ let e8 () =
               :: !series;
             [
               string_of_int blurb_bytes;
-              string_of_int plain.Lazy_eval.invoked;
+              string_of_int plain.Engine.invoked;
               string_of_int plain_bytes;
               string_of_int pushed_bytes;
               Printf.sprintf "%.1fx"
                 (float_of_int plain_bytes /. Float.max 1.0 (float_of_int pushed_bytes));
               ms plain_wall;
               ms pushed_wall;
-              string_of_int (List.length (tuples pushed.Lazy_eval.answers));
+              string_of_int (List.length (tuples pushed.Engine.answers));
             ]))
       [ 256; 1024; 4096 ]
   in
@@ -868,7 +868,7 @@ let e9_run ~servers ~cfg ~jobs =
                   inst.City.query inst.City.doc)
           in
           let answer_bytes =
-            Axml_xml.Print.forest_to_string (Eval.bindings_to_xml r.Lazy_eval.answers)
+            Axml_xml.Print.forest_to_string (Eval.bindings_to_xml r.Engine.answers)
           in
           (r, answer_bytes, elapsed)))
 
@@ -905,15 +905,15 @@ let e9_sweep ~title ~hotels ~delay ~jobs_list =
           (fun (jobs, (r, answers, elapsed)) ->
             (* the §4.4 contract: concurrency must not change the result *)
             assert (answers = base_answers);
-            assert (r.Lazy_eval.invoked = base.Lazy_eval.invoked);
-            assert (r.Lazy_eval.complete = base.Lazy_eval.complete);
+            assert (r.Engine.invoked = base.Engine.invoked);
+            assert (r.Engine.complete = base.Engine.complete);
             [
               string_of_int jobs;
-              string_of_int r.Lazy_eval.invoked;
-              secs r.Lazy_eval.simulated_seconds;
+              string_of_int r.Engine.invoked;
+              secs r.Engine.simulated_seconds;
               secs elapsed;
               Printf.sprintf "%.2fx" (base_wall /. Float.max 1e-9 elapsed);
-              string_of_int (List.length (tuples r.Lazy_eval.answers));
+              string_of_int (List.length (tuples r.Engine.answers));
             ])
           runs
       in

@@ -14,8 +14,8 @@ module Lpq = Axml_core.Lpq
 module Influence = Axml_core.Influence
 module Typing = Axml_core.Typing
 module Fguide = Axml_core.Fguide
-module Naive = Axml_core.Naive
 module Lazy_eval = Axml_core.Lazy_eval
+module Engine = Axml_engine.Engine
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
 module Synthetic = Axml_workload.Synthetic
@@ -426,6 +426,43 @@ let strategy_conv =
       ("naive", `Naive);
     ]
 
+(* One evaluate-and-print path for every strategy: run/eval both call
+   [evaluate] (naive is the engine's degenerate strategy, the rest are
+   Lazy_eval configurations — all return the one engine report) and
+   [finish_run] (summary, fault counters, obs sinks, --report-json). *)
+
+let evaluate ~strategy ~push ~fguide ?schema ~obs ?pool ~registry query doc =
+  match strategy with
+  | `Naive -> Engine.naive_run ?pool ~obs registry query doc
+  | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
+    let base =
+      match s with
+      | `Nfqa -> Lazy_eval.nfqa
+      | `Typed -> Lazy_eval.nfqa_typed
+      | `Lenient -> Lazy_eval.nfqa_lenient
+      | `Lpq -> Lazy_eval.lpq_only
+    in
+    let base = if push then Lazy_eval.with_push base else base in
+    let strategy = if fguide then Lazy_eval.with_fguide base else base in
+    Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool query doc
+
+let print_summary (r : Engine.report) =
+  Printf.printf
+    "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
+    r.Engine.invoked r.Engine.pushed r.Engine.rounds r.Engine.relevance_evals
+    r.Engine.layer_count;
+  Printf.printf "%.3f s simulated service time, %.1f ms analysis, %d bytes, complete=%b\n"
+    r.Engine.simulated_seconds
+    (r.Engine.analysis_seconds *. 1000.0)
+    r.Engine.bytes_transferred r.Engine.complete
+
+let finish_run ~registry ~trace_out ~metrics_out ~report_json obs (r : Engine.report) =
+  print_summary r;
+  print_fault_counters registry;
+  write_obs ~trace:trace_out ~metrics:metrics_out obs;
+  emit_report_json report_json (Engine.report_to_json r);
+  `Ok ()
+
 let run_workload verbose workload strategy scale seed push fguide xml jobs fault_rate fault_seed
     max_retries timeout trace_out metrics_out report_json query_override =
   setup_logs verbose;
@@ -463,42 +500,9 @@ let run_workload verbose workload strategy scale seed push fguide xml jobs fault
         (P.to_string query);
       let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
       with_pool jobs (fun pool ->
-      match strategy with
-      | `Naive ->
-        let r = Naive.run ?pool ~obs registry query doc in
-        print_bindings ~xml r.Naive.answers;
-        Printf.printf
-          "\ninvoked %d call(s) in %d round(s), %.3f s simulated, %d bytes, complete=%b\n"
-          r.Naive.invoked r.Naive.rounds r.Naive.simulated_seconds r.Naive.bytes_transferred
-          r.Naive.complete;
-        print_fault_counters registry;
-        write_obs ~trace:trace_out ~metrics:metrics_out obs;
-        emit_report_json report_json (Naive.report_to_json r);
-        `Ok ()
-      | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
-        let base =
-          match s with
-          | `Nfqa -> Lazy_eval.nfqa
-          | `Typed -> Lazy_eval.nfqa_typed
-          | `Lenient -> Lazy_eval.nfqa_lenient
-          | `Lpq -> Lazy_eval.lpq_only
-        in
-        let base = if push then Lazy_eval.with_push base else base in
-        let strategy = if fguide then Lazy_eval.with_fguide base else base in
-        let r = Lazy_eval.run ~registry ~schema ~strategy ~obs ?pool query doc in
-        print_bindings ~xml r.Lazy_eval.answers;
-        Printf.printf
-          "\ninvoked %d call(s) (%d pushed) in %d round(s), %d detection(s), %d layer(s)\n"
-          r.Lazy_eval.invoked r.Lazy_eval.pushed r.Lazy_eval.rounds r.Lazy_eval.relevance_evals
-          r.Lazy_eval.layer_count;
-        Printf.printf "%.3f s simulated service time, %.1f ms analysis, %d bytes, complete=%b\n"
-          r.Lazy_eval.simulated_seconds
-          (r.Lazy_eval.analysis_seconds *. 1000.0)
-          r.Lazy_eval.bytes_transferred r.Lazy_eval.complete;
-        print_fault_counters registry;
-        write_obs ~trace:trace_out ~metrics:metrics_out obs;
-        emit_report_json report_json (Lazy_eval.report_to_json r);
-        `Ok ())))
+          let r = evaluate ~strategy ~push ~fguide ~schema ~obs ?pool ~registry query doc in
+          print_bindings ~xml r.Engine.answers;
+          finish_run ~registry ~trace_out ~metrics_out ~report_json obs r)))
 
 let run_cmd =
   let doc =
@@ -620,40 +624,14 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
       | Ok () -> (
         let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
         with_pool jobs (fun pool ->
-        match strategy with
-        | `Naive ->
-          let r = Naive.run ?pool ~obs registry query doc in
-          print_bindings ~xml r.Naive.answers;
-          Printf.printf "\ninvoked %d call(s), %.3f s simulated, complete=%b\n" r.Naive.invoked
-            r.Naive.simulated_seconds r.Naive.complete;
-          print_fault_counters registry;
-          write_obs ~trace:trace_out ~metrics:metrics_out obs;
-          emit_report_json report_json (Naive.report_to_json r);
-          `Ok ()
-        | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
-          let base =
-            match s with
-            | `Nfqa -> Lazy_eval.nfqa
-            | `Typed -> Lazy_eval.nfqa_typed
-            | `Lenient -> Lazy_eval.nfqa_lenient
-            | `Lpq -> Lazy_eval.lpq_only
-          in
-          let base = if push then Lazy_eval.with_push base else base in
-          let strategy = if fguide then Lazy_eval.with_fguide base else base in
-          let r = Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool query doc in
-          (match flwr_query with
-          | Ok (Some q) ->
-            print_endline
-              (Axml_xml.Print.forest_to_string ~indent:2
-                 (Axml_query.Xquery.instantiate q r.Lazy_eval.answers))
-          | _ -> print_bindings ~xml r.Lazy_eval.answers);
-          Printf.printf "\ninvoked %d call(s) in %d round(s), %.3f s simulated, complete=%b\n"
-            r.Lazy_eval.invoked r.Lazy_eval.rounds r.Lazy_eval.simulated_seconds
-            r.Lazy_eval.complete;
-          print_fault_counters registry;
-          write_obs ~trace:trace_out ~metrics:metrics_out obs;
-          emit_report_json report_json (Lazy_eval.report_to_json r);
-          `Ok ())))))
+            let r = evaluate ~strategy ~push ~fguide ?schema ~obs ?pool ~registry query doc in
+            (match flwr_query with
+            | Ok (Some q) ->
+              print_endline
+                (Axml_xml.Print.forest_to_string ~indent:2
+                   (Axml_query.Xquery.instantiate q r.Engine.answers))
+            | _ -> print_bindings ~xml r.Engine.answers);
+            finish_run ~registry ~trace_out ~metrics_out ~report_json obs r)))))
 
 let eval_cmd =
   let doc =

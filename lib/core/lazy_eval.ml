@@ -23,13 +23,12 @@ let log_src = Logs.Src.create "axml.lazy" ~doc:"NFQA lazy evaluation trace"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module Doc = Axml_doc
-module Registry = Axml_services.Registry
 module Schema = Axml_schema.Schema
 module Sat = Axml_schema.Sat
 module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
-module Exec = Axml_exec.Exec
+module Engine = Axml_engine.Engine
 
 type relevance_mode =
   | Nfq_relevance  (** node-focused queries: exact relevant-call detection *)
@@ -97,7 +96,7 @@ let lpq_only = { default with relevance = Lpq_relevance }
 let with_fguide s = { s with use_fguide = true }
 let with_push s = { s with push = true }
 
-type report = {
+type report = Engine.report = {
   answers : Eval.binding list;
   invoked : int;
   pushed : int;
@@ -116,16 +115,14 @@ type report = {
   complete : bool;  (** the document is complete for the query (Def. 3) *)
 }
 
+(* Invocation (registry exchange, splicing, pooling, fault accounting,
+   the simulated clock and all eval.* emission) is delegated to the
+   engine; this state holds only what the NFQA analysis itself needs. *)
 type state = {
   strategy : strategy;
-  registry : Registry.t;
   doc : Doc.t;
   obs : Obs.t;
-  pool : Exec.pool option;
-      (* worker pool for §4.4 batches: with one, parallel batches are
-         invoked concurrently on the wall clock; without, sequentially
-         (the simulated-clock accounting is the max either way) *)
-
+  eng : Engine.t;  (* the unified invocation driver *)
   sub_of : (int, P.node) Hashtbl.t;  (* original-query pid -> subtree *)
   push_of : (int, P.node) Hashtbl.t;  (* cached optimistic push patterns *)
   typing : Typing.t option;
@@ -137,22 +134,11 @@ type state = {
   mutable finished_sources : int list;  (* sources of finished layers *)
   (* evaluation context shared across detections, reset on doc change *)
   mutable shared_ctx : Eval.context option;
-  (* calls whose retry budget was exhausted: left in place, never
-     re-attempted, excluded from detection so sweeps still converge *)
-  failed : (int, unit) Hashtbl.t;
-  (* counters *)
-  mutable invoked : int;
-  mutable pushed : int;
-  mutable rounds : int;
+  (* analysis counters — the invocation counters live in the engine *)
   mutable passes : int;
   mutable relevance_evals : int;
   mutable candidates_checked : int;
-  mutable simulated_seconds : float;
   mutable analysis_seconds : float;
-  mutable bytes : int;
-  mutable retries : int;
-  mutable timeouts : int;
-  mutable backoff_seconds : float;
 }
 
 let add_known st name =
@@ -248,8 +234,11 @@ let detect st (rq : Relevance.t) : Doc.node list =
               List.filter (fun c -> Relevance.retrieves ~relax_joins r c) candidates))
       in
       let result =
-        if Hashtbl.length st.failed = 0 then retrieved
-        else List.filter (fun (c : Doc.node) -> not (Hashtbl.mem st.failed c.Doc.id)) retrieved
+        if Engine.failed_calls st.eng = 0 then retrieved
+        else
+          List.filter
+            (fun (c : Doc.node) -> not (Engine.permanently_failed st.eng c.Doc.id))
+            retrieved
       in
       if Obs.enabled st.obs then begin
         Metrics.observe st.obs.Obs.metrics "eval.detect_seconds" (Sys.time () -. t0);
@@ -270,121 +259,8 @@ let push_pattern st (rq : Relevance.t) =
           p)
         (Hashtbl.find_opt st.sub_of rq.Relevance.source)
 
-let account_attempts st (inv : Registry.invocation) =
-  st.retries <- st.retries + inv.Registry.retries;
-  st.timeouts <- st.timeouts + inv.Registry.timeouts;
-  st.backoff_seconds <- st.backoff_seconds +. inv.Registry.backoff_seconds;
-  st.bytes <- st.bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
-  (* the mirror of the report counters — same increments, so the metrics
-     snapshot reconciles with the report exactly *)
-  let m = st.obs.Obs.metrics in
-  Metrics.incr m ~by:inv.Registry.retries "eval.retries";
-  Metrics.incr m ~by:inv.Registry.timeouts "eval.timeouts";
-  Metrics.add m "eval.backoff_seconds" inv.Registry.backoff_seconds;
-  Metrics.incr m ~by:(inv.Registry.request_bytes + inv.Registry.response_bytes) "eval.bytes"
-
-(* One invocation is split in two halves. [request_one] is the
-   worker-safe half: just the registry exchange (thread-safe, only
-   reads the document), with failures captured as data. [apply_one] is
-   the sequential half: document mutation, F-guide maintenance and
-   every counter — always run on the coordinating thread, in batch
-   input order, so the evaluator state needs no locks of its own. *)
-
-type outcome =
-  | O_ok of Axml_xml.Tree.forest * Registry.invocation
-  | O_failed of Registry.invocation
-
-let request_one st ~obs ?push (call : Doc.node) =
-  let name = Naive.call_name_exn call in
-  match
-    Registry.invoke st.registry ~name ~params:(Naive.call_params call) ?push ~obs ()
-  with
-  | result, inv -> O_ok (result, inv)
-  | exception Registry.Service_failure inv -> O_failed inv
-
-let apply_one st ?push (call : Doc.node) outcome =
-  let name = Naive.call_name_exn call in
-  match outcome with
-  | O_ok (result, inv) ->
-    Log.debug (fun m ->
-        m "invoke [%d]%s%s"
-          (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
-          name
-          (if push = None then "" else " (pushed)"));
-    let added = Doc.replace_call st.doc call result in
-    st.shared_ctx <- None;
-    (match st.fguide with
-    | None -> ()
-    | Some guide -> Fguide.update_after_replace guide ~invoked:call ~added);
-    scan_new_functions st added;
-    st.invoked <- st.invoked + 1;
-    Metrics.incr st.obs.Obs.metrics "eval.invoked";
-    if inv.Registry.pushed then begin
-      st.pushed <- st.pushed + 1;
-      Metrics.incr st.obs.Obs.metrics "eval.pushed"
-    end;
-    account_attempts st inv;
-    inv.Registry.cost
-  | O_failed inv ->
-    (* Graceful degradation: the call stays in place as an unexpanded
-       function node; the answer may only lose bindings (Def. 4). *)
-    Log.debug (fun m ->
-        m "invoke [%d]%s permanently failed (%d retries, %d timeouts)"
-          (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
-          name inv.Registry.retries inv.Registry.timeouts);
-    Hashtbl.replace st.failed call.Doc.id ();
-    Metrics.incr st.obs.Obs.metrics "eval.failed_calls";
-    account_attempts st inv;
-    inv.Registry.cost
-
-let invoke_one st ?push (call : Doc.node) =
-  apply_one st ?push call (request_one st ~obs:st.obs ?push call)
-
-(* A §4.4 parallel batch. With a pool, the batch members' registry
-   exchanges run concurrently (condition ★ guarantees no member's
-   parameters depend on another member's result, so requesting against
-   the pre-batch document is exactly what the sequential order does
-   too); the apply phase then runs sequentially in input order, which
-   keeps answers, counters and traces identical to the sequential path.
-   Either way the batch is charged the max of its members' costs on the
-   simulated clock. The pool is only used when the whole batch fits in
-   the remaining call budget — a partially-invokable batch falls back
-   to the sequential fold so the budget cuts at the same call at every
-   jobs level. *)
-let invoke_batch st ?push calls =
-  let pooled =
-    match st.pool with
-    | Some pool
-      when Exec.jobs pool > 1
-           && List.length calls > 1
-           && st.invoked + List.length calls <= st.strategy.max_calls ->
-      Some pool
-    | _ -> None
-  in
-  match pooled with
-  | None ->
-    List.fold_left
-      (fun worst call ->
-        if st.invoked < st.strategy.max_calls then
-          Float.max worst (invoke_one st ?push call)
-        else worst)
-      0.0 calls
-  | Some pool ->
-    let outcomes =
-      Exec.map_batch pool
-        (fun call ->
-          let obs = Obs.fork st.obs in
-          (obs, request_one st ~obs ?push call))
-        calls
-    in
-    List.fold_left2
-      (fun worst call (obs, outcome) ->
-        Obs.join st.obs obs;
-        Float.max worst (apply_one st ?push call outcome))
-      0.0 calls outcomes
-
 let within_budget st =
-  st.invoked < st.strategy.max_calls && st.passes < st.strategy.max_passes
+  Engine.invoked st.eng < st.strategy.max_calls && st.passes < st.strategy.max_passes
 
 (* Visible calls inside a subtree (reached through data nodes only). *)
 let pending_calls_below (n : Doc.node) =
@@ -414,29 +290,20 @@ let materialize_answers st (q : P.t) =
           List.concat_map (fun (_, n) -> pending_calls_below n) b.Eval.results)
         answers
       |> List.filter (fun (c : Doc.node) ->
-             if Hashtbl.mem seen c.Doc.id || Hashtbl.mem st.failed c.Doc.id then false
+             if Hashtbl.mem seen c.Doc.id || Engine.permanently_failed st.eng c.Doc.id then
+               false
              else begin
                Hashtbl.replace seen c.Doc.id ();
                true
              end)
     in
     if pending = [] then continue := false
-    else begin
-      st.rounds <- st.rounds + 1;
-      Metrics.incr st.obs.Obs.metrics "eval.rounds";
-      let tr = st.obs.Obs.trace in
-      let span =
-        if Trace.enabled tr then
-          Trace.open_span tr
-            ~attrs:[ ("calls", Trace.Int (List.length pending)); ("phase", Trace.Str "materialize") ]
-            "eval.round"
-        else Trace.none
-      in
-      let batch_cost = invoke_batch st pending in
-      if Trace.enabled tr then
-        Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float batch_cost) ] span;
-      st.simulated_seconds <- st.simulated_seconds +. batch_cost
-    end
+    else
+      ignore
+        (Engine.round st.eng ~accounting:Engine.Max
+           ~attrs:
+             [ ("calls", Trace.Int (List.length pending)); ("phase", Trace.Str "materialize") ]
+           pending)
   done
 
 (* NFQA over one layer: repeatedly sweep the layer's queries; on the first
@@ -466,36 +333,21 @@ let process_layer st (layer : Relevance.t list) =
               Log.debug (fun m ->
                   m "NFQ(v=%d) retrieves %d call(s)" rq.Relevance.source (List.length calls));
               continue := true;
-              st.rounds <- st.rounds + 1;
-              Metrics.incr st.obs.Obs.metrics "eval.rounds";
               let parallel =
                 st.strategy.parallel && (st.strategy.speculative || is_independent rq)
               in
-              let span =
-                if Trace.enabled tr then
-                  Trace.open_span tr
-                    ~attrs:
-                      [
-                        ("source", Trace.Int rq.Relevance.source);
-                        ("calls", Trace.Int (if parallel then List.length calls else 1));
-                        ("parallel", Trace.Bool parallel);
-                      ]
-                    "eval.round"
-                else Trace.none
-              in
-              let batch_cost =
-                if parallel then
-                  (* batch: parallel invocation, accounted at the slowest call *)
-                  invoke_batch st ?push:(push_pattern st rq) calls
-                else begin
-                  match calls with
-                  | call :: _ -> invoke_one st ?push:(push_pattern st rq) call
-                  | [] -> 0.0
-                end
-              in
-              if Trace.enabled tr then
-                Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float batch_cost) ] span;
-              st.simulated_seconds <- st.simulated_seconds +. batch_cost)
+              (* a §4.4 batch when parallel (accounted at the slowest
+                 call, pool-eligible); otherwise one call per round *)
+              let batch = if parallel then calls else [ List.hd calls ] in
+              ignore
+                (Engine.round st.eng ~accounting:Engine.Max
+                   ~attrs:
+                     [
+                       ("source", Trace.Int rq.Relevance.source);
+                       ("calls", Trace.Int (List.length batch));
+                       ("parallel", Trace.Bool parallel);
+                     ]
+                   ?push:(push_pattern st rq) batch))
         in
         sweep layer)
   done
@@ -534,13 +386,13 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t
   in
   let sub_of = Hashtbl.create 32 in
   List.iter (fun (n : P.node) -> Hashtbl.replace sub_of n.P.pid n) (P.nodes q);
+  let eng = Engine.create ~max_calls:strategy.max_calls ?pool ~obs registry d in
   let st =
     {
       strategy;
-      registry;
       doc = d;
       obs;
-      pool;
+      eng;
       sub_of;
       push_of = Hashtbl.create 16;
       typing;
@@ -551,21 +403,21 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t
       refined = Hashtbl.create 16;
       finished_sources = [];
       shared_ctx = None;
-      failed = Hashtbl.create 8;
-      invoked = 0;
-      pushed = 0;
-      rounds = 0;
       passes = 0;
       relevance_evals = 0;
       candidates_checked = 0;
-      simulated_seconds = 0.0;
       analysis_seconds = 0.0;
-      bytes = 0;
-      retries = 0;
-      timeouts = 0;
-      backoff_seconds = 0.0;
     }
   in
+  (* The sequential apply half calls back here after every splice:
+     invalidate the shared evaluation context, keep the F-guide in sync
+     and learn the function names the result brought in. *)
+  Engine.on_replace eng (fun ~invoked ~added ->
+      st.shared_ctx <- None;
+      (match st.fguide with
+      | None -> ()
+      | Some guide -> Fguide.update_after_replace guide ~invoked ~added);
+      scan_new_functions st added);
   (match schema with
   | Some s -> List.iter (add_known st) (Schema.function_names s)
   | None -> ());
@@ -612,81 +464,10 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t
     layers;
   if strategy.materialize_results then
     Trace.with_span tr "eval.materialize" (fun () -> materialize_answers st q);
-  let complete = within_budget st && Hashtbl.length st.failed = 0 in
+  let budget_ok = within_budget st in
   let answers = Eval.eval q st.doc in
-  if Obs.enabled obs then begin
-    let m = obs.Obs.metrics in
-    Metrics.set m "eval.layer_count" (float_of_int (List.length layers));
-    Metrics.set m "eval.answers" (float_of_int (List.length answers));
-    Metrics.set m "eval.complete" (if complete then 1.0 else 0.0);
-    Metrics.set m "eval.simulated_seconds" st.simulated_seconds;
-    Metrics.set m "eval.analysis_seconds" st.analysis_seconds;
-    Trace.close_span tr
-      ~attrs:
-        [
-          ("invoked", Trace.Int st.invoked);
-          ("rounds", Trace.Int st.rounds);
-          ("passes", Trace.Int st.passes);
-          ("bytes", Trace.Int st.bytes);
-          ("simulated_s", Trace.Float st.simulated_seconds);
-          ("complete", Trace.Bool complete);
-        ]
-      root
-  end;
-  {
-    answers;
-    invoked = st.invoked;
-    pushed = st.pushed;
-    rounds = st.rounds;
-    passes = st.passes;
-    relevance_evals = st.relevance_evals;
-    candidates_checked = st.candidates_checked;
-    layer_count = List.length layers;
-    simulated_seconds = st.simulated_seconds;
-    analysis_seconds = st.analysis_seconds;
-    bytes_transferred = st.bytes;
-    retries = st.retries;
-    timeouts = st.timeouts;
-    failed_calls = Hashtbl.length st.failed;
-    backoff_seconds = st.backoff_seconds;
-    complete;
-  }
-
-(* Machine-readable form of the report: everything the pretty printers
-   show, plus the answer tuples (variable bindings and the XML of each
-   result image). *)
-let report_to_json (r : report) : Axml_obs.Json.t =
-  let module J = Axml_obs.Json in
-  J.Obj
-    [
-      ( "answers",
-        J.List
-          (List.map
-             (fun (b : Eval.binding) ->
-               J.Obj
-                 [
-                   ("vars", J.Obj (List.map (fun (x, v) -> (x, J.String v)) b.Eval.vars));
-                   ( "results",
-                     J.List
-                       (List.map
-                          (fun (_, n) ->
-                            J.String (Axml_xml.Print.to_string (Doc.node_to_xml n)))
-                          b.Eval.results) );
-                 ])
-             r.answers) );
-      ("invoked", J.Int r.invoked);
-      ("pushed", J.Int r.pushed);
-      ("rounds", J.Int r.rounds);
-      ("passes", J.Int r.passes);
-      ("relevance_evals", J.Int r.relevance_evals);
-      ("candidates_checked", J.Int r.candidates_checked);
-      ("layer_count", J.Int r.layer_count);
-      ("simulated_seconds", J.Float r.simulated_seconds);
-      ("analysis_seconds", J.Float r.analysis_seconds);
-      ("bytes_transferred", J.Int r.bytes_transferred);
-      ("retries", J.Int r.retries);
-      ("timeouts", J.Int r.timeouts);
-      ("failed_calls", J.Int r.failed_calls);
-      ("backoff_seconds", J.Float r.backoff_seconds);
-      ("complete", J.Bool r.complete);
-    ]
+  (* the engine emits the final gauges, closes the root span and builds
+     the one report; everything the analysis measured rides along *)
+  Engine.finish eng ~root ~answers ~budget_ok ~passes:st.passes
+    ~relevance_evals:st.relevance_evals ~candidates_checked:st.candidates_checked
+    ~layer_count:(List.length layers) ~analysis_seconds:st.analysis_seconds

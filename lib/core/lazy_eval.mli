@@ -58,7 +58,7 @@ val lpq_only : strategy
 val with_fguide : strategy -> strategy
 val with_push : strategy -> strategy
 
-type report = {
+type report = Axml_engine.Engine.report = {
   answers : Axml_query.Eval.binding list;
   invoked : int;
   pushed : int;
@@ -119,8 +119,9 @@ val run :
     to end, while a pooled one ends at the max-aggregated charge
     (fragments are clock-clamped as they are absorbed, see
     {!Axml_obs.Trace.absorb}); either way the aggregated (max) charge is
-    the round span's [batch_cost_s] attribute. *)
+    the round span's [batch_cost_s] attribute.
 
-val report_to_json : report -> Axml_obs.Json.t
-(** The full report as JSON — the [--report-json] wire format: answer
-    tuples (variable bindings plus result XML) and every counter. *)
+    The returned record is the unified {!Axml_engine.Engine.report}
+    (invocation, fault and clock accounting all happen inside the
+    engine's driver); serialize it with
+    {!Axml_engine.Engine.report_to_json}. *)

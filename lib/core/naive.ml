@@ -1,20 +1,22 @@
-(** The naive baseline (§1): invoke every call in the document
-    recursively until a fixpoint (or a budget) is reached, then evaluate
-    the query over the fully materialized document. *)
+(** Deprecated alias: the naive baseline (§1) now lives in
+    {!Axml_engine.Engine} as a degenerate strategy of the unified
+    evaluation runtime ({!Axml_engine.Engine.naive_run}). This module
+    only re-exports it so existing callers keep compiling; new code
+    should use the engine directly. *)
 
-module P = Axml_query.Pattern
-module Eval = Axml_query.Eval
-module Doc = Axml_doc
-module Registry = Axml_services.Registry
-module Obs = Axml_obs.Obs
-module Trace = Axml_obs.Trace
-module Metrics = Axml_obs.Metrics
-module Exec = Axml_exec.Exec
+module Engine = Axml_engine.Engine
 
-type stats = {
+type report = Engine.report = {
+  answers : Axml_query.Eval.binding list;
   invoked : int;
+  pushed : int;
   rounds : int;
+  passes : int;
+  relevance_evals : int;
+  candidates_checked : int;
+  layer_count : int;
   simulated_seconds : float;
+  analysis_seconds : float;
   bytes_transferred : int;
   retries : int;
   timeouts : int;
@@ -23,202 +25,9 @@ type stats = {
   complete : bool;
 }
 
-type report = {
-  answers : Eval.binding list;
-  invoked : int;
-  rounds : int;  (** fixpoint iterations *)
-  simulated_seconds : float;
-  bytes_transferred : int;
-  retries : int;
-  timeouts : int;
-  failed_calls : int;
-  backoff_seconds : float;
-  complete : bool;  (** fixpoint reached within budget, no failed calls *)
-}
+type stats = Engine.report
+[@@deprecated "subsumed by Axml_engine.Engine.report (one report for every strategy)"]
 
-let call_params (call : Doc.node) = List.map Doc.node_to_xml call.Doc.children
-
-let call_name_exn (call : Doc.node) =
-  match call.Doc.label with
-  | Doc.Call { fname; _ } -> fname
-  | Doc.Elem _ | Doc.Data _ -> invalid_arg "not a function node"
-
-(** Materializes the document in place. With [parallel:true] each round of
-    visible calls is accounted as one parallel batch (max cost); otherwise
-    invocations are sequential (summed costs). A call whose retry budget
-    is exhausted ({!Registry.Service_failure}) is left in place as an
-    unexpanded function node and never re-attempted. *)
-let materialize ?(max_calls = 100_000) ?(parallel = true) ?pool ?(obs = Obs.null) registry
-    (d : Doc.t) : stats =
-  let m = obs.Obs.metrics in
-  let tr = obs.Obs.trace in
-  let invoked = ref 0 in
-  let rounds = ref 0 in
-  let seconds = ref 0.0 in
-  let bytes = ref 0 in
-  let retries = ref 0 in
-  let timeouts = ref 0 in
-  let backoff = ref 0.0 in
-  let budget_hit = ref false in
-  let failed = Hashtbl.create 8 in
-  let continue = ref true in
-  while !continue do
-    let calls =
-      List.filter
-        (fun (c : Doc.node) -> not (Hashtbl.mem failed c.Doc.id))
-        (Doc.visible_function_nodes d)
-    in
-    if calls = [] then continue := false
-    else begin
-      incr rounds;
-      Metrics.incr m "eval.rounds";
-      let span =
-        if Trace.enabled tr then
-          Trace.open_span tr
-            ~attrs:[ ("calls", Trace.Int (List.length calls)); ("parallel", Trace.Bool parallel) ]
-            "eval.round"
-        else Trace.none
-      in
-      let round_cost = ref 0.0 in
-      let account (inv : Registry.invocation) =
-        bytes := !bytes + inv.Registry.request_bytes + inv.Registry.response_bytes;
-        retries := !retries + inv.Registry.retries;
-        timeouts := !timeouts + inv.Registry.timeouts;
-        backoff := !backoff +. inv.Registry.backoff_seconds;
-        Metrics.incr m ~by:(inv.Registry.request_bytes + inv.Registry.response_bytes) "eval.bytes";
-        Metrics.incr m ~by:inv.Registry.retries "eval.retries";
-        Metrics.incr m ~by:inv.Registry.timeouts "eval.timeouts";
-        Metrics.add m "eval.backoff_seconds" inv.Registry.backoff_seconds;
-        if parallel then round_cost := Float.max !round_cost inv.Registry.cost
-        else round_cost := !round_cost +. inv.Registry.cost
-      in
-      (* request (thread-safe) and apply (doc mutation + counters,
-         sequential) halves, mirroring the lazy evaluator's split *)
-      let request ~obs (call : Doc.node) =
-        match
-          Registry.invoke registry ~name:(call_name_exn call) ~params:(call_params call)
-            ~obs ()
-        with
-        | result, inv -> Ok (result, inv)
-        | exception Registry.Service_failure inv -> Error inv
-      in
-      let apply (call : Doc.node) = function
-        | Ok (result, inv) ->
-          ignore (Doc.replace_call d call result);
-          incr invoked;
-          Metrics.incr m "eval.invoked";
-          account inv
-        | Error inv ->
-          Hashtbl.replace failed call.Doc.id ();
-          Metrics.incr m "eval.failed_calls";
-          account inv
-      in
-      let pooled =
-        match pool with
-        | Some p ->
-          parallel && Exec.jobs p > 1
-          && List.length calls > 1
-          && !invoked + List.length calls <= max_calls
-        | None -> false
-      in
-      if pooled then begin
-        let p = Option.get pool in
-        let outcomes =
-          Exec.map_batch p
-            (fun call ->
-              let obs = Obs.fork obs in
-              (obs, request ~obs call))
-            calls
-        in
-        List.iter2
-          (fun call (o, outcome) ->
-            Obs.join obs o;
-            apply call outcome)
-          calls outcomes
-      end
-      else
-        List.iter
-          (fun (call : Doc.node) ->
-            if !invoked >= max_calls then budget_hit := true
-            else apply call (request ~obs call))
-          calls;
-      if Trace.enabled tr then
-        Trace.close_span tr ~attrs:[ ("batch_cost_s", Trace.Float !round_cost) ] span;
-      seconds := !seconds +. !round_cost;
-      if !budget_hit then continue := false
-    end
-  done;
-  {
-    invoked = !invoked;
-    rounds = !rounds;
-    simulated_seconds = !seconds;
-    bytes_transferred = !bytes;
-    retries = !retries;
-    timeouts = !timeouts;
-    failed_calls = Hashtbl.length failed;
-    backoff_seconds = !backoff;
-    complete = (not !budget_hit) && Hashtbl.length failed = 0;
-  }
-
-let run ?max_calls ?parallel ?pool ?(obs = Obs.null) registry (q : P.t) (d : Doc.t) : report =
-  let tr = obs.Obs.trace in
-  let root = if Trace.enabled tr then Trace.open_span tr "eval.naive" else Trace.none in
-  let s = materialize ?max_calls ?parallel ?pool ~obs registry d in
-  let answers = Eval.eval q d in
-  if Obs.enabled obs then begin
-    Metrics.set obs.Obs.metrics "eval.answers" (float_of_int (List.length answers));
-    Metrics.set obs.Obs.metrics "eval.complete" (if s.complete then 1.0 else 0.0);
-    Metrics.set obs.Obs.metrics "eval.simulated_seconds" s.simulated_seconds;
-    Trace.close_span tr
-      ~attrs:
-        [
-          ("invoked", Trace.Int s.invoked);
-          ("rounds", Trace.Int s.rounds);
-          ("bytes", Trace.Int s.bytes_transferred);
-          ("simulated_s", Trace.Float s.simulated_seconds);
-          ("complete", Trace.Bool s.complete);
-        ]
-      root
-  end;
-  {
-    answers;
-    invoked = s.invoked;
-    rounds = s.rounds;
-    simulated_seconds = s.simulated_seconds;
-    bytes_transferred = s.bytes_transferred;
-    retries = s.retries;
-    timeouts = s.timeouts;
-    failed_calls = s.failed_calls;
-    backoff_seconds = s.backoff_seconds;
-    complete = s.complete;
-  }
-
-let report_to_json (r : report) : Axml_obs.Json.t =
-  let module J = Axml_obs.Json in
-  J.Obj
-    [
-      ( "answers",
-        J.List
-          (List.map
-             (fun (b : Eval.binding) ->
-               J.Obj
-                 [
-                   ("vars", J.Obj (List.map (fun (x, v) -> (x, J.String v)) b.Eval.vars));
-                   ( "results",
-                     J.List
-                       (List.map
-                          (fun (_, n) ->
-                            J.String (Axml_xml.Print.to_string (Doc.node_to_xml n)))
-                          b.Eval.results) );
-                 ])
-             r.answers) );
-      ("invoked", J.Int r.invoked);
-      ("rounds", J.Int r.rounds);
-      ("simulated_seconds", J.Float r.simulated_seconds);
-      ("bytes_transferred", J.Int r.bytes_transferred);
-      ("retries", J.Int r.retries);
-      ("timeouts", J.Int r.timeouts);
-      ("failed_calls", J.Int r.failed_calls);
-      ("backoff_seconds", J.Float r.backoff_seconds);
-      ("complete", J.Bool r.complete);
-    ]
+let call_params = Engine.call_params
+let call_name_exn = Engine.call_name_exn
+let run = Engine.naive_run

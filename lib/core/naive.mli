@@ -1,63 +1,43 @@
-(** The naive baseline (§1): invoke every call in the document
-    recursively until a fixpoint (or a budget) is reached, then evaluate
-    the query over the fully materialized document. *)
+(** Deprecated alias for the naive baseline (§1), which now lives in
+    {!Axml_engine.Engine} as a degenerate strategy of the unified
+    evaluation runtime. Everything here re-exports the engine so
+    existing callers keep compiling — field access like
+    [r.Naive.invoked] still resolves to the one
+    {!Axml_engine.Engine.report}. New code should call
+    {!Axml_engine.Engine.naive_run} and use
+    {!Axml_engine.Engine.report_to_json} directly. *)
 
-type stats = {
-  invoked : int;
-  rounds : int;
-  simulated_seconds : float;
-  bytes_transferred : int;
-  retries : int;  (** retried service attempts, summed over invocations *)
-  timeouts : int;  (** attempts classified as timeouts *)
-  failed_calls : int;  (** calls left unexpanded after retry exhaustion *)
-  backoff_seconds : float;  (** simulated seconds spent backing off *)
-  complete : bool;
-}
-
-type report = {
+type report = Axml_engine.Engine.report = {
   answers : Axml_query.Eval.binding list;
   invoked : int;
+  pushed : int;  (** always 0: naive never pushes *)
   rounds : int;  (** fixpoint iterations *)
+  passes : int;  (** always 0 *)
+  relevance_evals : int;  (** always 0 *)
+  candidates_checked : int;  (** always 0 *)
+  layer_count : int;  (** always 0 *)
   simulated_seconds : float;
+  analysis_seconds : float;  (** always 0.0 *)
   bytes_transferred : int;
   retries : int;
   timeouts : int;
   failed_calls : int;
   backoff_seconds : float;
   complete : bool;
-      (** the fixpoint was reached within the budget and no call
-          permanently failed: the answers are the full snapshot result *)
 }
+(** The unified report (see {!Axml_engine.Engine.report}); the analysis
+    fields the naive strategy does not use are zero. *)
+
+type stats = Axml_engine.Engine.report
+[@@deprecated "subsumed by Axml_engine.Engine.report (one report for every strategy)"]
+(** The old stats/report near-duplicate is gone; both were folded into
+    the engine's single report. *)
 
 val call_params : Axml_doc.node -> Axml_xml.Tree.forest
-(** A call's parameter forest, serialized (nested calls included as
-    [<axml:call>] elements). *)
+(** Alias for {!Axml_engine.Engine.call_params}. *)
 
 val call_name_exn : Axml_doc.node -> string
-(** Raises [Invalid_argument] on data nodes. *)
-
-val materialize :
-  ?max_calls:int ->
-  ?parallel:bool ->
-  ?pool:Axml_exec.Exec.pool ->
-  ?obs:Axml_obs.Obs.t ->
-  Axml_services.Registry.t ->
-  Axml_doc.t ->
-  stats
-(** Materializes the document in place. With [parallel:true] (default)
-    each round of visible calls is accounted as one parallel batch (max
-    cost); otherwise costs add up. With [pool] (and [parallel]), each
-    round's calls are also {e invoked} concurrently on the worker pool —
-    same answers and counts, real wall-clock overlap. A call that
-    permanently fails ({!Axml_services.Registry.Service_failure}) stays
-    in the document as an unexpanded function node, counts in
-    [failed_calls] and is never re-attempted; the evaluation degrades
-    gracefully instead of aborting.
-
-    [obs] (default: disabled) records one [eval.round] span per fixpoint
-    round (service spans nested inside) and mirrors the stats into the
-    same [eval.*] metric names {!Axml_core.Lazy_eval.run} uses, so naive
-    and lazy snapshots compare directly. *)
+(** Alias for {!Axml_engine.Engine.call_name_exn}. *)
 
 val run :
   ?max_calls:int ->
@@ -68,6 +48,4 @@ val run :
   Axml_query.Pattern.t ->
   Axml_doc.t ->
   report
-
-val report_to_json : report -> Axml_obs.Json.t
-(** The full report as JSON — the [--report-json] wire format. *)
+(** Alias for {!Axml_engine.Engine.naive_run}. *)

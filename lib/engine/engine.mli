@@ -1,0 +1,163 @@
+(** The unified evaluation runtime.
+
+    Both evaluation strategies — naive materialization (§1 of the paper,
+    {!naive_run}) and the NFQA lazy evaluator (§4,
+    {!Axml_core.Lazy_eval.run}) — are loops that pick batches of pending
+    calls; the engine owns everything below that choice:
+
+    - the single {!report} record and its {!report_to_json} wire format;
+    - the invocation driver: the thread-safe request half against
+      {!Axml_services.Registry.invoke} (optionally dispatched on an
+      {!Axml_exec.Exec} worker pool), and the sequential in-order apply
+      half — document splicing, counters, and the strategy's
+      {!on_replace} hook;
+    - the §4.4 whole-batch-fits-budget pooling guard: a batch is only
+      dispatched concurrently when it fits the remaining call budget in
+      full, so the budget cuts at the same call at every [--jobs] level;
+    - failed-call tombstones and graceful-degradation accounting — a
+      call whose retry budget is exhausted stays in the document as an
+      unexpanded function node, is never re-attempted, and only costs
+      bindings (Def. 4's leniency), never fabricates them;
+    - all [eval.*] span and metric emission, so the report ≡ metrics ≡
+      trace reconciliation invariant lives in exactly one place.
+
+    Future strategies (sharded registries, result caching, alternate
+    backends) plug into the same driver instead of growing a third
+    runtime. *)
+
+(** {2 The one report} *)
+
+(** The single evaluation report, shared by every strategy. Fields a
+    strategy does not use stay at zero: naive runs report [pushed],
+    [passes], [relevance_evals], [candidates_checked], [layer_count] and
+    [analysis_seconds] as 0. *)
+type report = {
+  answers : Axml_query.Eval.binding list;
+  invoked : int;
+  pushed : int;
+  rounds : int;  (** invocation rounds (batches or single calls) *)
+  passes : int;  (** full evaluation sweeps over a layer *)
+  relevance_evals : int;  (** NFQ/LPQ evaluations performed *)
+  candidates_checked : int;  (** F-guide candidates filtered *)
+  layer_count : int;
+  simulated_seconds : float;  (** service latency + transfer, aggregated *)
+  analysis_seconds : float;  (** CPU time spent detecting relevant calls *)
+  bytes_transferred : int;
+  retries : int;  (** retried service attempts, summed over invocations *)
+  timeouts : int;  (** attempts classified as timeouts *)
+  failed_calls : int;
+      (** calls whose retry budget was exhausted; each stays in the
+          document as an unexpanded function node *)
+  backoff_seconds : float;  (** simulated seconds spent backing off *)
+  complete : bool;
+      (** the evaluation finished within budget and no call permanently
+          failed: the answers are the full snapshot result. When [false]
+          because of failures, the answers are still sound — a subset of
+          the full result (missing data only loses bindings). *)
+}
+
+val report_to_json : report -> Axml_obs.Json.t
+(** The full report as JSON — the [--report-json] and peer wire format:
+    answer tuples (variable bindings plus result XML) and every counter. *)
+
+(** {2 Call helpers} *)
+
+val call_params : Axml_doc.node -> Axml_xml.Tree.forest
+(** A call's parameter forest, serialized (nested calls included as
+    [<axml:call>] elements). *)
+
+val call_name_exn : Axml_doc.node -> string
+(** Raises [Invalid_argument] on data nodes. *)
+
+(** {2 The invocation driver} *)
+
+type t
+(** One evaluation in progress: the document being rewritten, the
+    registry it draws from, tombstones, every counter, and the obs
+    sinks. Not thread-safe — drive it from one coordinating thread; the
+    engine itself fans requests out to the pool. *)
+
+(** How a round charges the simulated clock: a parallel batch costs its
+    slowest member ([Max], §4.4), sequential invocations add up
+    ([Sum]). Only [Max] rounds are eligible for pool dispatch. *)
+type accounting = Max | Sum
+
+val create :
+  ?max_calls:int ->
+  ?pool:Axml_exec.Exec.pool ->
+  ?obs:Axml_obs.Obs.t ->
+  Axml_services.Registry.t ->
+  Axml_doc.t ->
+  t
+(** [max_calls] defaults to 100k; [obs] to disabled. *)
+
+val on_replace : t -> (invoked:Axml_doc.node -> added:Axml_doc.node list -> unit) -> unit
+(** Strategy hook run after each successful splice, on the coordinating
+    thread, before the counters — the lazy evaluator resets its shared
+    evaluation context, maintains the F-guide and scans the added nodes
+    for new function names here. Default: nothing. *)
+
+val round :
+  ?attrs:(string * Axml_obs.Trace.attr) list ->
+  ?push:Axml_query.Pattern.node ->
+  accounting:accounting ->
+  t ->
+  Axml_doc.node list ->
+  float
+(** One invocation round: bumps the round counters, wraps the batch in
+    an [eval.round] span carrying [attrs] (closed with its
+    [batch_cost_s]), invokes every call (concurrently when a pool is
+    attached, the accounting is [Max], the batch has at least two calls
+    and fits the remaining budget in full), charges the simulated clock
+    and returns the batch cost. Calls reached with the budget exhausted
+    are skipped and set {!budget_hit}. [push] ships the optimistic
+    subquery with every call of the round (§7). *)
+
+val invoked : t -> int
+val failed_calls : t -> int
+val permanently_failed : t -> int -> bool
+(** Whether the node with this id is a failed-call tombstone — excluded
+    from future batches by every strategy. *)
+
+val budget_hit : t -> bool
+(** A call was skipped because [max_calls] was already spent. *)
+
+val simulated_seconds : t -> float
+
+val finish :
+  ?passes:int ->
+  ?relevance_evals:int ->
+  ?candidates_checked:int ->
+  ?layer_count:int ->
+  ?analysis_seconds:float ->
+  t ->
+  root:Axml_obs.Trace.span ->
+  answers:Axml_query.Eval.binding list ->
+  budget_ok:bool ->
+  report
+(** Emits the final gauges ([eval.answers], [eval.complete],
+    [eval.simulated_seconds], plus [eval.layer_count] /
+    [eval.analysis_seconds] when given), closes the strategy's [root]
+    span with the summary attributes, and assembles the report.
+    [complete] is [budget_ok] and no tombstones. The optional analysis
+    fields are the strategy's own counters; absent ones report zero (and
+    [passes] is also omitted from the root span's attributes, matching
+    the strategies that never sweep). *)
+
+(** {2 The naive strategy}
+
+    §1's baseline as a degenerate engine client: every visible call is
+    relevant, one round per fixpoint iteration, until no visible call
+    remains or the budget cuts. With [parallel] (default), each round is
+    one [Max]-accounted batch (pool-eligible); otherwise costs add up
+    sequentially. *)
+
+val naive_run :
+  ?max_calls:int ->
+  ?parallel:bool ->
+  ?pool:Axml_exec.Exec.pool ->
+  ?obs:Axml_obs.Obs.t ->
+  Axml_services.Registry.t ->
+  Axml_query.Pattern.t ->
+  Axml_doc.t ->
+  report

@@ -241,6 +241,82 @@ let call t ~obs ~timeout ~service ~params ~push =
       discard conn;
       fail ~outcome:"protocol" ~transient:false ~timeout:false reason)
 
+let eval t ?(obs = Obs.null) ?(timeout = infinity) ~strategy query doc =
+  let m = obs.Obs.metrics in
+  let tr = obs.Obs.trace in
+  let span =
+    if Trace.enabled tr then
+      Trace.open_span tr ~cat:"net"
+        ~attrs:
+          [
+            ("strategy", Trace.Str strategy);
+            ("endpoint", Trace.Str (Printf.sprintf "%s:%d" t.host t.port));
+          ]
+        "net.eval"
+    else Trace.none
+  in
+  let close_span ~outcome =
+    if Trace.enabled tr then
+      Trace.close_span tr ~attrs:[ ("outcome", Trace.Str outcome) ] span
+  in
+  let fail ~outcome ~transient ~timeout:timed_out reason =
+    Metrics.incr m (if timed_out then "net.timeouts" else "net.errors");
+    close_span ~outcome;
+    raise
+      (Registry.Transport_error
+         {
+           wire = { Registry.sent = 0; received = 0; served_push = false; elapsed = 0.0 };
+           transient;
+           timeout = timed_out;
+           reason;
+         })
+  in
+  match borrow t ~obs with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    fail ~outcome:"timeout" ~transient:true ~timeout:true "handshake timed out"
+  | exception Unix.Unix_error (e, _, _) ->
+    fail ~outcome:"connect" ~transient:true ~timeout:false (Unix.error_message e)
+  | exception (Wire.Protocol_error reason | Failure reason) ->
+    fail ~outcome:"protocol" ~transient:false ~timeout:false reason
+  | exception Wire.Closed ->
+    fail ~outcome:"closed" ~transient:true ~timeout:false
+      "connection closed during handshake"
+  | conn -> (
+    let id = conn.next_id in
+    conn.next_id <- id + 1;
+    Metrics.incr m ~labels:[ ("strategy", strategy) ] "net.evals";
+    match
+      set_deadline conn.fd timeout;
+      let sent = Wire.send conn.fd (Wire.Eval { id; strategy; query; doc }) in
+      let reply, received = Wire.recv conn.fd in
+      (sent, reply, received)
+    with
+    | sent, Wire.Report { id = rid; report }, received when rid = id ->
+      giveback t conn;
+      Metrics.incr m ~by:sent "net.request_bytes";
+      Metrics.incr m ~by:received "net.response_bytes";
+      close_span ~outcome:"ok";
+      report
+    | _, Wire.Error { id = rid; transient; message }, _ when rid = id ->
+      giveback t conn;
+      fail ~outcome:"error" ~transient ~timeout:false message
+    | _, _, _ ->
+      discard conn;
+      fail ~outcome:"protocol" ~transient:false ~timeout:false "mismatched response id"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      discard conn;
+      fail ~outcome:"timeout" ~transient:true ~timeout:true
+        (Printf.sprintf "no response within %gs" timeout)
+    | exception Unix.Unix_error (e, _, _) ->
+      discard conn;
+      fail ~outcome:"io" ~transient:true ~timeout:false (Unix.error_message e)
+    | exception Wire.Closed ->
+      discard conn;
+      fail ~outcome:"closed" ~transient:true ~timeout:false "connection closed by peer"
+    | exception Wire.Protocol_error reason ->
+      discard conn;
+      fail ~outcome:"protocol" ~transient:false ~timeout:false reason)
+
 let close t =
   let conns =
     Mutex.protect t.mu (fun () ->

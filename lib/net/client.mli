@@ -46,6 +46,24 @@ val call :
     set for connection/timeout faults and cleared for protocol errors,
     {!Wire.Degraded} and non-transient {!Wire.Error} replies. *)
 
+val eval :
+  t ->
+  ?obs:Axml_obs.Obs.t ->
+  ?timeout:float ->
+  strategy:string ->
+  Axml_query.Pattern.node ->
+  Axml_xml.Tree.t ->
+  Axml_obs.Json.t
+(** [eval t ~strategy q doc] ships the query and the document to the
+    peer ({!Wire.Eval}) and returns the {!Wire.Report} it answers: the
+    peer evaluates [q] on [doc] against {e its} registry with the named
+    strategy (["naive"] or ["lazy"]) and replies with the unified
+    {!Axml_engine.Engine.report} serialized by the engine's
+    [report_to_json] — answers included. The mirror image of query
+    pushing: the query travels to the data. [timeout] (default none) is
+    the socket deadline for the whole exchange; failures and server-side
+    errors raise {!Axml_services.Registry.Transport_error}. *)
+
 val close : t -> unit
 (** Closes every idle pooled connection. The client remains usable — a
     later call simply dials again. *)

@@ -2,6 +2,9 @@ module Registry = Axml_services.Registry
 module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
+module P = Axml_query.Pattern
+module Engine = Axml_engine.Engine
+module Lazy_eval = Axml_core.Lazy_eval
 
 let log_src = Logs.Src.create "axml.net.server" ~doc:"axmld server"
 
@@ -125,6 +128,51 @@ let handle_invoke t ~id ~service ~params ~push =
   Obs.join t.obs obs;
   reply
 
+(* Remote evaluation: the query travels to the data. The whole
+   evaluation — relevance analysis for the lazy strategy, the
+   invocation rounds against the served registry (with its fault
+   schedules and retry policies), answer extraction — runs here, and
+   the client receives the unified engine report. The document arrives
+   by value and is private to this request, so concurrent evaluations
+   need no locking beyond the registry's own. *)
+let handle_eval t ~id ~strategy ~query ~doc =
+  if t.delay > 0.0 then Unix.sleepf t.delay;
+  let obs = Obs.fork t.obs in
+  let tr = obs.Obs.trace in
+  let span =
+    if Trace.enabled tr then
+      Trace.open_span tr ~cat:"net"
+        ~attrs:[ ("strategy", Trace.Str strategy) ]
+        "net.eval"
+    else Trace.none
+  in
+  Metrics.incr obs.Obs.metrics ~labels:[ ("strategy", strategy) ] "net.evals";
+  let reply =
+    match
+      let q = P.query query in
+      let d = Axml_doc.of_xml doc in
+      match strategy with
+      | "naive" -> Some (Engine.naive_run ~obs t.registry q d)
+      | "lazy" -> Some (Lazy_eval.run ~registry:t.registry ~obs q d)
+      | _ -> None
+    with
+    | Some r -> Wire.Report { id; report = Engine.report_to_json r }
+    | None ->
+      Wire.Error
+        {
+          id;
+          transient = false;
+          message = Printf.sprintf "unknown evaluation strategy %S" strategy;
+        }
+    | exception e ->
+      Wire.Error { id; transient = false; message = Printexc.to_string e }
+  in
+  let outcome = match reply with Wire.Report _ -> "ok" | _ -> "error" in
+  if Trace.enabled tr then
+    Trace.close_span tr ~attrs:[ ("outcome", Trace.Str outcome) ] span;
+  Obs.join t.obs obs;
+  reply
+
 (* Stop accepting: mark stopped, close the listener (so reconnects are
    refused synchronously from here on) and wake the accept loop. *)
 let stop_listening t =
@@ -180,9 +228,7 @@ let serve_conn t conn_id fd =
                   { id = 0; transient = false; message = "expected a hello handshake" }));
           raise Exit);
         let rec loop () =
-          match Wire.recv fd with
-          | Wire.Invoke { id; service; params; push }, _ ->
-            let reply = handle_invoke t ~id ~service ~params ~push in
+          let answer reply =
             if t.stop_after_reply then begin
               (* Deterministic mid-run death: refuse reconnects *before*
                  the reply reaches the client, so everything after this
@@ -195,11 +241,17 @@ let serve_conn t conn_id fd =
               ignore (Wire.send fd reply);
               loop ()
             end
+          in
+          match Wire.recv fd with
+          | Wire.Invoke { id; service; params; push }, _ ->
+            answer (handle_invoke t ~id ~service ~params ~push)
+          | Wire.Eval { id; strategy; query; doc }, _ ->
+            answer (handle_eval t ~id ~strategy ~query ~doc)
           | _, _ ->
             ignore
               (Wire.send fd
                  (Wire.Error
-                    { id = 0; transient = false; message = "expected an invoke request" }))
+                    { id = 0; transient = false; message = "expected an invoke or eval request" }))
         in
         loop ()
       with

@@ -12,6 +12,13 @@
     simulated backends; when its budget runs out the client receives
     {!Wire.Degraded}).
 
+    Connections may also carry {!Wire.Eval} requests: the peer ships a
+    whole query + document, the server evaluates it against the served
+    registry with the named strategy (naive or lazy, both running on
+    the unified {!Axml_engine.Engine} runtime) and replies
+    {!Wire.Report} with the engine report — answers, invocation and
+    fault accounting included.
+
     Requests from different connections run {e concurrently}: the
     registry and the observability sinks are thread-safe, so no lock is
     held around behavior execution. Fault draws are keyed by the logical

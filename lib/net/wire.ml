@@ -150,6 +150,8 @@ type message =
   | Result of { id : int; pushed : bool; forest : Tree.forest }
   | Error of { id : int; transient : bool; message : string }
   | Degraded of { id : int; message : string; retries : int; timeouts : int }
+  | Eval of { id : int; strategy : string; query : P.node; doc : Tree.t }
+  | Report of { id : int; report : Json.t }
 
 let message_to_json = function
   | Hello { version } ->
@@ -200,6 +202,17 @@ let message_to_json = function
         ("retries", Json.Int retries);
         ("timeouts", Json.Int timeouts);
       ]
+  | Eval { id; strategy; query; doc } ->
+    Json.Obj
+      [
+        ("type", Json.String "eval");
+        ("id", Json.Int id);
+        ("strategy", Json.String strategy);
+        ("query", pattern_to_json query);
+        ("doc", tree_to_json doc);
+      ]
+  | Report { id; report } ->
+    Json.Obj [ ("type", Json.String "report"); ("id", Json.Int id); ("report", report) ]
 
 let int_field key j =
   match Json.member key j with Json.Int i -> i | _ -> fail "missing int field %S" key
@@ -257,6 +270,18 @@ let message_of_json j =
         retries = int_field "retries" j;
         timeouts = int_field "timeouts" j;
       }
+  | Json.String "eval" ->
+    Eval
+      {
+        id = int_field "id" j;
+        strategy = string_field "strategy" j;
+        query = pattern_of_json (Json.member "query" j);
+        doc = tree_of_json (Json.member "doc" j);
+      }
+  | Json.String "report" -> (
+    match Json.member "report" j with
+    | Json.Null -> fail "report envelope without a \"report\" field"
+    | report -> Report { id = int_field "id" j; report })
   | Json.String other -> fail "unknown message type %S" other
   | _ -> fail "envelope without a \"type\" field"
 

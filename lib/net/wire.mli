@@ -8,14 +8,16 @@
 
     A connection opens with a version handshake ({!Hello} from the
     client, {!Welcome} from the server, which also advertises the served
-    registry), then carries any number of {!Invoke} requests. Each
-    request names a service, ships its parameter forest and optionally a
-    pushed [sub_q_v] tree pattern (§7 of the paper); the server answers
-    {!Result} (with the — possibly provider-side pruned — forest),
-    {!Error} (carrying a transient flag so clients know whether to
-    retry) or {!Degraded} (the server's own retry budget against its
-    backends was exhausted: the client should degrade gracefully, not
-    retry).
+    registry), then carries any number of {!Invoke} or {!Eval}
+    requests. An {!Invoke} names a service, ships its parameter forest
+    and optionally a pushed [sub_q_v] tree pattern (§7 of the paper);
+    the server answers {!Result} (with the — possibly provider-side
+    pruned — forest), {!Error} (carrying a transient flag so clients
+    know whether to retry) or {!Degraded} (the server's own retry
+    budget against its backends was exhausted: the client should
+    degrade gracefully, not retry). An {!Eval} ships a whole query +
+    document for evaluation against the peer's registry; the server
+    answers {!Report} (the unified engine report) or {!Error}.
 
     Trees and patterns are encoded structurally (not as embedded XML
     text), so forests round-trip {e exactly} — including whitespace-only
@@ -67,6 +69,21 @@ type message =
   | Result of { id : int; pushed : bool; forest : Axml_xml.Tree.forest }
   | Error of { id : int; transient : bool; message : string }
   | Degraded of { id : int; message : string; retries : int; timeouts : int }
+  | Eval of {
+      id : int;
+      strategy : string;  (** ["naive"] or ["lazy"] *)
+      query : Axml_query.Pattern.node;
+      doc : Axml_xml.Tree.t;
+    }
+      (** Ship a whole query + document to the peer for evaluation
+          against its served registry (remote evaluation, the mirror
+          image of query pushing: instead of pulling the peer's data
+          here, the query travels to the data). *)
+  | Report of { id : int; report : Axml_obs.Json.t }
+      (** Answer to {!Eval}: the unified
+          {!Axml_engine.Engine.report}, serialized with the engine's
+          [report_to_json] — the same shape [axml run --report-json]
+          emits, whichever strategy ran. *)
 
 val message_to_json : message -> Axml_obs.Json.t
 val message_of_json : Axml_obs.Json.t -> message

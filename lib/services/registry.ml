@@ -74,11 +74,17 @@ type transport =
    simulated clock, or a remote provider behind a real wire. *)
 type provider = Local of behavior | Remote of transport
 
+(* One memo-cache entry. [Pending] is a claim: some thread is computing
+   this key right now; duplicates wait on [cache_cv] instead of invoking
+   the behavior a second time (the "double-miss race" of concurrent
+   identical-parameter calls). *)
+type cache_slot = Filled of Tree.forest | Pending
+
 type service = {
   provider : provider;
   cost_model : cost_model;
   push_capable : bool;
-  cache : (string, Tree.forest) Hashtbl.t option;
+  cache : (string, cache_slot) Hashtbl.t option;
       (* memoized services: parameter serialization -> full result *)
   mutable faults : Faults.schedule;
   mutable retry : retry_policy;
@@ -91,6 +97,9 @@ type t = {
          policy installation must precede concurrent invocation. The
          lock is never held while a behavior, a transport or a backoff
          sleep runs. *)
+  cache_cv : Condition.t;
+      (* signalled (with [mu] held) whenever a [Pending] memo slot is
+         resolved — filled or abandoned — so waiters can re-inspect *)
   mutable order : string list; (* registration order, newest first *)
   mutable history : invocation list; (* newest first *)
   mutable fault_seed : int;
@@ -104,12 +113,51 @@ let create () =
   {
     services = Hashtbl.create 16;
     mu = Mutex.create ();
+    cache_cv = Condition.create ();
     order = [];
     history = [];
     fault_seed = 0;
   }
 
 let locked t f = Mutex.protect t.mu f
+
+(* Take-or-install under [t.mu]: either return the memoized result, or
+   claim the key for this thread by installing [Pending]. A concurrent
+   caller that finds [Pending] blocks on [cache_cv] until the filler
+   resolves the slot — to a result (we return it: a cache hit) or to
+   nothing (the filler failed, or could only produce a push-pruned
+   response); in the latter case the waiter takes over as the new
+   filler. This closes the double-miss race: two pooled invocations
+   with identical parameters used to both miss (both lookups preceding
+   both stores) and run the behavior twice. *)
+let take_or_install t cache key =
+  Mutex.protect t.mu (fun () ->
+      let rec loop () =
+        match Hashtbl.find_opt cache key with
+        | Some (Filled result) -> `Hit result
+        | Some Pending ->
+          Condition.wait t.cache_cv t.mu;
+          loop ()
+        | None ->
+          Hashtbl.replace cache key Pending;
+          `Fill
+      in
+      loop ())
+
+let resolve_filled t cache key result =
+  locked t (fun () ->
+      Hashtbl.replace cache key (Filled result);
+      Condition.broadcast t.cache_cv)
+
+(* Drop a still-[Pending] claim; waiters wake and the first becomes the
+   next filler. Safe to call after [resolve_filled] (a no-op then), so
+   the filler can run it unconditionally on every exit path. *)
+let abandon_pending t cache key =
+  locked t (fun () ->
+      (match Hashtbl.find_opt cache key with
+      | Some Pending -> Hashtbl.remove cache key
+      | Some (Filled _) | None -> ());
+      Condition.broadcast t.cache_cv)
 
 let register t ~name ?(cost = default_cost) ?(push_capable = true) ?(memoize = false)
     ?(faults = []) ?(retry = default_policy) behavior =
@@ -215,12 +263,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
     | None -> None
     | Some cache -> Some (cache, Lazy.force params_str)
   in
-  let cached_result =
-    Option.bind cache_key (fun (cache, key) ->
-        locked t (fun () -> Hashtbl.find_opt cache key))
-  in
-  match cached_result with
-  | Some result ->
+  let hit result =
     (* A cache hit answers locally: no wire, no latency — and no fault
        exposure; the fault layer only applies to network attempts. *)
     let pushed, shipped =
@@ -245,7 +288,13 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
     locked t (fun () -> t.history <- invocation :: t.history);
     finish invocation;
     (shipped, invocation)
-  | None ->
+  in
+  let fill_cache result =
+    match cache_key with
+    | Some (cache, key) -> resolve_filled t cache key result
+    | None -> ()
+  in
+  let miss () =
   match service.provider with
   | Remote transport ->
     (* A real wire: the transport performs one attempt; the same retry
@@ -280,10 +329,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
             attempt_span;
         (* Only full results are cacheable: a pushed response is pruned
            to one pattern's witnesses and would poison later calls. *)
-        (match cache_key with
-        | Some (cache, key) when not w.served_push ->
-          locked t (fun () -> Hashtbl.replace cache key result)
-        | Some _ | None -> ());
+        if not w.served_push then fill_cache result;
         let invocation =
           {
             service = name;
@@ -398,9 +444,7 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
           (* the response would not arrive within the per-attempt budget *)
           `Failed (policy.attempt_timeout, `Timeout)
         else begin
-          (match cache_key with
-          | Some (cache, key) -> locked t (fun () -> Hashtbl.replace cache key full)
-          | None -> ());
+          fill_cache full;
           let invocation =
             {
               service = name;
@@ -483,6 +527,17 @@ let invoke t ~name ~params ?push ?(obs = Obs.null) () =
         end
     in
     go ~retry:0 ~cost:0.0 ~timeouts:0 ~backoff:0.0
+  in
+  match cache_key with
+  | None -> miss ()
+  | Some (cache, key) -> (
+    match take_or_install t cache key with
+    | `Hit result -> hit result
+    | `Fill ->
+      (* Whatever happens in [miss] — success (slot already [Filled]),
+         a push-pruned response, [Service_failure], any exception — the
+         claim must not outlive this call, or waiters deadlock. *)
+      Fun.protect ~finally:(fun () -> abandon_pending t cache key) miss)
 
 let history t = locked t (fun () -> List.rev t.history)
 let invocation_count t = locked t (fun () -> List.length t.history)

@@ -30,10 +30,13 @@
     retry index) rather than by a shared cursor, so seeded schedules are
     reproducible at any concurrency level. Registration and fault/policy
     installation are {e not} synchronized with invocation — complete
-    setup before invoking concurrently. One documented race: two
-    {e identical} concurrent calls to a memoized service may both miss
-    the cache and compute; both record full-cost invocations where a
-    sequential run would record one hit. Results are unaffected. *)
+    setup before invoking concurrently. Memoization is single-flight:
+    the first of several identical concurrent calls claims the cache
+    slot and computes; the duplicates block until it resolves and then
+    answer from the cache (one full-cost invocation plus hits, exactly
+    as in a sequential run). If the filler fails — or could only
+    produce a push-pruned, uncacheable response — one waiter takes over
+    as the next filler. *)
 
 type behavior = Axml_xml.Tree.forest -> Axml_xml.Tree.forest
 (** Maps the call's parameter forest to its result forest. *)

@@ -13,6 +13,7 @@ module Doc = Axml_doc
 module Registry = Axml_services.Registry
 module Faults = Axml_services.Faults
 module Naive = Axml_core.Naive
+module Engine = Axml_engine.Engine
 module Lazy_eval = Axml_core.Lazy_eval
 module City = Axml_workload.City
 
@@ -511,7 +512,7 @@ let test_lazy_reconciliation () =
       Alcotest.(check int) "root bytes" r.Lazy_eval.bytes_transferred (int_attr "bytes" root)
     | _ -> Alcotest.fail "expected exactly one eval.run root");
   (* the --report-json wire format round-trips and agrees with both *)
-  match Json.parse (Json.to_string (Lazy_eval.report_to_json r)) with
+  match Json.parse (Json.to_string (Engine.report_to_json r)) with
   | Error e -> Alcotest.fail e
   | Ok j ->
     let field k = Option.get (Json.int_value (Json.member k j)) in
@@ -547,7 +548,7 @@ let test_naive_reconciliation () =
       (List.length (spans_named "service.invoke" forest));
     Alcotest.(check int) "trace bytes" r.Naive.bytes_transferred
       (sum_int "bytes" (spans_named "service.invoke" forest)));
-  match Json.parse (Json.to_string (Naive.report_to_json r)) with
+  match Json.parse (Json.to_string (Engine.report_to_json r)) with
   | Error e -> Alcotest.fail e
   | Ok j ->
     Alcotest.(check (option int)) "json invoked" (Some r.Naive.invoked)
