@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net test-exec test-engine check-one-report bench bench-e9-smoke examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen fuzz-smoke check-one-report bench bench-e9-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -30,6 +30,19 @@ test-exec:
 # single-flight memoization, remote evaluation
 test-engine:
 	dune exec test/test_engine.exe
+
+# shared-generator suites (test/gen.ml): adversary determinism, family
+# shapes, the Def. 4 oracle on hostile instances, a small end-to-end
+# fuzz run, and the wire garbage-rejection properties
+test-gen:
+	dune exec test/test_fuzz.exe
+	dune exec test/test_net.exe
+
+# the model-based differential fuzzer at a fixed seed: ~200 iterations
+# of the full oracle battery over adversarial instances; exits nonzero
+# on the first violation, printing the shrunk case and its replay seed
+fuzz-smoke:
+	dune exec bin/axml.exe -- fuzz --seed 7 --iters 200
 
 # the unified report may not silently re-fork: downstream layers must
 # not reach into evaluator-specific report records, and only the engine

@@ -3,7 +3,7 @@
    table; a final Bechamel section micro-benchmarks the core operation
    behind each table.
 
-   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|micro]...
+   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -30,6 +30,7 @@ module Lazy_eval = Axml_core.Lazy_eval
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
 module Synthetic = Axml_workload.Synthetic
+module Adversary = Axml_workload.Adversary
 module Obs = Axml_obs.Obs
 module Metrics = Axml_obs.Metrics
 module Trace = Axml_obs.Trace
@@ -944,6 +945,50 @@ let e9smoke () =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* E10: adversarial families vs the call budget. Each row runs one
+   hostile Adversary family (fault-free) under the lazy NFQA strategy
+   at a given max_calls budget and reports the unified engine report
+   fields: the bounded families converge to complete answers once the
+   budget covers their call count; the unbounded one burns exactly the
+   budget and reports incomplete at every setting. *)
+
+let e10 () =
+  let budgets = [ 8; 32; 128 ] in
+  let rows =
+    List.concat_map
+      (fun (name, family) ->
+        let cfg = { Adversary.default_config with Adversary.family; seed = 11; scale = 40 } in
+        List.map
+          (fun budget ->
+            (* evaluation expands the document in place: fresh instance per row *)
+            let inst = Adversary.generate cfg in
+            let strategy = { Lazy_eval.nfqa with Lazy_eval.max_calls = budget } in
+            let initial_calls = Adversary.total_calls inst in
+            let r, elapsed =
+              wall (fun () ->
+                  Lazy_eval.run ~registry:inst.Adversary.registry ~strategy ~obs:!bench_obs
+                    inst.Adversary.query inst.Adversary.doc)
+            in
+            [
+              name;
+              string_of_int budget;
+              string_of_int initial_calls;
+              string_of_int r.Engine.invoked;
+              string_of_int r.Engine.rounds;
+              string_of_int r.Engine.bytes_transferred;
+              string_of_int (List.length (tuples r.Engine.answers));
+              (if r.Engine.complete then "yes" else "no");
+              ms elapsed;
+            ])
+          budgets)
+      Adversary.families
+  in
+  print_table ~title:"E10: adversarial families vs call budget (lazy NFQA, seed 11, scale 40)"
+    ~header:
+      [ "family"; "budget"; "calls"; "invoked"; "rounds"; "bytes"; "answers"; "complete"; "wall(ms)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -1049,6 +1094,7 @@ let experiments =
     ("e8", e8);
     ("e9", e9);
     ("e9smoke", e9smoke);
+    ("e10", e10);
     ("micro", micro);
   ]
 

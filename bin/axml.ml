@@ -27,6 +27,8 @@ module Server = Axml_net.Server
 module Client = Axml_net.Client
 module Remote = Axml_net.Remote
 module Exec = Axml_exec.Exec
+module Adversary = Axml_workload.Adversary
+module Fuzz = Axml_fuzz.Fuzz
 
 open Cmdliner
 
@@ -834,6 +836,115 @@ let serve_cmd =
        $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg
        $ metrics_arg))
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz verbose seed iters watchdog family artifacts =
+  setup_logs verbose;
+  if iters <= 0 then fail "--iters must be positive"
+  else if watchdog <= 0.0 then fail "--watchdog must be positive"
+  else
+    let family_of_name = function
+      | None -> Ok None
+      | Some name -> (
+        match List.assoc_opt name Adversary.families with
+        | Some f -> Ok (Some f)
+        | None ->
+          Error
+            (Printf.sprintf "unknown family %S (one of: %s)" name
+               (String.concat ", " (List.map fst Adversary.families))))
+    in
+    match family_of_name family with
+    | Error m -> fail "%s" m
+    | Ok family -> (
+      let log =
+        if verbose then fun m -> Printf.eprintf "%s\n%!" m else fun (_ : string) -> ()
+      in
+      let report = Fuzz.run ~watchdog ~log ?family ~seed ~iters () in
+      match report.Fuzz.failure with
+      | None ->
+        Printf.printf "fuzz: %d iteration(s), 0 oracle violations (seed %d)\n"
+          report.Fuzz.iterations seed;
+        `Ok ()
+      | Some f ->
+        let failure_text =
+          String.concat "\n"
+            [
+              Printf.sprintf "oracle: %s — %s" f.Fuzz.first_failure.Fuzz.oracle
+                f.Fuzz.first_failure.Fuzz.detail;
+              Printf.sprintf "case:   %s" (Fuzz.case_to_string f.Fuzz.failed_case);
+              Printf.sprintf "shrunk: %s" (Fuzz.case_to_string f.Fuzz.shrunk_case);
+              Printf.sprintf "        %s — %s" f.Fuzz.shrunk_failure.Fuzz.oracle
+                f.Fuzz.shrunk_failure.Fuzz.detail;
+              Printf.sprintf "replay: %s" (Fuzz.replay_hint f.Fuzz.failed_case);
+            ]
+        in
+        Printf.printf "fuzz: FAILED after %d iteration(s)\n%s\n" report.Fuzz.iterations
+          failure_text;
+        (match artifacts with
+        | None -> ()
+        | Some dir ->
+          (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let write name s =
+            let oc = open_out (Filename.concat dir name) in
+            output_string oc s;
+            output_char oc '\n';
+            close_out oc
+          in
+          write "failure.txt" failure_text;
+          write "shrunk.xml" f.Fuzz.shrunk_xml;
+          Printf.printf "artifacts: %s\n" dir);
+        fail "oracle violation (replay: %s)" (Fuzz.replay_hint f.Fuzz.failed_case))
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing over adversarial workloads: each iteration derives a hostile \
+     instance family, strategy, jobs level, local or loopback-remote registry, fault \
+     schedule and budget from the seed, and checks the oracle battery (lazy answers within \
+     the fault-free naive reference, complete-flag semantics, byte-identical answers across \
+     jobs levels, report/metrics/trace reconciliation, push equivalence, budget-bounded \
+     termination under a watchdog). Failures are shrunk to a minimal case and a one-line \
+     replay is printed."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Base seed: iteration $(i,i) checks the case derived from seed + $(i,i).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 100 & info [ "iters" ] ~docv:"N" ~doc:"Iterations to run.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline per evaluation arm; exceeding it is an oracle failure.")
+  in
+  let family_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:
+            "Restrict to one adversarial family (bounded-recursion, unbounded-recursion, \
+             skewed-fanout, push-keep-all, push-drop-all, deep-nesting).")
+  in
+  let artifacts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "On failure, write failure.txt (case, shrunk case, replay line) and shrunk.xml \
+             (the minimal failing instance) into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      ret
+        (const fuzz $ verbose_flag $ seed_arg $ iters_arg $ watchdog_arg $ family_arg
+       $ artifacts_arg))
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -855,4 +966,5 @@ let () =
             generate_cmd;
             validate_cmd;
             termination_cmd;
+            fuzz_cmd;
           ]))

@@ -123,8 +123,8 @@ type state = {
   doc : Doc.t;
   obs : Obs.t;
   eng : Engine.t;  (* the unified invocation driver *)
-  sub_of : (int, P.node) Hashtbl.t;  (* original-query pid -> subtree *)
-  push_of : (int, P.node) Hashtbl.t;  (* cached optimistic push patterns *)
+  push_rqs : (Relevance.t * P.node) list;
+      (* NFQ of each query node, paired with the node, for pushing *)
   typing : Typing.t option;
   fguide : Fguide.t option;
   mutable known_functions : string list;
@@ -246,18 +246,25 @@ let detect st (rq : Relevance.t) : Doc.node list =
       end;
       result)
 
-let push_pattern st (rq : Relevance.t) =
-  if not st.strategy.push then None
-  else
-    match Hashtbl.find_opt st.push_of rq.Relevance.source with
-    | Some p -> Some p
-    | None ->
-      Option.map
-        (fun sub ->
-          let p = Nfq.optimistic sub in
-          Hashtbl.replace st.push_of rq.Relevance.source p;
-          p)
-        (Hashtbl.find_opt st.sub_of rq.Relevance.source)
+(* One call can be relevant to several query nodes (it may produce the
+   data any of them is missing), and whichever relevance query retrieves
+   it first is an accident of sweep order — so the pushed pattern must
+   not depend on the retrieving query. Union the optimistic subtrees of
+   every query node whose (unrefined) NFQ retrieves a call of the batch:
+   retrieval is optimistic, so a position the results could only fill
+   after more data arrives is already retrieving now. *)
+let push_pattern st (calls : Doc.node list) =
+  match st.push_rqs with
+  | [] -> None
+  | pairs ->
+    let sources =
+      List.filter_map
+        (fun (rq, v) ->
+          if List.exists (fun c -> Relevance.retrieves rq c) calls then Some v
+          else None)
+        pairs
+    in
+    Some (Nfq.optimistic_union sources)
 
 let within_budget st =
   Engine.invoked st.eng < st.strategy.max_calls && st.passes < st.strategy.max_passes
@@ -347,7 +354,7 @@ let process_layer st (layer : Relevance.t list) =
                        ("calls", Trace.Int (List.length batch));
                        ("parallel", Trace.Bool parallel);
                      ]
-                   ?push:(push_pattern st rq) batch))
+                   ?push:(push_pattern st batch) batch))
         in
         sweep layer)
   done
@@ -384,8 +391,6 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t
     | Lenient_types, Some s -> Some (Typing.create ~mode:Sat.Lenient s q)
     | Exact_types, Some s -> Some (Typing.create ~mode:Sat.Exact s q)
   in
-  let sub_of = Hashtbl.create 32 in
-  List.iter (fun (n : P.node) -> Hashtbl.replace sub_of n.P.pid n) (P.nodes q);
   let eng = Engine.create ~max_calls:strategy.max_calls ?pool ~obs registry d in
   let st =
     {
@@ -393,8 +398,15 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t
       doc = d;
       obs;
       eng;
-      sub_of;
-      push_of = Hashtbl.create 16;
+      push_rqs =
+        (if strategy.push then
+           let nodes = P.nodes q in
+           List.filter_map
+             (fun (rq : Relevance.t) ->
+               List.find_opt (fun (v : P.node) -> v.P.pid = rq.Relevance.source) nodes
+               |> Option.map (fun v -> (rq, v)))
+             (Nfq.of_query q)
+         else []);
       typing;
       fguide = (if strategy.use_fguide then Some (Fguide.build d) else None);
       known_functions = [];

@@ -67,3 +67,17 @@ let optimistic (v : P.node) : P.node =
   let sources = ref [] in
   let star = P.make (P.Fun P.Any_fun) [] in
   P.make ~axis:v.P.axis P.Or [ copy sources v; star ]
+
+(* A call's result roots stand at the call's own position, and one call
+   can be relevant to several query nodes at once (a fetch under
+   [item[key="magic"]] may produce the missing [key] or the missing
+   [payload]). Pruning with the sub-query of just one of those nodes
+   discards what the others needed — the answers silently shrink while
+   the run still reports complete. The sound pushed pattern is the
+   disjunction of the optimistic subtrees of {e every} query node whose
+   NFQ retrieves the call, plus the bare function node for nested
+   calls. *)
+let optimistic_union (vs : P.node list) : P.node =
+  let sources = ref [] in
+  let star = P.make (P.Fun P.Any_fun) [] in
+  P.make P.Or (List.map (copy sources) vs @ [ star ])

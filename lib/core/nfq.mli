@@ -24,3 +24,11 @@ val optimistic : Axml_query.Pattern.node -> Axml_query.Pattern.node
     bare function node (the root included). Pushed with calls (§7) so
     that provider-side witness pruning keeps result parts that a nested
     call could still complete. *)
+
+val optimistic_union : Axml_query.Pattern.node list -> Axml_query.Pattern.node
+(** The pushed pattern for a call relevant at several query positions:
+    the disjunction of the optimistic subtrees of the given query nodes,
+    plus a bare function node. One call can be relevant to several query
+    nodes at once, and provider-side pruning with the sub-query of just
+    one of them loses answers the others needed; {!Lazy_eval} pushes the
+    union over every query node whose NFQ retrieves the call. *)

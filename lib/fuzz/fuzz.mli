@@ -1,0 +1,93 @@
+(** Model-based differential fuzzing over {!Axml_workload.Adversary}.
+
+    Each iteration derives a {!case} from a single integer seed —
+    hostile document family, strategy (naive or lazy), jobs level, local
+    or loopback-remote registry, push, memoization, fault schedule and
+    invocation budget — and checks a fixed oracle battery against it:
+
+    - {b subset}: answers ⊆ the fault-free naive reference (Def. 4's
+      leniency — missing data loses bindings, never fabricates them);
+    - {b complete-flag}: [complete] ⟹ answers equal the reference and
+      no call failed; conversely, nothing failed and the budget was not
+      exhausted ⟹ [complete];
+    - {b budget}: [invoked <= budget], and the unbounded-recursion
+      family is always cut incomplete;
+    - {b jobs-determinism}: byte-identical serialized answers and equal
+      counters at jobs 1 and 4 (simulated clock and bytes compared only
+      for local registries — remote costs are wall-clock);
+    - {b obs-transparency}: recording a full trace + metrics sink does
+      not change the answers;
+    - {b reconcile}: report ≡ [eval.*] metrics ≡ trace span rollups;
+    - {b push-equivalence} (lazy only): push-on and push-off agree on
+      answers, completeness and failure counts, and pushing never
+      inflates local transfer bytes;
+    - {b watchdog}: every arm terminates within a wall-clock deadline —
+      a hang is reported as a failure instead of wedging the run;
+    - {b crash}: any escaped exception is a failure.
+
+    Failures are shrunk by a greedy deterministic pass (drop remoteness,
+    parallelism, push, memoization, faults; halve scale and budget) and
+    reported with a one-line replay: because case derivation, generation
+    and shrinking are all pure functions of the seed, re-running
+    [axml fuzz --seed S --iters 1 --family F] reproduces the failure
+    {e and} re-derives the same shrunk instance. *)
+
+module Adversary = Axml_workload.Adversary
+
+type case = {
+  case_seed : int;
+  family : Adversary.family;
+  scale : int;
+  lazy_strategy : bool;  (** lazy NFQA; otherwise naive materialization *)
+  jobs : int;  (** worker-pool width of the primary arm: 1 or 4 *)
+  remote : bool;  (** serve the registry over a loopback TCP peer *)
+  push : bool;  (** primary lazy arm ships sub-queries provider-side *)
+  memoize : bool;
+  fault_rate : float;
+  fault_permanent : bool;
+  max_retries : int;
+  budget : int;  (** [max_calls] for every non-reference arm *)
+}
+
+val case_of_seed : int -> case
+(** Pure: the same seed always derives the same case. *)
+
+val case_to_string : case -> string
+val replay_hint : case -> string
+(** The one-line [axml fuzz] invocation reproducing this case. *)
+
+type failure = { oracle : string; detail : string }
+
+val check : ?watchdog:float -> case -> failure option
+(** Runs the full oracle battery on one case. [watchdog] (default 30
+    wall-clock seconds) bounds every evaluation arm. *)
+
+val shrink : ?watchdog:float -> case -> failure -> case * failure
+(** Greedy deterministic minimization: keeps a mutation iff the case
+    still fails {e some} oracle. Returns the minimal case and its
+    failure. *)
+
+type fail_report = {
+  failed_case : case;
+  first_failure : failure;
+  shrunk_case : case;
+  shrunk_failure : failure;
+  shrunk_xml : string;  (** the shrunk instance's document, pretty-printed *)
+}
+
+type report = {
+  iterations : int;  (** iterations completed, the failing one included *)
+  failure : fail_report option;
+}
+
+val run :
+  ?watchdog:float ->
+  ?log:(string -> unit) ->
+  ?family:Adversary.family ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  report
+(** Iteration [i] checks [case_of_seed (seed + i)] (with [family]
+    forced when given) and stops at the first failure, shrunk. [log]
+    receives one progress line per iteration. *)

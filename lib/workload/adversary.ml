@@ -1,0 +1,264 @@
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module Registry = Axml_services.Registry
+module Faults = Axml_services.Faults
+module Parser = Axml_query.Parser
+
+type family =
+  | Bounded_recursion
+  | Unbounded_recursion
+  | Skewed_fanout
+  | Push_keep_all
+  | Push_drop_all
+  | Deep_nesting
+
+let families =
+  [
+    ("bounded-recursion", Bounded_recursion);
+    ("unbounded-recursion", Unbounded_recursion);
+    ("skewed-fanout", Skewed_fanout);
+    ("push-keep-all", Push_keep_all);
+    ("push-drop-all", Push_drop_all);
+    ("deep-nesting", Deep_nesting);
+  ]
+
+let family_name f = fst (List.find (fun (_, g) -> g = f) families)
+
+let family_index f =
+  let rec go i = function
+    | [] -> 0
+    | (_, g) :: rest -> if g = f then i else go (i + 1) rest
+  in
+  go 0 families
+
+type config = {
+  family : family;
+  seed : int;
+  scale : int;
+  memoize : bool;
+  fault_rate : float;
+  fault_permanent : bool;
+  fault_seed : int;
+  max_retries : int;
+}
+
+let default_config =
+  {
+    family = Skewed_fanout;
+    seed = 1;
+    scale = 40;
+    memoize = false;
+    fault_rate = 0.0;
+    fault_permanent = false;
+    fault_seed = 0;
+    max_retries = 2;
+  }
+
+type t = {
+  doc : Doc.t;
+  registry : Registry.t;
+  query : Axml_query.Pattern.t;
+  config : config;
+}
+
+let query_src = Synthetic.query_src
+
+let e = Tree.element
+let txt = Tree.text
+let call_e name params = Tree.element Doc.call_elem_name ~attrs:[ ("name", name) ] params
+
+(* ------------------------------------------------------------------ *)
+(* Service behaviors: pure functions of the parameter forest, so every
+   instance of a config behaves identically at any concurrency level. *)
+
+(* The [n]th parameter, flattened to its text content. *)
+let arg n params =
+  match List.nth_opt params n with
+  | Some tr -> Tree.text_content tr
+  | None -> ""
+
+let int_arg n params = match int_of_string_opt (arg n params) with Some i -> i | None -> 0
+let blob n = String.make (max 0 n) 'x'
+
+(* Recursion above the matchable [payload]: until the chain bottoms out,
+   the partial state holds no payload at all, so a budget-cut evaluation
+   loses the binding entirely instead of answering a different subtree —
+   the shape the subset oracle needs. *)
+let spawn_behavior params =
+  let d = int_arg 0 params in
+  let site = arg 1 params in
+  if d <= 0 then [ e "payload" [ txt ("deep-" ^ site) ] ]
+  else [ call_e "spawn" [ txt (string_of_int (d - 1)); txt site ] ]
+
+(* One complete answer item per expansion, plus a fresh sibling call:
+   the rewriting never terminates, every budget level yields a prefix of
+   the same answer chain. *)
+let loop_behavior params =
+  let chain = arg 0 params in
+  let i = int_arg 1 params in
+  [
+    e "item"
+      [ e "key" [ txt "magic" ]; e "payload" [ txt (Printf.sprintf "loop-%s-%d" chain i) ] ];
+    call_e "loop" [ txt chain; txt (string_of_int (i + 1)) ];
+  ]
+
+let fetch_behavior params =
+  let site = arg 0 params in
+  let n = 8 + (Hashtbl.hash site mod 64) in
+  [ e "payload" [ txt (Printf.sprintf "v-%s-%s" site (blob n)) ] ]
+
+let noise_behavior _params = [ e "filler" [ txt (blob 16) ] ]
+
+(* Every returned item matches the query: a pushed witness keeps the
+   whole result, so pushing saves nothing. *)
+let bulk_behavior params =
+  let site = arg 0 params in
+  let k = 2 + (Hashtbl.hash site mod 3) in
+  List.init k (fun i ->
+      e "item"
+        [ e "key" [ txt "magic" ]; e "payload" [ txt (Printf.sprintf "bulk-%s-%d" site i) ] ])
+
+(* Nothing in the result matches: a pushed witness prunes the response
+   to nothing, while the un-pushed run ships the fat filler. *)
+let bulkmiss_behavior params =
+  let site = arg 0 params in
+  let k = 2 + (Hashtbl.hash site mod 3) in
+  e "filler" [ txt (blob 512) ]
+  :: List.init k (fun i ->
+         e "item"
+           [ e "key" [ txt "dull" ]; e "payload" [ txt (Printf.sprintf "miss-%s-%d" site i) ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Document families *)
+
+let gen_bounded rng scale =
+  let sites = 1 + (scale / 12) in
+  let secs =
+    List.init sites (fun s ->
+        let depth = 1 + Random.State.int rng 5 in
+        let key = if Random.State.bool rng then "magic" else "dull" in
+        e "sec"
+          [
+            e "item"
+              [
+                e "key" [ txt key ];
+                call_e "spawn" [ txt (string_of_int depth); txt (Printf.sprintf "s%d" s) ];
+              ];
+          ])
+  in
+  e "r" secs
+
+let gen_unbounded rng scale =
+  let chains = 1 + Random.State.int rng (min 3 (1 + (scale / 30))) in
+  e "r"
+    (List.init chains (fun c ->
+         e "sec" [ call_e "loop" [ txt (Printf.sprintf "c%d" c); txt "0" ] ]))
+
+let gen_skewed rng scale =
+  let total = max 4 scale in
+  let hot_n = total * 9 / 10 in
+  let cold_n = total - hot_n in
+  let item s =
+    let key = if Random.State.float rng 1.0 < 0.5 then "magic" else "dull" in
+    let payload =
+      if Random.State.float rng 1.0 < 0.8 then call_e "fetch" [ txt s ]
+      else e "payload" [ txt ("x-" ^ s) ]
+    in
+    e "item" [ e "key" [ txt key ]; payload ]
+  in
+  let hot = e "sec" (List.init hot_n (fun i -> item (Printf.sprintf "h%d" i))) in
+  let colds =
+    List.init cold_n (fun i ->
+        let filler =
+          if Random.State.float rng 1.0 < 0.3 then call_e "noise" [ txt "n" ]
+          else e "filler" [ txt "f" ]
+        in
+        e "sec" [ filler; item (Printf.sprintf "c%d" i) ])
+  in
+  e "r" (hot :: colds)
+
+let gen_push rng scale ~keep =
+  let service = if keep then "bulk" else "bulkmiss" in
+  let calls = 1 + (scale / 16) in
+  let secs =
+    List.init calls (fun i -> e "sec" [ call_e service [ txt (Printf.sprintf "b%d" i) ] ])
+  in
+  let ext_n = 1 + Random.State.int rng 2 in
+  let ext =
+    List.init ext_n (fun i ->
+        e "sec"
+          [
+            e "item"
+              [ e "key" [ txt "magic" ]; e "payload" [ txt (Printf.sprintf "ext-%d" i) ] ];
+          ])
+  in
+  e "r" (ext @ secs)
+
+let gen_deep rng scale =
+  let depth = 64 + (scale * 8) in
+  let deep_param d =
+    let rec build k acc = if k <= 0 then acc else build (k - 1) (e "p" [ acc ]) in
+    build d (txt "leaf")
+  in
+  let bottom =
+    e "item"
+      [
+        e "key" [ txt "magic" ];
+        call_e "fetch" [ deep_param (16 + Random.State.int rng 24) ];
+      ]
+  in
+  let rec wrap k acc = if k <= 0 then acc else wrap (k - 1) (e "sec" [ acc ]) in
+  e "r" [ wrap depth bottom ]
+
+(* ------------------------------------------------------------------ *)
+
+let generate cfg =
+  let rng = Random.State.make [| 0x5eed; cfg.seed; family_index cfg.family; cfg.scale |] in
+  let registry = Registry.create () in
+  (* Cost models are drawn in a fixed registration order, before the
+     document, so the whole instance is one function of the config. The
+     latency and per-byte terms are kept small enough that a healthy
+     attempt can never exceed the finite [attempt_timeout] installed for
+     the permanent-fault mode: fault fates stay byte-independent, which
+     is what makes push-on and push-off runs degrade identically. *)
+  let draw_cost () =
+    {
+      Registry.latency = 0.005 +. Random.State.float rng 0.2;
+      per_byte = 1e-8 +. Random.State.float rng 9e-8;
+    }
+  in
+  let reg name behavior =
+    Registry.register registry ~name ~cost:(draw_cost ()) ~memoize:cfg.memoize behavior
+  in
+  reg "spawn" spawn_behavior;
+  reg "loop" loop_behavior;
+  reg "fetch" fetch_behavior;
+  reg "noise" noise_behavior;
+  reg "bulk" bulk_behavior;
+  reg "bulkmiss" bulkmiss_behavior;
+  let root =
+    match cfg.family with
+    | Bounded_recursion -> gen_bounded rng cfg.scale
+    | Unbounded_recursion -> gen_unbounded rng cfg.scale
+    | Skewed_fanout -> gen_skewed rng cfg.scale
+    | Push_keep_all -> gen_push rng cfg.scale ~keep:true
+    | Push_drop_all -> gen_push rng cfg.scale ~keep:false
+    | Deep_nesting -> gen_deep rng cfg.scale
+  in
+  let schedule =
+    (if cfg.fault_rate > 0.0 then [ Faults.Flaky cfg.fault_rate ] else [])
+    @ if cfg.fault_permanent then [ Faults.Timeout 3.0 ] else []
+  in
+  if schedule <> [] then Registry.inject_faults registry ~seed:cfg.fault_seed schedule
+  else Registry.set_fault_seed registry cfg.fault_seed;
+  Registry.set_retry_policy registry
+    {
+      Registry.max_retries = cfg.max_retries;
+      base_backoff = 0.01;
+      backoff_factor = 2.0;
+      max_backoff = 0.08;
+      attempt_timeout = (if cfg.fault_permanent then 0.5 else infinity);
+    };
+  { doc = Doc.of_xml root; registry; query = Parser.parse query_src; config = cfg }
+
+let total_calls t = Doc.count_calls t.doc

@@ -1,0 +1,82 @@
+(** Seeded generator of hostile AXML instances.
+
+    "Games for Active XML Revisited" shows which instance families are
+    hard for AXML rewriting: recursive service results that re-introduce
+    calls, non-terminating rewriting families, and skewed fan-out. This
+    module builds those families — plus push-hostile and
+    deep-nesting-hostile ones — as deterministic functions of a seed, so
+    the termination/budget machinery can be fuzzed and benchmarked
+    instead of merely unit-tested.
+
+    Every family answers the same untyped query
+    [/r//item\[key="magic"\]/payload!] ({!query_src}), and every
+    instance registers the same six services with seed-drawn cost
+    models. Service behaviors are pure functions of their parameter
+    forest, so two instances generated from the same config are
+    byte-identical and evaluate identically at any concurrency level.
+
+    Fault schedules ride on the same config: [fault_rate] installs a
+    seeded [Flaky] schedule, [fault_permanent] adds a [Timeout] (total
+    outage) plus a finite per-attempt budget — the exact shape the
+    differential oracles in {!Axml_fuzz.Fuzz} rely on (fault fates are
+    byte-independent, so push-on and push-off runs degrade
+    identically). *)
+
+type family =
+  | Bounded_recursion
+      (** each call expands into another call, [payload] only at the
+          bottom of a per-site bounded chain *)
+  | Unbounded_recursion
+      (** every expansion yields one answer item and a fresh call — the
+          rewriting never terminates; only the budget cuts it *)
+  | Skewed_fanout
+      (** one hot subtree holds ~90% of the fetch calls, the rest is
+          spread over cold sections with noise calls *)
+  | Push_keep_all
+      (** bulk services whose results are entirely witness-relevant: the
+          pushed pattern prunes nothing *)
+  | Push_drop_all
+      (** bulk services whose results are entirely irrelevant filler:
+          the pushed pattern prunes everything *)
+  | Deep_nesting
+      (** the single matching item sits under hundreds of nested
+          sections, with deeply-nested call parameters *)
+
+val families : (string * family) list
+(** Stable name → family, the [--family] CLI vocabulary. *)
+
+val family_name : family -> string
+
+type config = {
+  family : family;
+  seed : int;  (** drives document shape and cost models *)
+  scale : int;  (** sites / fan-out width / nesting units *)
+  memoize : bool;  (** register every service with client-side caching *)
+  fault_rate : float;  (** [Flaky] probability; [0.] = healthy *)
+  fault_permanent : bool;
+      (** add a [Timeout 3.0] outage and a finite attempt budget *)
+  fault_seed : int;  (** keys the fault schedule PRNG *)
+  max_retries : int;
+}
+
+val default_config : config
+(** [Skewed_fanout], seed 1, scale 40, no memoization, healthy. *)
+
+type t = {
+  doc : Axml_doc.t;
+  registry : Axml_services.Registry.t;
+  query : Axml_query.Pattern.t;
+  config : config;
+}
+
+val query_src : string
+(** [/r//item\[key="magic"\]/payload!] — shared with {!Synthetic}. *)
+
+val generate : config -> t
+(** Builds a fresh instance: same config, same bytes, always. The
+    document is mutable (evaluation rewrites it in place), so each
+    evaluation arm should generate its own copy. *)
+
+val total_calls : t -> int
+(** Visible [<axml:call>] nodes in the just-generated document (calls
+    introduced later by recursive results are not counted). *)

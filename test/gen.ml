@@ -1,0 +1,178 @@
+(* Shared QCheck generators and differential-oracle helpers for the
+   test suites. Extracted from test_xml.ml / test_faults.ml so the
+   property tests, the wire fuzz tests and the fuzz-harness tests draw
+   from one vocabulary of instances. *)
+
+module Tree = Axml_xml.Tree
+module Doc = Axml_doc
+module Eval = Axml_query.Eval
+
+(* ------------------------------------------------------------------ *)
+(* XML trees *)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let label = oneofl [ "a"; "b"; "c"; "hotel"; "name" ] in
+  let text_gen = oneofl [ "x"; "1 < 2"; "a&b"; "\"q\""; "Best Western" ] in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then map Tree.text text_gen
+         else
+           frequency
+             [
+               (1, map Tree.text text_gen);
+               ( 3,
+                 map2
+                   (fun name children -> Tree.element name children)
+                   label
+                   (list_size (int_bound 3) (self (n / 2))) );
+             ])
+
+(* [Parse.tree] requires an element root, so wrap. *)
+let gen_rooted_tree = QCheck.Gen.map (fun c -> Tree.element "root" [ c ]) gen_tree
+let arb_tree = QCheck.make ~print:(Fmt.to_to_string Tree.pp) gen_rooted_tree
+
+(* The parser drops whitespace-only text between elements and merges
+   nothing else; generated text leaves are never whitespace-only, but two
+   adjacent text leaves would merge. Normalize both sides by merging
+   adjacent text nodes before comparing. *)
+let rec merge_text (tr : Tree.t) : Tree.t =
+  match tr with
+  | Tree.Text _ -> tr
+  | Tree.Element e ->
+    let rec merge = function
+      | Tree.Text a :: Tree.Text b :: rest -> merge (Tree.Text (a ^ b) :: rest)
+      | x :: rest -> merge_text x :: merge rest
+      | [] -> []
+    in
+    Tree.Element { e with children = merge e.children }
+
+(* ------------------------------------------------------------------ *)
+(* Binding signatures — the differential-oracle vocabulary (Def. 4). *)
+
+(* Synthetic queries bind no variables, so compare full binding
+   signatures: variable bindings plus serialized result subtrees.
+   Result-node pids are dropped — pattern-node ids are globally unique,
+   so re-parsing the query in a second instance shifts them; the list is
+   sorted by pid, so position identifies the result node. *)
+let signature (b : Eval.binding) =
+  ( b.Eval.vars,
+    List.map (fun (_, n) -> Axml_xml.Print.to_string (Doc.node_to_xml n)) b.Eval.results )
+
+let tuples answers = List.sort_uniq compare (List.map signature answers)
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* ------------------------------------------------------------------ *)
+(* Fault cases: a seeded document plus a seeded fault schedule. *)
+
+type fault_case = {
+  doc_seed : int;
+  fault_seed : int;
+  rate : float;
+  permanent : bool;
+      (* total outage: attempts that dodge the Flaky drop hang past the
+         attempt budget instead, so every call permanently fails *)
+}
+
+let print_fault_case c =
+  Printf.sprintf "doc_seed=%d fault_seed=%d rate=%.2f permanent=%b" c.doc_seed
+    c.fault_seed c.rate c.permanent
+
+let gen_fault_case =
+  QCheck.Gen.(
+    map
+      (fun ((doc_seed, fault_seed), (rate, permanent)) ->
+        { doc_seed; fault_seed; rate; permanent })
+      (pair (pair (int_bound 5000) (int_bound 5000)) (pair (float_bound_inclusive 0.9) bool)))
+
+let arb_fault_case = QCheck.make ~print:print_fault_case gen_fault_case
+
+(* Transient-only cases at rates low enough that a deep retry budget
+   masks every fault with overwhelming probability. *)
+let arb_transient_fault_case =
+  QCheck.make ~print:print_fault_case
+    QCheck.Gen.(
+      map
+        (fun ((doc_seed, fault_seed), rate) ->
+          { doc_seed; fault_seed; rate; permanent = false })
+        (pair (pair (int_bound 5000) (int_bound 5000)) (float_bound_inclusive 0.6)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire garbage: hostile byte strings to throw at an AXML peer. The
+   frame format is a 4-byte big-endian length followed by that many
+   bytes of compact JSON (lib/net/wire.ml); every generated string is
+   malformed at one of the protocol's layers. *)
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  Bytes.to_string b
+
+let gen_raw_bytes =
+  QCheck.Gen.(map (fun l -> String.init (List.length l) (List.nth l)) (list_size (int_range 1 64) (map Char.chr (int_bound 255))))
+
+type garbage =
+  | Random_bytes of string  (* arbitrary bytes, header included *)
+  | Truncated_header of string  (* fewer than 4 bytes, then EOF *)
+  | Truncated_payload of string * int  (* header promises more than sent *)
+  | Oversize of int  (* length prefix above max_frame *)
+  | Non_positive of int  (* zero or negative length prefix *)
+  | Not_json of string  (* well-framed, payload isn't JSON *)
+  | Wrong_envelope of string  (* well-framed valid JSON, bad envelope *)
+
+let print_garbage g =
+  let hex s = String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s)))) in
+  match g with
+  | Random_bytes s -> Printf.sprintf "random bytes %s" (hex s)
+  | Truncated_header s -> Printf.sprintf "truncated header %s" (hex s)
+  | Truncated_payload (s, n) -> Printf.sprintf "payload %s cut to %d bytes" (hex s) n
+  | Oversize n -> Printf.sprintf "oversize length %d" n
+  | Non_positive n -> Printf.sprintf "non-positive length %d" n
+  | Not_json s -> Printf.sprintf "non-JSON payload %S" s
+  | Wrong_envelope s -> Printf.sprintf "wrong envelope %s" s
+
+(* The bytes a client would actually write for this garbage. *)
+let garbage_bytes = function
+  | Random_bytes s -> s
+  | Truncated_header s -> s
+  | Truncated_payload (payload, sent) ->
+    let full = frame payload in
+    String.sub full 0 (min (String.length full) (4 + sent))
+  | Oversize n | Non_positive n ->
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.to_string b
+  | Not_json s -> frame s
+  | Wrong_envelope s -> frame s
+
+let gen_garbage =
+  QCheck.Gen.(
+    let envelopes =
+      oneofl
+        [
+          {|{"type":"frobnicate"}|};
+          {|{"no_type":1}|};
+          {|[1,2,3]|};
+          {|"hello"|};
+          {|{"type":"invoke"}|};
+          {|{"type":"result","id":"not an int"}|};
+          {|{"type":"hello","version":"high"}|};
+        ]
+    in
+    frequency
+      [
+        (3, map (fun s -> Random_bytes s) gen_raw_bytes);
+        (2, map (fun s -> Truncated_header (String.sub s 0 (min 3 (String.length s)))) gen_raw_bytes);
+        ( 2,
+          map2
+            (fun s sent -> Truncated_payload (s, sent))
+            gen_raw_bytes (int_bound 8) );
+        (1, map (fun n -> Oversize (64 * 1024 * 1024 + 1 + n)) (int_bound 1000));
+        (1, map (fun n -> Non_positive (-n)) (int_bound 1000));
+        (2, map (fun s -> Not_json ("not json " ^ s)) (oneofl [ "{"; "}"; "<xml/>"; "" ]));
+        (2, map (fun s -> Wrong_envelope s) envelopes);
+      ])
+
+let arb_garbage = QCheck.make ~print:print_garbage gen_garbage

@@ -446,6 +446,79 @@ let test_memo_waiter_takes_over () =
   List.iter (fun r -> Alcotest.(check bool) "successors share the result" true (r = params)) ok;
   Alcotest.(check bool) "behaviour ran at most twice" true (!runs <= 2)
 
+(* The same two regressions under raw-thread stress: many more threads
+   than pool slots, several distinct keys, and a filler that fails a
+   fixed number of times before succeeding. *)
+
+let test_memo_stress () =
+  let threads = 32 and keys = 5 in
+  let registry = Registry.create () in
+  let mu = Mutex.create () in
+  let runs = ref 0 in
+  Registry.register registry ~name:"slow" ~memoize:true (fun params ->
+      Mutex.protect mu (fun () -> incr runs);
+      Thread.yield ();
+      Unix.sleepf 0.005;
+      params);
+  for key = 1 to keys do
+    let params = [ Tree.Text (Printf.sprintf "key-%d" key) ] in
+    let results = Array.make threads [] in
+    let ts =
+      List.init threads (fun i ->
+          Thread.create
+            (fun () -> results.(i) <- fst (Registry.invoke registry ~name:"slow" ~params ()))
+            ())
+    in
+    List.iter Thread.join ts;
+    Array.iter
+      (fun r -> Alcotest.(check bool) "every thread got the result" true (r = params))
+      results
+  done;
+  Alcotest.(check int) "one fill per key" keys !runs;
+  let cached, missed =
+    List.partition (fun (i : Registry.invocation) -> i.Registry.cached) (Registry.history registry)
+  in
+  Alcotest.(check int) "one uncached record per key" keys (List.length missed);
+  Alcotest.(check int) "every other caller hit the cache"
+    (keys * (threads - 1))
+    (List.length cached)
+
+let test_memo_stress_filler_failures () =
+  (* The first three fills die; single-flight hands the claim to one
+     waiter at a time, so exactly four runs happen, exactly three
+     callers observe the failure, and everyone else shares the one
+     successful fill. *)
+  let threads = 16 in
+  let registry = Registry.create () in
+  let mu = Mutex.create () in
+  let runs = ref 0 in
+  Registry.register registry ~name:"flaky" ~memoize:true
+    ~retry:{ Registry.default_policy with Registry.max_retries = 0 }
+    (fun params ->
+      let n = Mutex.protect mu (fun () -> incr runs; !runs) in
+      Thread.yield ();
+      Unix.sleepf 0.002;
+      if n <= 3 then failwith "filler dies" else params);
+  let params = [ Tree.Text "p" ] in
+  let results = Array.make threads None in
+  let ts =
+    List.init threads (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              (match Registry.invoke registry ~name:"flaky" ~params () with
+              | forest, _ -> Some forest
+              | exception _ -> None))
+          ())
+  in
+  List.iter Thread.join ts;
+  let ok = Array.to_list results |> List.filter_map Fun.id in
+  Alcotest.(check int) "exactly four fills (three doomed + one good)" 4 !runs;
+  Alcotest.(check int) "exactly three callers saw the failure" (threads - 3) (List.length ok);
+  List.iter
+    (fun r -> Alcotest.(check bool) "survivors share the result" true (r = params))
+    ok
+
 (* ------------------------------------------------------------------ *)
 (* Remote evaluation: the peer answers with the same unified report *)
 
@@ -517,6 +590,8 @@ let () =
         [
           quick "pooled duplicates run the behaviour once" test_memo_single_flight;
           quick "waiter takes over a failed filler" test_memo_waiter_takes_over;
+          quick "raw-thread stress: one fill per key" test_memo_stress;
+          quick "raw-thread stress: filler failures hand over" test_memo_stress_filler_failures;
         ] );
       ("remote", [ quick "eval over the wire returns the one report" test_remote_eval ]);
     ]

@@ -304,63 +304,35 @@ let test_spec_malformed_fault_attributes () =
 (* The differential oracle (Def. 4): lazy under faults ⊆ fault-free
    naive; equality when retries mask every transient fault. *)
 
-(* The synthetic query binds no variables, so compare full binding
-   signatures: variable bindings plus serialized result subtrees.
-   Result-node pids are dropped — pattern-node ids are globally unique,
-   so re-parsing the query in a second instance shifts them; the list is
-   sorted by pid, so position identifies the result node. *)
-let signature (b : Eval.binding) =
-  ( b.Eval.vars,
-    List.map (fun (_, n) -> Axml_xml.Print.to_string (Doc.node_to_xml n)) b.Eval.results )
+(* Binding signatures and the fault-case generator are shared with the
+   other suites; see test/gen.ml. *)
+let tuples = Gen.tuples
+let subset = Gen.subset
 
-let tuples answers = List.sort_uniq compare (List.map signature answers)
-let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
-
-type case = {
-  doc_seed : int;
-  fault_seed : int;
-  rate : float;
-  permanent : bool;
-      (* total outage: attempts that dodge the Flaky drop hang past the
-         attempt budget instead, so every call permanently fails *)
-}
-
-let case_cfg c =
+let case_cfg (c : Gen.fault_case) =
   {
     Synthetic.default_config with
     Synthetic.nodes = 150;
-    seed = c.doc_seed;
+    seed = c.Gen.doc_seed;
     magic_fraction = 0.4;
     call_fraction = 0.7;
   }
 
-let gen_case =
-  QCheck.Gen.(
-    map
-      (fun ((doc_seed, fault_seed), (rate, permanent)) ->
-        { doc_seed; fault_seed; rate; permanent })
-      (pair (pair (int_bound 5000) (int_bound 5000)) (pair (float_bound_inclusive 0.9) bool)))
-
-let arb_case =
-  QCheck.make
-    ~print:(fun c ->
-      Printf.sprintf "doc_seed=%d fault_seed=%d rate=%.2f permanent=%b" c.doc_seed c.fault_seed
-        c.rate c.permanent)
-    gen_case
+let arb_case = Gen.arb_fault_case
 
 let fault_free_reference c =
   let inst = Synthetic.generate (case_cfg c) in
   tuples (Naive.run inst.Synthetic.registry inst.Synthetic.query inst.Synthetic.doc).Naive.answers
 
-let faulted_instance c ~max_retries =
+let faulted_instance (c : Gen.fault_case) ~max_retries =
   let inst = Synthetic.generate (case_cfg c) in
   let schedule =
-    Faults.Flaky c.rate :: (if c.permanent then [ Faults.Timeout 3.0 ] else [])
+    Faults.Flaky c.Gen.rate :: (if c.Gen.permanent then [ Faults.Timeout 3.0 ] else [])
   in
-  Registry.inject_faults inst.Synthetic.registry ~seed:c.fault_seed schedule;
+  Registry.inject_faults inst.Synthetic.registry ~seed:c.Gen.fault_seed schedule;
   Registry.set_retry_policy inst.Synthetic.registry
     (policy ~max_retries ~base_backoff:0.01 ~max_backoff:0.1
-       ~attempt_timeout:(if c.permanent then 0.5 else infinity)
+       ~attempt_timeout:(if c.Gen.permanent then 0.5 else infinity)
        ());
   inst
 
@@ -383,13 +355,7 @@ let prop_enough_retries_mask_transients =
      with probability <= 0.6^31 ~ 1e-7 at the rates drawn here, so the
      equality half of Def. 4 holds for every generated case. *)
   QCheck.Test.make ~name:"retries high enough ⇒ lazy under faults = fault-free naive" ~count:300
-    (QCheck.make
-       ~print:(fun c -> Printf.sprintf "doc_seed=%d fault_seed=%d rate=%.2f" c.doc_seed c.fault_seed c.rate)
-       QCheck.Gen.(
-         map
-           (fun ((doc_seed, fault_seed), rate) ->
-             { doc_seed; fault_seed; rate; permanent = false })
-           (pair (pair (int_bound 5000) (int_bound 5000)) (float_bound_inclusive 0.6))))
+    Gen.arb_transient_fault_case
     (fun c ->
       let reference = fault_free_reference c in
       let inst = faulted_instance c ~max_retries:30 in

@@ -165,6 +165,33 @@ let test_frame_rejection () =
   | exception Wire.Closed -> ());
   Unix.close b
 
+(* Generated garbage (test/gen.ml): every malformed byte string — random
+   bytes, truncated headers and payloads, oversize or non-positive
+   length prefixes, non-JSON payloads, valid-JSON-wrong-envelope — is
+   rejected with [Protocol_error] or [Closed], never any other
+   exception. *)
+let prop_garbage_frames_rejected =
+  QCheck.Test.make ~name:"generated garbage is rejected" ~count:200 Gen.arb_garbage
+    (fun g ->
+      let bytes = Gen.garbage_bytes g in
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ a; b ])
+        (fun () ->
+          if String.length bytes > 0 then
+            ignore (Unix.write_substring a bytes 0 (String.length bytes));
+          Unix.shutdown a Unix.SHUTDOWN_SEND;
+          match Wire.recv b with
+          | _ ->
+            (* four random bytes can in principle spell a consistent
+               length prefix over valid JSON; decoding is then allowed —
+               escaping with any unexpected exception is not *)
+            (match g with Gen.Random_bytes _ -> true | _ -> false)
+          | exception (Wire.Protocol_error _ | Wire.Closed) -> true))
+
 (* ------------------------------------------------------------------ *)
 (* Handshake *)
 
@@ -369,6 +396,42 @@ let test_e2e_city_acceptance () =
         true
         (pushed_bytes < plain_bytes))
 
+(* The same garbage thrown at a live server: every connection is
+   answered or dropped, and the listener keeps serving afterwards — a
+   hostile peer cannot kill the server thread. *)
+let test_server_survives_garbage () =
+  with_server (echo_registry ()) (fun server ->
+      let port = Server.port server in
+      let garbage =
+        QCheck.Gen.generate ~rand:(Random.State.make [| 0xfee1 |]) ~n:40 Gen.gen_garbage
+      in
+      List.iter
+        (fun g ->
+          let bytes = Gen.garbage_bytes g in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              (if String.length bytes > 0 then
+                 try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+                 with Unix.Unix_error _ -> ());
+              (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+              (* drain the error reply (if any) until the server closes *)
+              let buf = Bytes.create 256 in
+              try
+                while Unix.read fd buf 0 256 > 0 do
+                  ()
+                done
+              with Unix.Unix_error _ -> ()))
+        garbage;
+      let client = Client.create ~host:"127.0.0.1" ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          Alcotest.(check int) "still serving" 1
+            (List.length (Client.services client ()))))
+
 (* After a stop, the port refuses connections — no zombie listener. *)
 let test_stop_refuses_connections () =
   let server = Server.create ~registry:(echo_registry ()) () in
@@ -390,6 +453,8 @@ let () =
           Alcotest.test_case "message round-trip" `Quick test_message_roundtrip;
           Alcotest.test_case "envelope rejection" `Quick test_envelope_rejection;
           Alcotest.test_case "frame rejection" `Quick test_frame_rejection;
+          QCheck_alcotest.to_alcotest prop_garbage_frames_rejected;
+          Alcotest.test_case "server survives garbage" `Quick test_server_survives_garbage;
         ] );
       ( "handshake",
         [

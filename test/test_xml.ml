@@ -130,44 +130,10 @@ let test_byte_size () =
 (* ------------------------------------------------------------------ *)
 (* Property: parse ∘ print = id on generated trees *)
 
-let gen_tree =
-  let open QCheck.Gen in
-  let label = oneofl [ "a"; "b"; "c"; "hotel"; "name" ] in
-  let text_gen = oneofl [ "x"; "1 < 2"; "a&b"; "\"q\""; "Best Western" ] in
-  sized
-  @@ fix (fun self n ->
-         if n = 0 then map Tree.text text_gen
-         else
-           frequency
-             [
-               (1, map Tree.text text_gen);
-               ( 3,
-                 map2
-                   (fun name children -> Tree.element name children)
-                   label
-                   (list_size (int_bound 3) (self (n / 2))) );
-             ])
-
-(* [Parse.tree] requires an element root, so wrap. *)
-let gen_rooted_tree =
-  QCheck.Gen.map (fun c -> Tree.element "root" [ c ]) gen_tree
-
-let arb_tree = QCheck.make ~print:(Fmt.to_to_string Tree.pp) gen_rooted_tree
-
-(* The parser drops whitespace-only text between elements and merges
-   nothing else; generated text leaves are never whitespace-only, but two
-   adjacent text leaves would merge. Normalize both sides by merging
-   adjacent text nodes before comparing. *)
-let rec merge_text (tr : Tree.t) : Tree.t =
-  match tr with
-  | Tree.Text _ -> tr
-  | Tree.Element e ->
-    let rec merge = function
-      | Tree.Text a :: Tree.Text b :: rest -> merge (Tree.Text (a ^ b) :: rest)
-      | x :: rest -> merge_text x :: merge rest
-      | [] -> []
-    in
-    Tree.Element { e with children = merge e.children }
+(* Generators and text-merge normalization are shared with the other
+   suites; see test/gen.ml. *)
+let arb_tree = Gen.arb_tree
+let merge_text = Gen.merge_text
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"parse (print t) = t (modulo text merging)" ~count:500 arb_tree
