@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen fuzz-smoke check-one-report bench bench-e9-smoke examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -38,6 +38,13 @@ test-gen:
 	dune exec test/test_fuzz.exe
 	dune exec test/test_net.exe
 
+# type-based projection tests: keep/drop units, the projected ≡ full
+# snapshot-answer property on schema-conforming instances, adversary
+# and city differentials under faults, and the wire capability
+# negotiation round-trip against an old (no-caps) peer
+test-project:
+	dune exec test/test_project.exe
+
 # the model-based differential fuzzer at a fixed seed: ~200 iterations
 # of the full oracle battery over adversarial instances; exits nonzero
 # on the first violation, printing the shrunk case and its replay seed
@@ -52,6 +59,8 @@ check-one-report:
 	  || { echo 'direct evaluator report field access outside lib/core'; exit 1; }
 	@test "$$(grep -rln 'let report_to_json' lib bin bench)" = "lib/engine/engine.ml" \
 	  || { echo 'report_to_json defined outside lib/engine'; exit 1; }
+	@! grep -rn '"full_nodes"\|"projected_nodes"\|"projected_bytes_saved"' bin bench lib/net lib/core --include='*.ml' \
+	  || { echo 'projection report fields serialized outside lib/engine'; exit 1; }
 
 # record a traced + measured run, then pretty-print the span tree;
 # load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev
@@ -79,6 +88,12 @@ bench:
 # that --jobs 4 beats --jobs 1 on the wall clock with identical answers
 bench-e9-smoke:
 	dune exec bench/main.exe -- e9smoke
+
+# the CI-sized E11: skewed fan-out with and without the projector,
+# asserting bytes were saved in-document and on the wire with
+# byte-identical answers
+bench-e11-smoke:
+	dune exec bench/main.exe -- e11smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -3,7 +3,8 @@
    table; a final Bechamel section micro-benchmarks the core operation
    behind each table.
 
-   Usage: main.exe [--metrics-dir DIR] [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|micro]...
+   Usage: main.exe [--metrics-dir DIR]
+            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -27,6 +28,7 @@ module Typing = Axml_core.Typing
 module Fguide = Axml_core.Fguide
 module Engine = Axml_engine.Engine
 module Lazy_eval = Axml_core.Lazy_eval
+module Project = Axml_project.Project
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
 module Synthetic = Axml_workload.Synthetic
@@ -989,6 +991,118 @@ let e10 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E11: type-based document projection — projected vs full. Each
+   workload is evaluated twice under the typed lazy strategy, without
+   and with the schema-derived projector (lib/project: the §5
+   type-based relevance analysis applied to the data, not just the
+   calls). Projection must not change the answers — every row pair
+   asserts byte-identical tuples — so the columns to read are nodes
+   (full → kept, over the initial document plus every spliced result
+   forest), saved(B) (serialized bytes the projector discarded) and
+   wire(B) (the initial document as [Wire.Eval] would ship it, full vs
+   projected: the saving a peer that negotiated the "project"
+   capability sees on the wire). live(kw) is a coarse residency proxy —
+   live heap kwords after a forced major collection at the end of the
+   run. *)
+
+let e11_wire_bytes tr =
+  String.length (Axml_obs.Json.to_string (Axml_net.Wire.tree_to_json tr))
+
+let e11_arm ~make ~project =
+  (* fresh instance per arm: evaluation expands the document in place *)
+  let doc, query, schema, registry = make () in
+  let projector = if project then Some (Project.compile ~schema query) else None in
+  let wire =
+    let tr = Doc.to_xml doc in
+    e11_wire_bytes (match projector with None -> tr | Some p -> fst (Project.tree p tr))
+  in
+  let r, elapsed =
+    wall (fun () ->
+        Lazy_eval.run ~registry ~schema ~strategy:Lazy_eval.nfqa_typed ?projector
+          ~obs:!bench_obs query doc)
+  in
+  Gc.full_major ();
+  (r, wire, elapsed, (Gc.stat ()).Gc.live_words / 1000)
+
+let e11_workloads =
+  let adversary family seed scale () =
+    let inst =
+      Adversary.generate { Adversary.default_config with Adversary.family; seed; scale }
+    in
+    (inst.Adversary.doc, inst.Adversary.query, inst.Adversary.schema, inst.Adversary.registry)
+  in
+  [
+    ("skewed-fanout", adversary Adversary.Skewed_fanout 11 40);
+    ("bounded-recursion", adversary Adversary.Bounded_recursion 11 40);
+    ( "city",
+      fun () ->
+        let inst = City.generate { City.default_config with City.hotels = 20; seed = 3 } in
+        (inst.City.doc, inst.City.query, inst.City.schema, inst.City.registry) );
+  ]
+
+let e11 () =
+  let rows =
+    List.concat_map
+      (fun (name, make) ->
+        let rf, wire_f, wall_f, live_f = e11_arm ~make ~project:false in
+        let rp, wire_p, wall_p, live_p = e11_arm ~make ~project:true in
+        (* the soundness contract: projection never changes the answers *)
+        assert (tuples rf.Engine.answers = tuples rp.Engine.answers);
+        assert (rf.Engine.complete = rp.Engine.complete);
+        let mk arm (r, wire, elapsed, live) =
+          [
+            name;
+            arm;
+            (if r.Engine.full_nodes = 0 then "-"
+             else Printf.sprintf "%d->%d" r.Engine.full_nodes r.Engine.projected_nodes);
+            string_of_int r.Engine.invoked;
+            string_of_int r.Engine.projected_bytes_saved;
+            string_of_int wire;
+            string_of_int (List.length (tuples r.Engine.answers));
+            (if r.Engine.complete then "yes" else "no");
+            ms elapsed;
+            string_of_int live;
+          ]
+        in
+        [ mk "full" (rf, wire_f, wall_f, live_f); mk "projected" (rp, wire_p, wall_p, live_p) ])
+      e11_workloads
+  in
+  print_table
+    ~title:"E11: type-based projection, projected vs full (lazy typed NFQA, identical answers)"
+    ~header:
+      [ "workload"; "arm"; "nodes"; "invoked"; "saved(B)"; "wire(B)"; "answers"; "complete"; "wall(ms)"; "live(kw)" ]
+    rows
+
+(* The CI-sized variant: skewed fan-out only, with hard assertions that
+   projection saved document bytes, shrank the wire payload, and left
+   the answers byte-identical. *)
+let e11smoke () =
+  let make =
+    match List.assoc_opt "skewed-fanout" e11_workloads with
+    | Some make -> make
+    | None -> assert false
+  in
+  let rf, wire_f, _, _ = e11_arm ~make ~project:false in
+  let rp, wire_p, _, _ = e11_arm ~make ~project:true in
+  if tuples rf.Engine.answers <> tuples rp.Engine.answers then begin
+    Printf.eprintf "e11smoke: answers differ under projection\n";
+    exit 1
+  end;
+  if rp.Engine.projected_bytes_saved <= 0 then begin
+    Printf.eprintf "e11smoke: projection saved no bytes (saved=%d, nodes %d->%d)\n"
+      rp.Engine.projected_bytes_saved rp.Engine.full_nodes rp.Engine.projected_nodes;
+    exit 1
+  end;
+  if wire_p >= wire_f then begin
+    Printf.eprintf "e11smoke: projected wire payload %dB >= full %dB\n" wire_p wire_f;
+    exit 1
+  end;
+  Printf.printf
+    "e11smoke: ok (saved %dB in-document, wire %dB -> %dB, %d answers unchanged)\n"
+    rp.Engine.projected_bytes_saved wire_f wire_p
+    (List.length (tuples rp.Engine.answers))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -1095,6 +1209,8 @@ let experiments =
     ("e9", e9);
     ("e9smoke", e9smoke);
     ("e10", e10);
+    ("e11", e11);
+    ("e11smoke", e11smoke);
     ("micro", micro);
   ]
 

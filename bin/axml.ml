@@ -16,6 +16,7 @@ module Typing = Axml_core.Typing
 module Fguide = Axml_core.Fguide
 module Lazy_eval = Axml_core.Lazy_eval
 module Engine = Axml_engine.Engine
+module Project = Axml_project.Project
 module City = Axml_workload.City
 module Goingout = Axml_workload.Goingout
 module Synthetic = Axml_workload.Synthetic
@@ -94,6 +95,17 @@ let schema_arg =
     value
     & opt (some file) None
     & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"Schema file (functions/elements sections).")
+
+let project_flag =
+  Arg.(
+    value & flag
+    & info [ "project" ]
+        ~doc:
+          "Apply type-based document projection: drop the subtrees the query can never touch \
+           before evaluation, and re-project every spliced call result. Sound on \
+           schema-conforming documents (service calls whose declared result type may matter \
+           are always kept); without a schema projection degrades to a weaker but still sound \
+           structural prune.")
 
 (* ---------------- fault injection knobs ---------------- *)
 
@@ -433,9 +445,10 @@ let strategy_conv =
    Lazy_eval configurations — all return the one engine report) and
    [finish_run] (summary, fault counters, obs sinks, --report-json). *)
 
-let evaluate ~strategy ~push ~fguide ?schema ~obs ?pool ~registry query doc =
+let evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ~registry query doc =
+  let projector = if project then Some (Project.compile ?schema query) else None in
   match strategy with
-  | `Naive -> Engine.naive_run ?pool ~obs registry query doc
+  | `Naive -> Engine.naive_run ?pool ~obs ?projector registry query doc
   | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
     let base =
       match s with
@@ -446,7 +459,7 @@ let evaluate ~strategy ~push ~fguide ?schema ~obs ?pool ~registry query doc =
     in
     let base = if push then Lazy_eval.with_push base else base in
     let strategy = if fguide then Lazy_eval.with_fguide base else base in
-    Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool query doc
+    Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool ?projector query doc
 
 let print_summary (r : Engine.report) =
   Printf.printf
@@ -456,7 +469,10 @@ let print_summary (r : Engine.report) =
   Printf.printf "%.3f s simulated service time, %.1f ms analysis, %d bytes, complete=%b\n"
     r.Engine.simulated_seconds
     (r.Engine.analysis_seconds *. 1000.0)
-    r.Engine.bytes_transferred r.Engine.complete
+    r.Engine.bytes_transferred r.Engine.complete;
+  if r.Engine.full_nodes > 0 then
+    Printf.printf "projection: kept %d of %d node(s), saved %d byte(s)\n"
+      r.Engine.projected_nodes r.Engine.full_nodes r.Engine.projected_bytes_saved
 
 let finish_run ~registry ~trace_out ~metrics_out ~report_json obs (r : Engine.report) =
   print_summary r;
@@ -465,8 +481,8 @@ let finish_run ~registry ~trace_out ~metrics_out ~report_json obs (r : Engine.re
   emit_report_json report_json (Engine.report_to_json r);
   `Ok ()
 
-let run_workload verbose workload strategy scale seed push fguide xml jobs fault_rate fault_seed
-    max_retries timeout trace_out metrics_out report_json query_override =
+let run_workload verbose workload strategy scale seed push fguide project xml jobs fault_rate
+    fault_seed max_retries timeout trace_out metrics_out report_json query_override =
   setup_logs verbose;
   let instance =
     match workload with
@@ -502,7 +518,9 @@ let run_workload verbose workload strategy scale seed push fguide xml jobs fault
         (P.to_string query);
       let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
       with_pool jobs (fun pool ->
-          let r = evaluate ~strategy ~push ~fguide ~schema ~obs ?pool ~registry query doc in
+          let r =
+            evaluate ~strategy ~push ~fguide ~project ~schema ~obs ?pool ~registry query doc
+          in
           print_bindings ~xml r.Engine.answers;
           finish_run ~registry ~trace_out ~metrics_out ~report_json obs r)))
 
@@ -535,8 +553,9 @@ let run_cmd =
     Term.(
       ret
         (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
-       $ push_arg $ fguide_arg $ xml_flag $ jobs_arg $ fault_rate_arg $ fault_seed_arg
-       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
+       $ push_arg $ fguide_arg $ project_flag $ xml_flag $ jobs_arg $ fault_rate_arg
+       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg
+       $ report_json_arg $ query_arg))
 
 (* ---------------- generate ---------------- *)
 
@@ -588,8 +607,9 @@ let generate_cmd =
 
 (* ---------------- eval (user files) ---------------- *)
 
-let eval_files verbose doc_path schema_path services_path connect strategy push fguide xml flwr
-    jobs fault_rate fault_seed max_retries timeout trace_out metrics_out report_json query_src =
+let eval_files verbose doc_path schema_path services_path connect strategy push fguide project
+    xml flwr jobs fault_rate fault_seed max_retries timeout trace_out metrics_out report_json
+    query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -626,7 +646,9 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
       | Ok () -> (
         let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
         with_pool jobs (fun pool ->
-            let r = evaluate ~strategy ~push ~fguide ?schema ~obs ?pool ~registry query doc in
+            let r =
+              evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ~registry query doc
+            in
             (match flwr_query with
             | Ok (Some q) ->
               print_endline
@@ -659,9 +681,44 @@ let eval_cmd =
     Term.(
       ret
         (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ connect_arg
-       $ strategy_arg $ push_arg $ fguide_arg $ xml_flag $ flwr_flag $ jobs_arg $ fault_rate_arg
-       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg
-       $ report_json_arg $ query_arg))
+       $ strategy_arg $ push_arg $ fguide_arg $ project_flag $ xml_flag $ flwr_flag $ jobs_arg
+       $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg
+       $ metrics_arg $ report_json_arg $ query_arg))
+
+(* ---------------- project ---------------- *)
+
+let project_doc doc_path schema_path query_src =
+  let tree =
+    try Ok (Axml_xml.Parse.tree_of_file doc_path) with
+    | Sys_error m -> Error m
+    | e -> (
+      match Axml_xml.Parse.error_to_string e with
+      | Some m -> Error (doc_path ^ ": " ^ m)
+      | None -> raise e)
+  in
+  match tree, parse_query query_src, load_schema schema_path with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> fail "%s" m
+  | Ok tree, Ok query, Ok schema ->
+    let projector = Project.compile ?schema query in
+    let projected, st = Project.tree projector tree in
+    print_endline (Axml_xml.Print.to_string ~indent:2 projected);
+    Printf.eprintf "projection: kept %d of %d node(s) (dropped %d), saved %d byte(s)\n"
+      st.Project.kept_nodes st.Project.full_nodes
+      (st.Project.full_nodes - st.Project.kept_nodes)
+      st.Project.bytes_saved;
+    `Ok ()
+
+let project_cmd =
+  let doc =
+    "Project a document against a query (type-based projection): print the projected \
+     document — every subtree the query can never touch dropped, every possibly-relevant \
+     service call kept — plus a one-line kept/dropped summary on stderr. With $(b,--schema) \
+     the projector uses the content models and call signatures for a sharper (still sound) \
+     prune."
+  in
+  Cmd.v
+    (Cmd.info "project" ~doc)
+    Term.(ret (const project_doc $ doc_arg $ schema_arg $ query_arg))
 
 (* ---------------- trace ---------------- *)
 
@@ -961,6 +1018,7 @@ let () =
             guide_cmd;
             run_cmd;
             eval_cmd;
+            project_cmd;
             serve_cmd;
             trace_cmd;
             generate_cmd;

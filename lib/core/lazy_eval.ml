@@ -112,6 +112,9 @@ type report = Engine.report = {
   timeouts : int;  (** attempts classified as timeouts *)
   failed_calls : int;  (** relevant calls left unexpanded after retry exhaustion *)
   backoff_seconds : float;  (** simulated seconds spent backing off *)
+  full_nodes : int;  (** nodes handed to the projector; 0 without one *)
+  projected_nodes : int;  (** nodes surviving projection; 0 without one *)
+  projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
   complete : bool;  (** the document is complete for the query (Def. 3) *)
 }
 
@@ -362,8 +365,8 @@ let process_layer st (layer : Relevance.t list) =
 let relevance_name = function Nfq_relevance -> "nfq" | Lpq_relevance -> "lpq"
 let typing_name = function No_types -> "none" | Lenient_types -> "lenient" | Exact_types -> "exact"
 
-let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t) (d : Doc.t) :
-    report =
+let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ~registry (q : P.t)
+    (d : Doc.t) : report =
   let rqs =
     match strategy.relevance with
     | Nfq_relevance -> Nfq.of_query q
@@ -391,7 +394,7 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ~registry (q : P.t
     | Lenient_types, Some s -> Some (Typing.create ~mode:Sat.Lenient s q)
     | Exact_types, Some s -> Some (Typing.create ~mode:Sat.Exact s q)
   in
-  let eng = Engine.create ~max_calls:strategy.max_calls ?pool ~obs registry d in
+  let eng = Engine.create ~max_calls:strategy.max_calls ?pool ~obs ?projector registry d in
   let st =
     {
       strategy;

@@ -76,6 +76,10 @@ type report = Axml_engine.Engine.report = {
       (** relevant calls whose retry budget was exhausted; each stays in
           the document as an unexpanded function node *)
   backoff_seconds : float;  (** simulated seconds spent backing off *)
+  full_nodes : int;  (** nodes handed to the projector; 0 without one *)
+  projected_nodes : int;  (** nodes surviving projection; 0 without one *)
+  projected_bytes_saved : int;
+      (** serialized XML bytes of the subtrees projection dropped *)
   complete : bool;
       (** the document is complete for the query (Def. 3): every relevant
           call was expanded within budget and none permanently failed.
@@ -89,6 +93,7 @@ val run :
   ?schema:Axml_schema.Schema.t ->
   ?obs:Axml_obs.Obs.t ->
   ?pool:Axml_exec.Exec.pool ->
+  ?projector:Axml_project.Project.t ->
   registry:Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->

@@ -22,6 +22,9 @@ type report = Engine.report = {
   timeouts : int;
   failed_calls : int;
   backoff_seconds : float;
+  full_nodes : int;  (** nodes handed to the projector; 0 without one *)
+  projected_nodes : int;  (** nodes surviving projection; 0 without one *)
+  projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
   complete : bool;
 }
 

@@ -23,6 +23,9 @@ type report = Axml_engine.Engine.report = {
   timeouts : int;
   failed_calls : int;
   backoff_seconds : float;
+  full_nodes : int;  (** nodes handed to the projector; 0 without one *)
+  projected_nodes : int;  (** nodes surviving projection; 0 without one *)
+  projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
   complete : bool;
 }
 (** The unified report (see {!Axml_engine.Engine.report}); the analysis
@@ -44,6 +47,7 @@ val run :
   ?parallel:bool ->
   ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
+  ?projector:Axml_project.Project.t ->
   Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->

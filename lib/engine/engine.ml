@@ -17,6 +17,7 @@ module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
 module Exec = Axml_exec.Exec
+module Project = Axml_project.Project
 
 let log_src = Logs.Src.create "axml.engine" ~doc:"unified evaluation engine"
 
@@ -43,6 +44,9 @@ type report = {
   timeouts : int;  (** attempts classified as timeouts *)
   failed_calls : int;  (** calls left unexpanded after retry exhaustion *)
   backoff_seconds : float;  (** simulated seconds spent backing off *)
+  full_nodes : int;  (** nodes handed to the projector; 0 without one *)
+  projected_nodes : int;  (** nodes surviving projection; 0 without one *)
+  projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
   complete : bool;  (** the answers are the full snapshot result *)
 }
 
@@ -79,6 +83,9 @@ let report_to_json (r : report) : Axml_obs.Json.t =
       ("timeouts", J.Int r.timeouts);
       ("failed_calls", J.Int r.failed_calls);
       ("backoff_seconds", J.Float r.backoff_seconds);
+      ("full_nodes", J.Int r.full_nodes);
+      ("projected_nodes", J.Int r.projected_nodes);
+      ("projected_bytes_saved", J.Int r.projected_bytes_saved);
       ("complete", J.Bool r.complete);
     ]
 
@@ -104,6 +111,8 @@ type t = {
   (* calls whose retry budget was exhausted: left in place as unexpanded
      function nodes, never re-attempted *)
   failed : (int, unit) Hashtbl.t;
+  projector : Project.t option;
+  mutable projection : Project.stats;
   mutable on_replace : invoked:Doc.node -> added:Doc.node list -> unit;
   mutable invoked : int;
   mutable pushed : int;
@@ -118,7 +127,11 @@ type t = {
 
 type accounting = Max | Sum
 
-let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) registry (doc : Doc.t) =
+let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) ?projector registry (doc : Doc.t) =
+  (* Layer 1: project the initial document before any strategy sees it. *)
+  let projection =
+    match projector with None -> Project.zero_stats | Some p -> Project.doc p doc
+  in
   {
     registry;
     doc;
@@ -126,6 +139,8 @@ let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) registry (doc : Doc.t)
     pool;
     max_calls;
     failed = Hashtbl.create 8;
+    projector;
+    projection;
     on_replace = (fun ~invoked:_ ~added:_ -> ());
     invoked = 0;
     pushed = 0;
@@ -187,6 +202,17 @@ let apply t ?push (call : Doc.node) outcome =
           name
           (if push = None then "" else " (pushed)"));
     let added = Doc.replace_call t.doc call result in
+    (* Layer 2: re-project the freshly materialized result before the
+       strategy's hook sees it, so F-guides and function scans only ever
+       observe the projected document. *)
+    let added =
+      match t.projector with
+      | None -> added
+      | Some p ->
+        let kept, st = Project.spliced p t.doc ~added in
+        t.projection <- Project.add_stats t.projection st;
+        kept
+    in
     t.on_replace ~invoked:call ~added;
     t.invoked <- t.invoked + 1;
     Metrics.incr t.obs.Obs.metrics "eval.invoked";
@@ -280,6 +306,10 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
     | Some lc -> Metrics.set m "eval.layer_count" (float_of_int lc)
     | None -> ());
     Metrics.set m "eval.answers" (float_of_int (List.length answers));
+    Metrics.set m "eval.full_nodes" (float_of_int t.projection.Project.full_nodes);
+    Metrics.set m "eval.projected_nodes" (float_of_int t.projection.Project.kept_nodes);
+    Metrics.set m "eval.projected_bytes_saved"
+      (float_of_int t.projection.Project.bytes_saved);
     Metrics.set m "eval.complete" (if complete then 1.0 else 0.0);
     Metrics.set m "eval.simulated_seconds" t.simulated_seconds;
     (match analysis_seconds with
@@ -312,6 +342,9 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
     timeouts = t.timeouts;
     failed_calls = Hashtbl.length t.failed;
     backoff_seconds = t.backoff_seconds;
+    full_nodes = t.projection.Project.full_nodes;
+    projected_nodes = t.projection.Project.kept_nodes;
+    projected_bytes_saved = t.projection.Project.bytes_saved;
     complete;
   }
 
@@ -320,11 +353,11 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
    per fixpoint iteration, until no visible call remains (or the
    budget cuts). A degenerate client of the driver above. *)
 
-let naive_run ?max_calls ?(parallel = true) ?pool ?(obs = Obs.null) registry (q : P.t)
-    (d : Doc.t) : report =
+let naive_run ?max_calls ?(parallel = true) ?pool ?(obs = Obs.null) ?projector registry
+    (q : P.t) (d : Doc.t) : report =
   let tr = obs.Obs.trace in
   let root = if Trace.enabled tr then Trace.open_span tr "eval.naive" else Trace.none in
-  let t = create ?max_calls ?pool ~obs registry d in
+  let t = create ?max_calls ?pool ~obs ?projector registry d in
   let continue = ref true in
   while !continue do
     let calls =

@@ -49,6 +49,12 @@ type report = {
       (** calls whose retry budget was exhausted; each stays in the
           document as an unexpanded function node *)
   backoff_seconds : float;  (** simulated seconds spent backing off *)
+  full_nodes : int;
+      (** nodes handed to the projector (initial document plus every
+          spliced result forest); 0 when no projector is attached *)
+  projected_nodes : int;  (** nodes surviving projection; 0 without one *)
+  projected_bytes_saved : int;
+      (** serialized XML bytes of the subtrees projection dropped *)
   complete : bool;
       (** the evaluation finished within budget and no call permanently
           failed: the answers are the full snapshot result. When [false]
@@ -86,10 +92,16 @@ val create :
   ?max_calls:int ->
   ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
+  ?projector:Axml_project.Project.t ->
   Axml_services.Registry.t ->
   Axml_doc.t ->
   t
-(** [max_calls] defaults to 100k; [obs] to disabled. *)
+(** [max_calls] defaults to 100k; [obs] to disabled. [projector]
+    (default: none) projects the document in place before the strategy
+    sees it, and re-projects every spliced result forest before the
+    {!on_replace} hook runs — so strategies only ever observe the
+    projected document — accumulating the [full_nodes] /
+    [projected_nodes] / [projected_bytes_saved] report fields. *)
 
 val on_replace : t -> (invoked:Axml_doc.node -> added:Axml_doc.node list -> unit) -> unit
 (** Strategy hook run after each successful splice, on the coordinating
@@ -157,6 +169,7 @@ val naive_run :
   ?parallel:bool ->
   ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
+  ?projector:Axml_project.Project.t ->
   Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->

@@ -13,6 +13,7 @@ module Server = Axml_net.Server
 module Client = Axml_net.Client
 module Remote = Axml_net.Remote
 module Adversary = Axml_workload.Adversary
+module Project = Axml_project.Project
 
 type case = {
   case_seed : int;
@@ -27,6 +28,7 @@ type case = {
   fault_permanent : bool;
   max_retries : int;
   budget : int;
+  project : bool;
 }
 
 type failure = { oracle : string; detail : string }
@@ -52,6 +54,9 @@ let case_of_seed seed =
   let fault_permanent = Random.State.float rng 1.0 < 0.12 in
   let max_retries = Random.State.int rng 4 in
   let budget = 16 + Random.State.int rng 64 in
+  (* drawn last so every earlier dimension derives identically per seed
+     to the pre-projection case stream *)
+  let project = Random.State.float rng 1.0 < 0.35 in
   {
     case_seed = seed;
     family;
@@ -65,15 +70,17 @@ let case_of_seed seed =
     fault_permanent;
     max_retries;
     budget;
+    project;
   }
 
 let case_to_string c =
   Printf.sprintf
     "seed=%d family=%s scale=%d strategy=%s jobs=%d remote=%b push=%b memo=%b fault_rate=%.2f \
-     permanent=%b retries=%d budget=%d"
+     permanent=%b retries=%d budget=%d project=%b"
     c.case_seed (Adversary.family_name c.family) c.scale
     (if c.lazy_strategy then "lazy" else "naive")
     c.jobs c.remote c.push c.memoize c.fault_rate c.fault_permanent c.max_retries c.budget
+    c.project
 
 let replay_hint c =
   Printf.sprintf "axml fuzz --seed %d --iters 1 --family %s" c.case_seed
@@ -169,21 +176,26 @@ let with_remote ~registry:served f =
 
 (* One evaluation arm: a fresh instance every time (evaluation mutates
    the document in place). *)
-let run_arm ~watchdog (c : case) ~jobs ~push ?obs () : Engine.report =
+let run_arm ~watchdog (c : case) ~jobs ~push ?(project = false) ?obs () : Engine.report =
   with_watchdog ~seconds:watchdog (fun () ->
       let acfg = adversary_config c in
       let inst = Adversary.generate acfg in
+      let projector =
+        if project then
+          Some (Project.compile ~schema:inst.Adversary.schema inst.Adversary.query)
+        else None
+      in
       let eval registry =
         with_pool jobs (fun pool ->
             if c.lazy_strategy then begin
               let strategy = { Lazy_eval.nfqa with Lazy_eval.max_calls = c.budget } in
               let strategy = if push then Lazy_eval.with_push strategy else strategy in
-              Lazy_eval.run ~strategy ?obs ?pool ~registry inst.Adversary.query
+              Lazy_eval.run ~strategy ?obs ?pool ?projector ~registry inst.Adversary.query
                 inst.Adversary.doc
             end
             else
-              Engine.naive_run ~max_calls:c.budget ?pool ?obs registry inst.Adversary.query
-                inst.Adversary.doc)
+              Engine.naive_run ~max_calls:c.budget ?pool ?obs ?projector registry
+                inst.Adversary.query inst.Adversary.doc)
       in
       if c.remote then begin
         let served = Adversary.generate acfg in
@@ -231,6 +243,13 @@ let reconcile (obs : Obs.t) (r : Engine.report) =
   if not (feq (Metrics.value m "eval.backoff_seconds") r.Engine.backoff_seconds) then
     violate "reconcile" "backoff_seconds: report %g, metrics %g" r.Engine.backoff_seconds
       (Metrics.value m "eval.backoff_seconds");
+  let gauge name got =
+    let v = int_of_float (Metrics.value m name) in
+    if v <> got then violate "reconcile" "%s: report %d, metrics %d" name got v
+  in
+  gauge "eval.full_nodes" r.Engine.full_nodes;
+  gauge "eval.projected_nodes" r.Engine.projected_nodes;
+  gauge "eval.projected_bytes_saved" r.Engine.projected_bytes_saved;
   (match Trace.well_formed obs.Obs.trace with
   | Ok () -> ()
   | Error e -> violate "reconcile" "trace not well-formed: %s" e);
@@ -272,7 +291,7 @@ let check ?(watchdog = 30.0) (c : case) : failure option =
     let reference = tuples (reference_arm ~watchdog c).Engine.answers in
     (* the primary arm, fully instrumented *)
     let obs = Obs.create () in
-    let r = run_arm ~watchdog c ~jobs:c.jobs ~push:c.push ~obs () in
+    let r = run_arm ~watchdog c ~jobs:c.jobs ~push:c.push ~project:c.project ~obs () in
     let answers = tuples r.Engine.answers in
     if r.Engine.invoked > c.budget then
       violate "budget" "invoked %d > budget %d" r.Engine.invoked c.budget;
@@ -296,17 +315,47 @@ let check ?(watchdog = 30.0) (c : case) : failure option =
     then violate "budget" "unbounded recursion reported complete";
     reconcile obs r;
     (* jobs determinism + obs transparency *)
-    let r1 = run_arm ~watchdog c ~jobs:1 ~push:c.push () in
-    let r4 = run_arm ~watchdog c ~jobs:4 ~push:c.push () in
+    let r1 = run_arm ~watchdog c ~jobs:1 ~push:c.push ~project:c.project () in
+    let r4 = run_arm ~watchdog c ~jobs:4 ~push:c.push ~project:c.project () in
     let rj = if c.jobs = 1 then r1 else r4 in
     if answer_bytes r <> answer_bytes rj then
       violate "obs-transparency" "recording a trace changed the serialized answers";
     compare_jobs ~local:(not c.remote) r1 r4;
+    (* projected ≡ full: type-based projection must never change what a
+       run can answer. Fault fates are keyed by (service, params, retry),
+       so the projected run's calls — a subset of the full run's — draw
+       identical fates. *)
+    if c.project then begin
+      let rf = run_arm ~watchdog c ~jobs:1 ~push:c.push ~project:false () in
+      let rp = r1 in
+      if not (subset (tuples rp.Engine.answers) reference) then
+        violate "projection" "projected answers escape the fault-free reference";
+      if rp.Engine.full_nodes = 0 then
+        violate "projection" "projected arm reports no projection activity";
+      if rp.Engine.projected_nodes > rp.Engine.full_nodes then
+        violate "projection" "kept %d of %d nodes" rp.Engine.projected_nodes
+          rp.Engine.full_nodes;
+      if rf.Engine.complete then begin
+        if not rp.Engine.complete then
+          violate "projection" "full run complete but projected run is not";
+        if tuples rp.Engine.answers <> tuples rf.Engine.answers then
+          violate "projection" "both complete yet answers differ (%d vs %d tuples)"
+            (List.length (tuples rp.Engine.answers))
+            (List.length (tuples rf.Engine.answers));
+        if rp.Engine.invoked > rf.Engine.invoked then
+          violate "projection" "projected run invoked more calls (%d > %d)"
+            rp.Engine.invoked rf.Engine.invoked
+      end;
+      if rp.Engine.complete && tuples rp.Engine.answers <> reference then
+        violate "projection" "projected run complete but %d tuples <> %d reference tuples"
+          (List.length (tuples rp.Engine.answers))
+          (List.length reference)
+    end;
     (* push equivalence: the generator keeps fault fates byte-independent,
        so push-on and push-off must degrade identically *)
     if c.lazy_strategy then begin
-      let ron = run_arm ~watchdog c ~jobs:1 ~push:true () in
-      let roff = run_arm ~watchdog c ~jobs:1 ~push:false () in
+      let ron = run_arm ~watchdog c ~jobs:1 ~push:true ~project:c.project () in
+      let roff = run_arm ~watchdog c ~jobs:1 ~push:false ~project:c.project () in
       if tuples ron.Engine.answers <> tuples roff.Engine.answers then
         violate "push-equivalence" "push-on and push-off answers differ (%d vs %d tuples)"
           (List.length (tuples ron.Engine.answers))
@@ -347,6 +396,7 @@ let shrink_candidates (c : case) =
       { c with remote = false };
       { c with jobs = 1 };
       { c with push = false };
+      { c with project = false };
       { c with memoize = false };
       { c with fault_permanent = false };
       { c with fault_rate = 0.0; fault_permanent = false };

@@ -21,6 +21,11 @@
     - {b push-equivalence} (lazy only): push-on and push-off agree on
       answers, completeness and failure counts, and pushing never
       inflates local transfer bytes;
+    - {b projection} (projected cases only): a run under type-based
+      projection stays within the reference; when the unprojected twin
+      completes, the projected run completes too with identical answer
+      tuples and no more invocations; a complete projected run matches
+      the reference exactly;
     - {b watchdog}: every arm terminates within a wall-clock deadline —
       a hang is reported as a failure instead of wedging the run;
     - {b crash}: any escaped exception is a failure.
@@ -47,6 +52,10 @@ type case = {
   fault_permanent : bool;
   max_retries : int;
   budget : int;  (** [max_calls] for every non-reference arm *)
+  project : bool;
+      (** run every non-reference arm under type-based projection
+          (schema-backed, see {!Axml_project.Project}) and check the
+          projected≡full oracle against an unprojected twin *)
 }
 
 val case_of_seed : int -> case

@@ -2,6 +2,7 @@ module Registry = Axml_services.Registry
 module Obs = Axml_obs.Obs
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
+module Project = Axml_project.Project
 
 type conn = { fd : Unix.file_descr; mutable next_id : int }
 
@@ -16,6 +17,9 @@ type t = {
       (* length of [idle], maintained so giveback's pool-bound check is
          O(1) instead of walking the list under the mutex *)
   mutable advertised : Wire.service_info list option;
+  mutable peer_caps : string list;
+      (* what the last Welcome advertised; [] until the first handshake,
+         which is also what a pre-capability peer negotiates to *)
 }
 
 let create ?(pool_size = 4) ?(connect_timeout = 10.0) ~host ~port () =
@@ -29,10 +33,12 @@ let create ?(pool_size = 4) ?(connect_timeout = 10.0) ~host ~port () =
     idle = [];
     idle_len = 0;
     advertised = None;
+    peer_caps = [];
   }
 
 let host t = t.host
 let port t = t.port
+let capabilities t = Mutex.protect t.mu (fun () -> t.peer_caps)
 
 let resolve host =
   try Unix.inet_addr_of_string host
@@ -53,10 +59,12 @@ let dial t ~obs =
     set_deadline fd t.connect_timeout;
     Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port));
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    ignore (Wire.send fd (Wire.Hello { version = Wire.version }));
+    ignore (Wire.send fd (Wire.Hello { version = Wire.version; caps = [ Wire.cap_project ] }));
     match Wire.recv fd with
-    | Wire.Welcome { version; services }, _ when version = Wire.version ->
-      Mutex.protect t.mu (fun () -> t.advertised <- Some services);
+    | Wire.Welcome { version; services; caps }, _ when version = Wire.version ->
+      Mutex.protect t.mu (fun () ->
+          t.advertised <- Some services;
+          t.peer_caps <- caps);
       Metrics.incr obs.Obs.metrics "net.connects";
       { fd; next_id = 1 }
     | Wire.Error { message; _ }, _ -> raise (Wire.Protocol_error message)
@@ -241,7 +249,7 @@ let call t ~obs ~timeout ~service ~params ~push =
       discard conn;
       fail ~outcome:"protocol" ~transient:false ~timeout:false reason)
 
-let eval t ?(obs = Obs.null) ?(timeout = infinity) ~strategy query doc =
+let eval t ?(obs = Obs.null) ?(timeout = infinity) ?projector ~strategy query doc =
   let m = obs.Obs.metrics in
   let tr = obs.Obs.trace in
   let span =
@@ -285,9 +293,20 @@ let eval t ?(obs = Obs.null) ?(timeout = infinity) ~strategy query doc =
     let id = conn.next_id in
     conn.next_id <- id + 1;
     Metrics.incr m ~labels:[ ("strategy", strategy) ] "net.evals";
+    (* Project only when the peer negotiated the capability — a
+       pre-capability peer must receive the document whole. Borrowing
+       dialed (or reused a dialed) connection, so peer_caps is settled. *)
+    let doc, projected =
+      match projector with
+      | Some p when List.mem Wire.cap_project (capabilities t) ->
+        let doc', st = Project.tree p doc in
+        Metrics.incr m ~by:st.Project.bytes_saved "net.projected_bytes_saved";
+        (doc', true)
+      | _ -> (doc, false)
+    in
     match
       set_deadline conn.fd timeout;
-      let sent = Wire.send conn.fd (Wire.Eval { id; strategy; query; doc }) in
+      let sent = Wire.send conn.fd (Wire.Eval { id; strategy; query; doc; projected }) in
       let reply, received = Wire.recv conn.fd in
       (sent, reply, received)
     with

@@ -25,6 +25,11 @@ val create : ?pool_size:int -> ?connect_timeout:float -> host:string -> port:int
 val host : t -> string
 val port : t -> int
 
+val capabilities : t -> string list
+(** The capabilities the server advertised in its {!Wire.Welcome} —
+    [[]] until a connection has been handshaken (and for pre-capability
+    peers, which advertise none). *)
+
 val services : t -> ?obs:Axml_obs.Obs.t -> unit -> Wire.service_info list
 (** The service list the server advertised in its {!Wire.Welcome} —
     dials a connection if none was established yet. Raises
@@ -50,6 +55,7 @@ val eval :
   t ->
   ?obs:Axml_obs.Obs.t ->
   ?timeout:float ->
+  ?projector:Axml_project.Project.t ->
   strategy:string ->
   Axml_query.Pattern.node ->
   Axml_xml.Tree.t ->
@@ -60,7 +66,11 @@ val eval :
     strategy (["naive"] or ["lazy"]) and replies with the unified
     {!Axml_engine.Engine.report} serialized by the engine's
     [report_to_json] — answers included. The mirror image of query
-    pushing: the query travels to the data. [timeout] (default none) is
+    pushing: the query travels to the data. [projector] (default none)
+    projects [doc] before it crosses the wire — applied only when the
+    peer advertised {!Wire.cap_project}, so older peers always receive
+    the full document; savings are counted in the
+    [net.projected_bytes_saved] metric. [timeout] (default none) is
     the socket deadline for the whole exchange; failures and server-side
     errors raise {!Axml_services.Registry.Transport_error}. *)
 

@@ -5,6 +5,7 @@ module Metrics = Axml_obs.Metrics
 module P = Axml_query.Pattern
 module Engine = Axml_engine.Engine
 module Lazy_eval = Axml_core.Lazy_eval
+module Project = Axml_project.Project
 
 let log_src = Logs.Src.create "axml.net.server" ~doc:"axmld server"
 
@@ -13,6 +14,9 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type t = {
   registry : Registry.t;
   obs : Obs.t;
+  schema : Axml_schema.Schema.t option;
+      (* enables provider-side projection of non-push-capable results *)
+  caps : string list;  (* capabilities advertised in Welcome *)
   delay : float;  (* injected per-request latency, really slept *)
   listen_fd : Unix.file_descr;
   host : string;
@@ -33,7 +37,8 @@ let resolve host =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
 
-let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?(delay = 0.0) ~registry () =
+let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
+    ?(caps = [ Wire.cap_project ]) ?(delay = 0.0) ~registry () =
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -52,6 +57,8 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?(delay = 0.0) ~r
   {
     registry;
     obs;
+    schema;
+    caps;
     delay = Float.max 0.0 delay;
     listen_fd = fd;
     host;
@@ -79,6 +86,7 @@ let welcome t =
             List.map
               (fun n -> { Wire.name = n; push = Registry.push_capable t.registry n })
               (Registry.names t.registry);
+          caps = t.caps;
         })
 
 (* One request against the served registry. The registry and the obs
@@ -86,7 +94,28 @@ let welcome t =
    no lock is held here. Each request records its span into a trace
    fragment of its own and folds it back in when done, so overlapping
    requests cannot interleave their open/close events. *)
-let handle_invoke t ~id ~service ~params ~push =
+(* Provider-side projection of a result the service itself could not
+   prune: when the client pushed a pattern and negotiated the project
+   capability, and this server holds a schema, project the forest
+   against the pushed pattern before it crosses the wire. The pushed
+   [sub_q_v] over-approximates what the caller's query can use from
+   this result (the §7 contract {!Axml_services.Witness.prune} relies
+   on), and its matches may root at any returned node, hence
+   [`Anywhere]. Results the registry already witness-pruned are left
+   alone. *)
+let project_result t ~client_caps ~push ~pushed forest =
+  match (t.schema, push) with
+  | Some schema, Some p
+    when (not pushed)
+         && List.mem Wire.cap_project t.caps
+         && List.mem Wire.cap_project client_caps ->
+    let projector = Project.compile ~schema ~anchor:`Anywhere (P.query p) in
+    let forest', st = Project.forest projector forest in
+    Metrics.incr t.obs.Obs.metrics ~by:st.Project.bytes_saved "net.projected_bytes_saved";
+    (forest', true)
+  | _ -> (forest, pushed)
+
+let handle_invoke t ~client_caps ~id ~service ~params ~push =
   if t.delay > 0.0 then Unix.sleepf t.delay;
   let obs = Obs.fork t.obs in
   let tr = obs.Obs.trace in
@@ -101,7 +130,11 @@ let handle_invoke t ~id ~service ~params ~push =
   Metrics.incr obs.Obs.metrics ~labels:[ ("service", service) ] "net.served";
   let reply =
     match Registry.invoke t.registry ~name:service ~params ?push ~obs () with
-    | forest, inv -> Wire.Result { id; pushed = inv.Registry.pushed; forest }
+    | forest, inv ->
+      let forest, pushed =
+        project_result t ~client_caps ~push ~pushed:inv.Registry.pushed forest
+      in
+      Wire.Result { id; pushed; forest }
     | exception Registry.Unknown_service n ->
       Wire.Error { id; transient = false; message = "unknown service " ^ n }
     | exception Registry.Service_failure inv ->
@@ -206,10 +239,12 @@ let serve_conn t conn_id fd =
   in
   Fun.protect ~finally:cleanup (fun () ->
       try
+        let client_caps = ref [] in
         (match Wire.recv fd with
-        | Wire.Hello { version }, _ when version = Wire.version ->
+        | Wire.Hello { version; caps }, _ when version = Wire.version ->
+          client_caps := caps;
           ignore (Wire.send fd (welcome t))
-        | Wire.Hello { version }, _ ->
+        | Wire.Hello { version; _ }, _ ->
           ignore
             (Wire.send fd
                (Wire.Error
@@ -244,8 +279,8 @@ let serve_conn t conn_id fd =
           in
           match Wire.recv fd with
           | Wire.Invoke { id; service; params; push }, _ ->
-            answer (handle_invoke t ~id ~service ~params ~push)
-          | Wire.Eval { id; strategy; query; doc }, _ ->
+            answer (handle_invoke t ~client_caps:!client_caps ~id ~service ~params ~push)
+          | Wire.Eval { id; strategy; query; doc; projected = _ }, _ ->
             answer (handle_eval t ~id ~strategy ~query ~doc)
           | _, _ ->
             ignore

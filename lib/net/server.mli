@@ -31,6 +31,8 @@ val create :
   ?host:string ->
   ?port:int ->
   ?obs:Axml_obs.Obs.t ->
+  ?schema:Axml_schema.Schema.t ->
+  ?caps:string list ->
   ?delay:float ->
   registry:Axml_services.Registry.t ->
   unit ->
@@ -41,11 +43,16 @@ val create :
     registry's [service.*] spans and metrics nested inside; each request
     records into a private trace fragment ({!Axml_obs.Obs.fork}) folded
     back on completion, so concurrent requests keep the span tree
-    well-formed. [delay] (default [0.0]) injects that many seconds of
-    {e real} latency ([Unix.sleepf]) before serving each invoke request
-    — the knob behind [axml serve --latency] and the E9 speedup
-    benchmark. Raises [Unix.Unix_error] when the address cannot be
-    bound. *)
+    well-formed. [schema] (default none) enables provider-side
+    projection: results of services that cannot witness-prune are
+    projected against the pushed pattern before crossing the wire, when
+    both sides negotiated {!Wire.cap_project}. [caps] (default
+    [[Wire.cap_project]]) is what {!Wire.Welcome} advertises — pass [[]]
+    to emulate a pre-capability peer in tests. [delay] (default [0.0])
+    injects that many seconds of {e real} latency ([Unix.sleepf]) before
+    serving each invoke request — the knob behind [axml serve --latency]
+    and the E9 speedup benchmark. Raises [Unix.Unix_error] when the
+    address cannot be bound. *)
 
 val port : t -> int
 (** The actual bound port (useful after [~port:0]). *)

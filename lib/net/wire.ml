@@ -138,9 +138,14 @@ let rec pattern_of_json j =
 
 type service_info = { name : string; push : bool }
 
+(* Capabilities ride the handshake as a list of opaque strings; peers
+   that predate them decode no "caps" field as the empty list and ignore
+   the extra JSON member when encoding — negotiation degrades to "none". *)
+let cap_project = "project"
+
 type message =
-  | Hello of { version : int }
-  | Welcome of { version : int; services : service_info list }
+  | Hello of { version : int; caps : string list }
+  | Welcome of { version : int; services : service_info list; caps : string list }
   | Invoke of {
       id : int;
       service : string;
@@ -150,13 +155,16 @@ type message =
   | Result of { id : int; pushed : bool; forest : Tree.forest }
   | Error of { id : int; transient : bool; message : string }
   | Degraded of { id : int; message : string; retries : int; timeouts : int }
-  | Eval of { id : int; strategy : string; query : P.node; doc : Tree.t }
+  | Eval of { id : int; strategy : string; query : P.node; doc : Tree.t; projected : bool }
   | Report of { id : int; report : Json.t }
 
+let caps_to_json caps = ("caps", Json.List (List.map (fun c -> Json.String c) caps))
+
 let message_to_json = function
-  | Hello { version } ->
-    Json.Obj [ ("type", Json.String "hello"); ("version", Json.Int version) ]
-  | Welcome { version; services } ->
+  | Hello { version; caps } ->
+    Json.Obj
+      [ ("type", Json.String "hello"); ("version", Json.Int version); caps_to_json caps ]
+  | Welcome { version; services; caps } ->
     Json.Obj
       [
         ("type", Json.String "welcome");
@@ -167,6 +175,7 @@ let message_to_json = function
                (fun s ->
                  Json.Obj [ ("name", Json.String s.name); ("push", Json.Bool s.push) ])
                services) );
+        caps_to_json caps;
       ]
   | Invoke { id; service; params; push } ->
     Json.Obj
@@ -202,15 +211,16 @@ let message_to_json = function
         ("retries", Json.Int retries);
         ("timeouts", Json.Int timeouts);
       ]
-  | Eval { id; strategy; query; doc } ->
+  | Eval { id; strategy; query; doc; projected } ->
     Json.Obj
-      [
-        ("type", Json.String "eval");
-        ("id", Json.Int id);
-        ("strategy", Json.String strategy);
-        ("query", pattern_to_json query);
-        ("doc", tree_to_json doc);
-      ]
+      ([
+         ("type", Json.String "eval");
+         ("id", Json.Int id);
+         ("strategy", Json.String strategy);
+         ("query", pattern_to_json query);
+         ("doc", tree_to_json doc);
+       ]
+      @ if projected then [ ("projected", Json.Bool true) ] else [])
   | Report { id; report } ->
     Json.Obj [ ("type", Json.String "report"); ("id", Json.Int id); ("report", report) ]
 
@@ -225,16 +235,24 @@ let string_field key j =
 let bool_field key j =
   match Json.member key j with Json.Bool b -> b | _ -> fail "missing bool field %S" key
 
+(* Absent on pre-capability peers: decode to []. *)
+let caps_field j =
+  match Json.member "caps" j with
+  | Json.Null -> []
+  | Json.List cs ->
+    List.map (function Json.String c -> c | _ -> fail "capability is not a string") cs
+  | _ -> fail "caps is not a list"
+
 let message_of_json j =
   match Json.member "type" j with
-  | Json.String "hello" -> Hello { version = int_field "version" j }
+  | Json.String "hello" -> Hello { version = int_field "version" j; caps = caps_field j }
   | Json.String "welcome" ->
     let services =
       List.map
         (fun s -> { name = string_field "name" s; push = bool_field "push" s })
         (Json.to_list (Json.member "services" j))
     in
-    Welcome { version = int_field "version" j; services }
+    Welcome { version = int_field "version" j; services; caps = caps_field j }
   | Json.String "invoke" ->
     let push =
       match Json.member "push" j with
@@ -277,6 +295,7 @@ let message_of_json j =
         strategy = string_field "strategy" j;
         query = pattern_of_json (Json.member "query" j);
         doc = tree_of_json (Json.member "doc" j);
+        projected = (match Json.member "projected" j with Json.Bool b -> b | _ -> false);
       }
   | Json.String "report" -> (
     match Json.member "report" j with

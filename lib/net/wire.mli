@@ -25,7 +25,18 @@
 
 val version : int
 (** The protocol version sent in {!Hello} / {!Welcome}; peers must
-    match exactly. *)
+    match exactly. Optional features ride the handshake as {e
+    capabilities} instead: opaque strings listed in both [Hello] and
+    [Welcome], so either side uses a feature only when the other
+    advertised it. Pre-capability peers encode no ["caps"] field and
+    decode to the empty list — negotiation degrades to "none" and the
+    wire format they see is unchanged. *)
+
+val cap_project : string
+(** Capability: this peer understands type-based document projection —
+    a client may ship a projected document in {!Eval} (flagged
+    [projected]), and a server holding a schema may project
+    non-push-capable service results against a pushed pattern. *)
 
 val max_frame : int
 (** Frames above this many payload bytes (64 MiB) are rejected with
@@ -58,8 +69,8 @@ val pattern_of_json : Axml_obs.Json.t -> Axml_query.Pattern.node
 type service_info = { name : string; push : bool }
 
 type message =
-  | Hello of { version : int }
-  | Welcome of { version : int; services : service_info list }
+  | Hello of { version : int; caps : string list }
+  | Welcome of { version : int; services : service_info list; caps : string list }
   | Invoke of {
       id : int;
       service : string;
@@ -74,6 +85,10 @@ type message =
       strategy : string;  (** ["naive"] or ["lazy"] *)
       query : Axml_query.Pattern.node;
       doc : Axml_xml.Tree.t;
+      projected : bool;
+          (** the document was already projected against [query]
+              (informational; only sent to peers advertising
+              {!cap_project}, and omitted from the JSON when false) *)
     }
       (** Ship a whole query + document to the peer for evaluation
           against its served registry (remote evaluation, the mirror

@@ -1,0 +1,85 @@
+(** Type-based document projection (Benzaken–Castagna–Colazzo–Nguyễn,
+    adapted to Active XML).
+
+    From a query pattern and (optionally) a schema, compile a structural
+    projector that drops every subtree the query can never touch. The
+    needed-path language is the alternation of the root-to-node path
+    regexes of the pattern ({!Axml_query.Pattern.linear_regex} per
+    node), turned into a Glushkov NFA over the common alphabet of the
+    query and the schema; a document node is kept iff its label path is
+
+    - {b a hit}: a prefix of the pattern accepted at this node (it can
+      be the image of a pattern node), or
+    - {b under a result image}: the path is accepted by the automaton of
+      the result nodes — the whole subtree is the answer serialization,
+      so it is kept verbatim, or
+    - {b live}: some extension of the path that the schema's content
+      models admit below this label reaches acceptance. Liveness is a
+      least fixpoint over NFA states × schema symbols; labels the schema
+      does not constrain are treated as unconstrained (graceful
+      degradation — an absent or partial schema only keeps more).
+
+    The Active XML twist: a service-call function node is kept whenever
+    the transitive closure of its declared result type (root symbols of
+    the output content model, expanded through returned function
+    symbols) intersects the needed set at the call's position — a
+    pruned-away subtree must never hide a relevant call. Calls with no
+    declared signature are kept whenever their position is not dead;
+    kept calls keep their parameter forest verbatim.
+
+    Soundness contract: on documents that conform to the schema, the
+    query's answers (variable bindings and serialized result subtrees)
+    on the projected document equal those on the full document — at
+    every intermediate rewriting stage, provided call results are
+    re-projected as they are spliced (see {!spliced}). *)
+
+type t
+
+type stats = {
+  full_nodes : int;  (** nodes examined (pre-projection) *)
+  kept_nodes : int;  (** nodes surviving projection *)
+  bytes_saved : int;
+      (** exact serialized-XML shrinkage: [byte_size before] minus
+          [byte_size after] (dropped subtrees plus the shells of
+          elements emptied by the drop) *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val compile :
+  ?schema:Axml_schema.Schema.t ->
+  ?anchor:[ `Root | `Anywhere ] ->
+  Axml_query.Pattern.t ->
+  t
+(** [compile ?schema q] builds the projector for [q]. [`Root] (default)
+    anchors the pattern root at the document root, matching
+    {!Axml_query.Eval.eval}; [`Anywhere] prefixes every path with [_*],
+    for projecting service-result forests against a pushed pattern whose
+    matches may start at any returned root. Without a schema, liveness
+    degrades to NFA reachability and every call is kept: projection is
+    weaker but still sound. *)
+
+val tree : t -> Axml_xml.Tree.t -> Axml_xml.Tree.t * stats
+(** Pure projection of a serialized tree ([<axml:call>] elements are
+    treated as function nodes). The root is never dropped: a dead root
+    keeps its empty shell. *)
+
+val forest : t -> Axml_xml.Tree.forest -> Axml_xml.Tree.forest * stats
+(** Projection of a service-result forest; dead roots are removed
+    entirely (compile with [~anchor:`Anywhere] for this use). *)
+
+val doc : t -> Axml_doc.t -> stats
+(** In-place projection of a live document: dropped subtrees are
+    detached with {!Axml_doc.remove_node}. *)
+
+val spliced : t -> Axml_doc.t -> added:Axml_doc.node list -> Axml_doc.node list * stats
+(** [spliced t d ~added] re-projects the nodes just spliced into [d] by
+    {!Axml_doc.replace_call} (all sharing one parent): the state context
+    is recomputed along the root-to-parent path, each added root is then
+    kept, pruned or detached accordingly. Returns the surviving roots.
+    If some ancestor lies under a result image, everything is kept. *)
+
+val keeps_call : t -> Axml_doc.t -> fname:string -> parent:Axml_doc.node -> bool
+(** Would a call to [fname] spliced under [parent] be kept? (white-box
+    hook for tests) *)

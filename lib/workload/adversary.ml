@@ -57,11 +57,37 @@ let default_config =
 type t = {
   doc : Doc.t;
   registry : Registry.t;
+  schema : Axml_schema.Schema.t;
   query : Axml_query.Pattern.t;
   config : config;
 }
 
 let query_src = Synthetic.query_src
+
+(* Honest types for the six behaviors above and the families below.
+   Every generated document (and every splice a behavior can produce)
+   conforms, so type-based projection is sound on these instances —
+   which is exactly what the projected≡full fuzz oracle leans on. Note
+   [noise]'s output type never reaches [payload]: a projector for the
+   standard query may drop noise calls (and [filler] elements) while it
+   must keep spawn/loop/fetch/bulk chains alive. *)
+let schema_src =
+  {|functions:
+  spawn    = [in: data.data, out: (payload | spawn)]
+  loop     = [in: data.data, out: item.loop]
+  fetch    = [in: (data | p), out: payload]
+  noise    = [in: data, out: filler]
+  bulk     = [in: data, out: item*]
+  bulkmiss = [in: data, out: filler.item*]
+elements:
+  r       = sec*
+  sec     = (sec | item | filler | noise | loop | bulk | bulkmiss)*
+  item    = key.(payload | fetch | spawn)
+  key     = data
+  payload = data
+  filler  = data
+  p       = (p | data)*
+|}
 
 let e = Tree.element
 let txt = Tree.text
@@ -259,6 +285,12 @@ let generate cfg =
       max_backoff = 0.08;
       attempt_timeout = (if cfg.fault_permanent then 0.5 else infinity);
     };
-  { doc = Doc.of_xml root; registry; query = Parser.parse query_src; config = cfg }
+  {
+    doc = Doc.of_xml root;
+    registry;
+    schema = Axml_schema.Schema.of_string schema_src;
+    query = Parser.parse query_src;
+    config = cfg;
+  }
 
 let total_calls t = Doc.count_calls t.doc

@@ -65,6 +65,10 @@ val default_config : config
 type t = {
   doc : Axml_doc.t;
   registry : Axml_services.Registry.t;
+  schema : Axml_schema.Schema.t;
+      (** honest types for every family and behavior: generated
+          documents and all splices conform, so type-based projection
+          is sound on adversary instances *)
   query : Axml_query.Pattern.t;
   config : config;
 }

@@ -6,6 +6,8 @@
 module Tree = Axml_xml.Tree
 module Doc = Axml_doc
 module Eval = Axml_query.Eval
+module Schema = Axml_schema.Schema
+module Regex = Axml_automata.Regex
 
 (* ------------------------------------------------------------------ *)
 (* XML trees *)
@@ -46,6 +48,83 @@ let rec merge_text (tr : Tree.t) : Tree.t =
       | [] -> []
     in
     Tree.Element { e with children = merge e.children }
+
+(* ------------------------------------------------------------------ *)
+(* Schema-aware instances: a small seeded schema over a fixed symbol
+   vocabulary (structured elements r/s/u, data leaves k/p, one service
+   f) plus trees generated top-down from its content models — every
+   generated tree conforms to its schema, which is what the type-based
+   projection properties need. All content models in the pool are
+   nullable, so running out of depth fuel truncates to the empty word
+   instead of an invalid child sequence. *)
+
+let content_models =
+  [ "(s|u)*"; "s*"; "(s|k|f)*"; "(k|p)*"; "(u|p|f)*"; "p?.f?"; "(p|f)*"; "k?.(p|u)*" ]
+
+(* f's output type need not be nullable — calls are generated unexpanded. *)
+let output_models = [ "p*"; "(p|f)*"; "k?"; "p"; "s" ]
+
+type schema_case = {
+  r_model : string;
+  s_model : string;
+  u_model : string;
+  f_out : string;
+  tree_seed : int;
+}
+
+let schema_src c =
+  Printf.sprintf
+    "functions:\n  f = [in: data, out: %s]\nelements:\n  r = %s\n  s = %s\n  u = %s\n  k = data\n  p = data\n"
+    c.f_out c.r_model c.s_model c.u_model
+
+let schema_of_case c = Schema.of_string (schema_src c)
+
+let print_schema_case c =
+  Printf.sprintf "r=%s s=%s u=%s f->%s seed=%d" c.r_model c.s_model c.u_model c.f_out
+    c.tree_seed
+
+let gen_schema_case =
+  QCheck.Gen.(
+    map
+      (fun ((r_model, s_model), (u_model, (f_out, tree_seed))) ->
+        { r_model; s_model; u_model; f_out; tree_seed })
+      (pair
+         (pair (oneofl content_models) (oneofl content_models))
+         (pair (oneofl content_models) (pair (oneofl output_models) (int_bound 10_000)))))
+
+let arb_schema_case = QCheck.make ~print:print_schema_case gen_schema_case
+
+(* A tree conforming to [schema], rooted at element [r]: each element's
+   children spell a word of its content model (sampled from the
+   enumeration, shortest — empty — word once the fuel runs out), [data]
+   becomes a text leaf and function symbols become unexpanded
+   [<axml:call>] elements with one data parameter. *)
+let conforming_tree ?(root = "r") schema ~seed =
+  let rng = Random.State.make [| 0xD0C5; seed |] in
+  let texts = [| "x"; "1"; "magic"; "a&b" |] in
+  let rec of_symbol fuel sym =
+    if sym = Schema.data_keyword then
+      Tree.text texts.(Random.State.int rng (Array.length texts))
+    else if Schema.is_function_symbol schema sym then
+      Tree.element Doc.call_elem_name ~attrs:[ ("name", sym) ] [ Tree.text "arg" ]
+    else
+      let children =
+        match Schema.find_element schema sym with
+        | None -> []
+        | Some r -> (
+          let alphabet = List.sort_uniq compare (Regex.symbols r) in
+          match Regex.enumerate ~max_len:4 ~limit:64 ~alphabet r with
+          | [] -> []
+          | shortest :: _ as words ->
+            let word =
+              if fuel <= 0 then shortest
+              else List.nth words (Random.State.int rng (List.length words))
+            in
+            List.map (of_symbol (fuel - 1)) word)
+      in
+      Tree.element sym children
+  in
+  of_symbol (3 + Random.State.int rng 3) root
 
 (* ------------------------------------------------------------------ *)
 (* Binding signatures — the differential-oracle vocabulary (Def. 4). *)

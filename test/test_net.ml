@@ -90,11 +90,13 @@ let test_message_roundtrip () =
   let push = (Parser.parse "/r//s[v=$X!]").P.root in
   let msgs =
     [
-      Wire.Hello { version = Wire.version };
+      Wire.Hello { version = Wire.version; caps = [ Wire.cap_project ] };
+      Wire.Hello { version = Wire.version; caps = [] };
       Wire.Welcome
         {
           version = Wire.version;
           services = [ { Wire.name = "a"; push = true }; { Wire.name = "b"; push = false } ];
+          caps = [ Wire.cap_project ];
         };
       Wire.Invoke { id = 7; service = "getrating"; params = [ t "Hôtel" ]; push = Some push };
       Wire.Invoke { id = 8; service = "getrating"; params = []; push = None };
@@ -207,7 +209,7 @@ let test_version_mismatch () =
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
           Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
-          ignore (Wire.send fd (Wire.Hello { version = Wire.version + 42 }));
+          ignore (Wire.send fd (Wire.Hello { version = Wire.version + 42; caps = [] }));
           match Wire.recv fd with
           | Wire.Error { transient = false; message; _ }, _ ->
             Alcotest.(check bool) "says version" true (contains ~sub:"version" message)

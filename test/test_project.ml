@@ -1,0 +1,332 @@
+(* Tests for type-based document projection (lib/project): unit cases
+   for the call-keeping rules, the projected≡full differential on
+   schema-aware generated instances and on seeded faulty workloads
+   (report ≡ metrics reconciliation included), and the wire capability
+   negotiation against old and new peers. *)
+
+module Tree = Axml_xml.Tree
+module Print = Axml_xml.Print
+module Doc = Axml_doc
+module P = Axml_query.Pattern
+module Eval = Axml_query.Eval
+module Parser = Axml_query.Parser
+module Schema = Axml_schema.Schema
+module Validate = Axml_schema.Validate
+module Project = Axml_project.Project
+module Engine = Axml_engine.Engine
+module Lazy_eval = Axml_core.Lazy_eval
+module Registry = Axml_services.Registry
+module Faults = Axml_services.Faults
+module City = Axml_workload.City
+module Adversary = Axml_workload.Adversary
+module Obs = Axml_obs.Obs
+module Metrics = Axml_obs.Metrics
+module Json = Axml_obs.Json
+module Server = Axml_net.Server
+module Client = Axml_net.Client
+module Wire = Axml_net.Wire
+
+let e = Tree.element
+let txt = Tree.text
+let call_e name params = Tree.element Doc.call_elem_name ~attrs:[ ("name", name) ] params
+let render tr = Print.to_string tr
+
+(* ------------------------------------------------------------------ *)
+(* Unit cases: a relevant call deep inside an otherwise-droppable
+   subtree must keep its spine; an irrelevant call must not. *)
+
+(* [getp] can produce a payload, so a <sec> holding only filler and a
+   getp call stays alive through the call's output type. *)
+let getp_schema =
+  Schema.of_string
+    {|functions:
+  getp = [in: data, out: payload]
+elements:
+  r = (junk | sec)*
+  junk = data
+  sec = (filler | getp)*
+  filler = data
+  payload = data
+|}
+
+(* [noise] can only ever produce filler: the same <sec> shape is dead. *)
+let noise_schema =
+  Schema.of_string
+    {|functions:
+  noise = [in: data, out: filler]
+elements:
+  r = (junk | sec)*
+  junk = data
+  sec = (filler | noise)*
+  filler = data
+  payload = data
+|}
+
+let test_keep_relevant_call () =
+  let q = Parser.parse "/r//payload!" in
+  let doc =
+    e "r" [ e "junk" [ txt "j" ]; e "sec" [ e "filler" [ txt "f" ]; call_e "getp" [ txt "x" ] ] ]
+  in
+  let p = Project.compile ~schema:getp_schema q in
+  let projected, st = Project.tree p doc in
+  Alcotest.(check string) "sec kept only for its call"
+    (render (e "r" [ e "sec" [ call_e "getp" [ txt "x" ] ] ]))
+    (render projected);
+  Alcotest.(check bool) "bytes were saved" true (st.Project.bytes_saved > 0);
+  Alcotest.(check int) "accounting: full = projected + saved"
+    (Print.byte_size doc)
+    (Print.byte_size projected + st.Project.bytes_saved)
+
+let test_drop_irrelevant_call () =
+  let q = Parser.parse "/r//payload!" in
+  let doc =
+    e "r"
+      [ e "junk" [ txt "j" ]; e "sec" [ e "filler" [ txt "f" ]; call_e "noise" [ txt "x" ] ] ]
+  in
+  let p = Project.compile ~schema:noise_schema q in
+  let projected, _ = Project.tree p doc in
+  Alcotest.(check string) "sec is dead: only the root shell survives" (render (e "r" []))
+    (render projected)
+
+let test_keeps_call_rules () =
+  let q = Parser.parse "/r//payload!" in
+  let doc =
+    Doc.of_xml (e "r" [ e "sec" [ call_e "getp" [ txt "x" ] ] ])
+  in
+  let sec =
+    match (Doc.root doc).Doc.children with [ s ] -> s | _ -> Alcotest.fail "no sec"
+  in
+  let p_getp = Project.compile ~schema:getp_schema q in
+  let p_noise = Project.compile ~schema:noise_schema q in
+  Alcotest.(check bool) "getp is kept" true
+    (Project.keeps_call p_getp doc ~fname:"getp" ~parent:sec);
+  Alcotest.(check bool) "an undeclared function is kept" true
+    (Project.keeps_call p_getp doc ~fname:"mystery" ~parent:sec);
+  Alcotest.(check bool) "noise is dropped even in a live position" false
+    (Project.keeps_call p_noise doc ~fname:"noise" ~parent:(Doc.root doc))
+
+(* Without a schema every call is kept and liveness degrades to NFA
+   reachability — weaker, still sound. *)
+let test_no_schema_keeps_calls () =
+  let q = Parser.parse "/r//payload!" in
+  let doc = e "r" [ e "sec" [ call_e "noise" [ txt "x" ] ]; e "junk" [ txt "j" ] ] in
+  let p = Project.compile q in
+  let projected, _ = Project.tree p doc in
+  (* the text leaf under junk is still soundly dropped: a Const label
+     never matches a Data node, so no pattern needs it *)
+  Alcotest.(check string) "calls survive schemaless projection"
+    (render (e "r" [ e "sec" [ call_e "noise" [ txt "x" ] ]; e "junk" [] ]))
+    (render projected)
+
+(* A subtree under a result image is the answer serialization: kept
+   verbatim, junk included. *)
+let test_result_subtree_verbatim () =
+  let q = Parser.parse "/r/sec!" in
+  let doc = e "r" [ e "sec" [ e "junk" [ txt "j" ]; e "deep" [ e "more" [] ] ] ] in
+  let p = Project.compile ~schema:getp_schema q in
+  let projected, _ = Project.tree p doc in
+  Alcotest.(check string) "result subtree untouched" (render doc) (render projected)
+
+(* ------------------------------------------------------------------ *)
+(* Projected ≡ full on schema-aware generated instances: the generator
+   (test/gen.ml) only produces trees conforming to their schema, which
+   is the projection soundness precondition. *)
+
+let query_pool =
+  [ "/r//p!"; "/r/s!"; "/r//u[p!]"; "/r//s[k][p!]"; {|/r//s[p=$X!]|}; "/r//k!" ]
+
+let prop_projected_answers_equal =
+  let gen = QCheck.Gen.pair Gen.gen_schema_case (QCheck.Gen.oneofl query_pool) in
+  QCheck.Test.make ~name:"projected ≡ full (snapshot answers)" ~count:400
+    (QCheck.make ~print:(fun (c, q) -> Gen.print_schema_case c ^ " | " ^ q) gen)
+    (fun (c, q_src) ->
+      let schema = Gen.schema_of_case c in
+      let tree = Gen.conforming_tree schema ~seed:c.Gen.tree_seed in
+      if Validate.tree schema tree <> [] then
+        QCheck.Test.fail_report "generated tree does not conform to its schema";
+      let q = Parser.parse q_src in
+      let p = Project.compile ~schema q in
+      let projected, st = Project.tree p tree in
+      if Print.byte_size tree <> Print.byte_size projected + st.Project.bytes_saved then
+        QCheck.Test.fail_report "byte accounting does not add up";
+      if st.Project.kept_nodes > st.Project.full_nodes then
+        QCheck.Test.fail_report "kept more nodes than examined";
+      let full = Gen.tuples (Eval.eval q (Doc.of_xml tree)) in
+      let proj = Gen.tuples (Eval.eval q (Doc.of_xml projected)) in
+      full = proj)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded faulty differentials over whole evaluations: projection must
+   not change what a run can answer, complete-flag semantics included,
+   and the projection counters must reconcile with the metrics sink. *)
+
+let reconcile_projection (obs : Obs.t) (r : Engine.report) =
+  let m = obs.Obs.metrics in
+  let gauge name got =
+    Alcotest.(check int) ("gauge " ^ name) got (int_of_float (Metrics.value m name))
+  in
+  gauge "eval.full_nodes" r.Engine.full_nodes;
+  gauge "eval.projected_nodes" r.Engine.projected_nodes;
+  gauge "eval.projected_bytes_saved" r.Engine.projected_bytes_saved
+
+let adversary_arm ~project ?obs (cfg : Adversary.config) ~budget ~lazy_strategy =
+  let inst = Adversary.generate cfg in
+  let projector =
+    if project then
+      Some (Project.compile ~schema:inst.Adversary.schema inst.Adversary.query)
+    else None
+  in
+  if lazy_strategy then
+    Lazy_eval.run
+      ~strategy:{ Lazy_eval.nfqa with Lazy_eval.max_calls = budget }
+      ?obs ?projector ~registry:inst.Adversary.registry inst.Adversary.query
+      inst.Adversary.doc
+  else
+    Engine.naive_run ~max_calls:budget ?obs ?projector inst.Adversary.registry
+      inst.Adversary.query inst.Adversary.doc
+
+let test_adversary_differential () =
+  List.iter
+    (fun family ->
+      for seed = 1 to 8 do
+        let cfg =
+          {
+            Adversary.family;
+            seed;
+            scale = 16 + (4 * seed);
+            memoize = seed mod 2 = 0;
+            fault_rate = (if seed mod 3 = 0 then 0.0 else 0.3);
+            fault_permanent = seed mod 5 = 0;
+            fault_seed = seed lxor 0x9e37;
+            max_retries = 2;
+          }
+        in
+        let budget = 24 + seed in
+        let lazy_strategy = seed mod 2 = 1 in
+        let reference =
+          Gen.tuples
+            (adversary_arm ~project:false
+               { cfg with Adversary.fault_rate = 0.0; fault_permanent = false }
+               ~budget:100_000 ~lazy_strategy:false)
+              .Engine.answers
+        in
+        let rf = adversary_arm ~project:false cfg ~budget ~lazy_strategy in
+        let obs = Obs.create () in
+        let rp = adversary_arm ~project:true ~obs cfg ~budget ~lazy_strategy in
+        let ctx = Printf.sprintf "%s seed %d" (Adversary.family_name family) seed in
+        reconcile_projection obs rp;
+        Alcotest.(check bool) (ctx ^ ": projection ran") true (rp.Engine.full_nodes > 0);
+        Alcotest.(check bool)
+          (ctx ^ ": projected answers within the fault-free reference")
+          true
+          (Gen.subset (Gen.tuples rp.Engine.answers) reference);
+        if rf.Engine.complete then begin
+          Alcotest.(check bool) (ctx ^ ": full complete => projected complete") true
+            rp.Engine.complete;
+          Alcotest.(check bool) (ctx ^ ": both complete => equal tuples") true
+            (Gen.tuples rp.Engine.answers = Gen.tuples rf.Engine.answers);
+          Alcotest.(check bool) (ctx ^ ": projection never invokes more") true
+            (rp.Engine.invoked <= rf.Engine.invoked)
+        end;
+        if rp.Engine.complete then
+          Alcotest.(check bool) (ctx ^ ": projected complete => reference answers") true
+            (Gen.tuples rp.Engine.answers = reference)
+      done)
+    [ Adversary.Skewed_fanout; Adversary.Bounded_recursion; Adversary.Push_drop_all ]
+
+let test_city_differential () =
+  for seed = 1 to 6 do
+    let cfg = { City.default_config with City.hotels = 6 + seed; seed } in
+    let arm ~project =
+      let inst = City.generate cfg in
+      Registry.inject_faults inst.City.registry ~seed [ Faults.Flaky 0.25 ];
+      let projector =
+        if project then Some (Project.compile ~schema:inst.City.schema inst.City.query)
+        else None
+      in
+      Lazy_eval.run ~schema:inst.City.schema ~registry:inst.City.registry
+        ~strategy:Lazy_eval.nfqa_typed ?projector inst.City.query inst.City.doc
+    in
+    let rf = arm ~project:false in
+    let rp = arm ~project:true in
+    let ctx = Printf.sprintf "city seed %d" seed in
+    Alcotest.(check bool) (ctx ^ ": projection ran") true (rp.Engine.full_nodes > 0);
+    Alcotest.(check bool) (ctx ^ ": complete flags agree") rf.Engine.complete
+      rp.Engine.complete;
+    if rf.Engine.complete then
+      Alcotest.(check bool) (ctx ^ ": equal tuples") true
+        (Gen.tuples rp.Engine.answers = Gen.tuples rf.Engine.answers)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The wire: a projecting client against a capability-less (old) peer
+   must ship the document whole and still get identical answers; against
+   a new peer it projects and the answers stay identical. *)
+
+let wire_cfg = { City.default_config with City.hotels = 10; seed = 5 }
+
+let with_server ~caps f =
+  let inst = City.generate wire_cfg in
+  let server = Server.create ~caps ~registry:inst.City.registry () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client))
+
+let local_naive_answers () =
+  let inst = City.generate wire_cfg in
+  Json.to_string
+    (Json.member "answers"
+       (Engine.report_to_json
+          (Engine.naive_run inst.City.registry inst.City.query inst.City.doc)))
+
+let test_wire_projection () =
+  let wire_inst = City.generate wire_cfg in
+  let query_node = wire_inst.City.query.P.root in
+  let doc_tree = Doc.to_xml wire_inst.City.doc in
+  let projector = Project.compile ~schema:wire_inst.City.schema wire_inst.City.query in
+  let expected = local_naive_answers () in
+  (* old peer: no capability advertised, the client must not project *)
+  with_server ~caps:[] (fun client ->
+      let obs = Obs.create () in
+      let report = Client.eval client ~obs ~projector ~strategy:"naive" query_node doc_tree in
+      Alcotest.(check (list string)) "old peer advertises nothing" [] (Client.capabilities client);
+      Alcotest.(check int) "nothing was projected on the wire" 0
+        (Metrics.count obs.Obs.metrics "net.projected_bytes_saved");
+      Alcotest.(check string) "old-peer answers identical" expected
+        (Json.to_string (Json.member "answers" report)));
+  (* new peer: capability negotiated, the client projects, answers equal *)
+  with_server ~caps:[ Wire.cap_project ] (fun client ->
+      let obs = Obs.create () in
+      let report = Client.eval client ~obs ~projector ~strategy:"naive" query_node doc_tree in
+      Alcotest.(check bool) "new peer advertises the capability" true
+        (List.mem Wire.cap_project (Client.capabilities client));
+      Alcotest.(check bool) "projection saved wire bytes" true
+        (Metrics.count obs.Obs.metrics "net.projected_bytes_saved" > 0);
+      Alcotest.(check string) "new-peer answers identical" expected
+        (Json.to_string (Json.member "answers" report)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "project"
+    [
+      ( "units",
+        [
+          quick "relevant call kept through its output type" test_keep_relevant_call;
+          quick "irrelevant call dropped with its spine" test_drop_irrelevant_call;
+          quick "keeps_call rules" test_keeps_call_rules;
+          quick "schemaless projection keeps calls" test_no_schema_keeps_calls;
+          quick "result subtrees kept verbatim" test_result_subtree_verbatim;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_projected_answers_equal ]);
+      ( "differential",
+        [
+          quick "adversary: projected ≡ full under faults" test_adversary_differential;
+          quick "city: projected ≡ full under faults" test_city_differential;
+        ] );
+      ("wire", [ quick "capability negotiation old/new peer" test_wire_projection ]);
+    ]

@@ -231,26 +231,21 @@ let test_wildcard_content () =
   Alcotest.(check bool) "wildcard content satisfies anything" true
     (Sat.function_satisfies sat ~fname:"f" q.P.root)
 
-(* Lenient is a superset of exact on arbitrary small schemas/patterns. *)
+(* Lenient is a superset of exact on arbitrary small schemas/patterns,
+   drawn from the shared schema-aware vocabulary (test/gen.ml). *)
 let prop_lenient_superset =
   let gen =
     QCheck.Gen.(
-      let sym = oneofl [ "a"; "b"; "c" ] in
-      let re_src = oneofl [ "a.b"; "a|b"; "a*.c"; "(a|b)*"; "a.b.c"; "data"; "a?.b" ] in
-      let pat_src =
-        oneofl [ "/a"; "/a[b]"; "/a[b][c]"; "/a//c"; "/a/b"; {|/a["1"]|}; "/*[a][b]" ]
-      in
-      pair (pair sym re_src) pat_src)
+      pair Gen.gen_schema_case
+        (oneofl
+           [ "/r"; "/r[s]"; "/r//p"; "/r/s[k]"; "/r//u[p]"; "/s/p"; {|/r["1"]|}; "/*[s][u]" ]))
   in
   QCheck.Test.make ~name:"lenient ⊇ exact" ~count:300
-    (QCheck.make ~print:(fun ((s, re), p) -> s ^ "=" ^ re ^ " | " ^ p) gen)
-    (fun ((sym, re_src), pat_src) ->
-      let schema =
-        Schema.of_string
-          (Printf.sprintf
-             "functions:\n f = [in: data, out: %s]\nelements:\n %s = %s\n a = data\n b = data\n c = data"
-             sym sym re_src)
-      in
+    (QCheck.make
+       ~print:(fun (c, p) -> Gen.print_schema_case c ^ " | " ^ p)
+       gen)
+    (fun (c, pat_src) ->
+      let schema = Gen.schema_of_case c in
       let q = Parser.parse pat_src in
       let exact = Sat.create schema [ q.P.root ] in
       let lenient = Sat.create ~mode:Sat.Lenient schema [ q.P.root ] in
