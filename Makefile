@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project test-sched fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke bench-e12-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -45,6 +45,14 @@ test-gen:
 test-project:
 	dune exec test/test_project.exe
 
+# distributed-scheduler tests: the sharded/replicated ≡ single-registry
+# differential (answers, report, fault fates) at jobs 1 and 4,
+# report/metrics/trace reconciliation through the scheduler, budget
+# exhaustion, adaptive-vs-round-robin placement, and the mid-run
+# replica-death failover
+test-sched:
+	dune exec test/test_sched.exe
+
 # the model-based differential fuzzer at a fixed seed: ~200 iterations
 # of the full oracle battery over adversarial instances; exits nonzero
 # on the first violation, printing the shrunk case and its replay seed
@@ -61,6 +69,8 @@ check-one-report:
 	  || { echo 'report_to_json defined outside lib/engine'; exit 1; }
 	@! grep -rn '"full_nodes"\|"projected_nodes"\|"projected_bytes_saved"' bin bench lib/net lib/core --include='*.ml' \
 	  || { echo 'projection report fields serialized outside lib/engine'; exit 1; }
+	@! grep -rn '"sharded_calls"\|"rebalanced_calls"\|"rerouted_calls"' bin bench lib/net lib/core lib/sched --include='*.ml' \
+	  || { echo 'routing report fields serialized outside lib/engine'; exit 1; }
 
 # record a traced + measured run, then pretty-print the span tree;
 # load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev
@@ -94,6 +104,13 @@ bench-e9-smoke:
 # byte-identical answers
 bench-e11-smoke:
 	dune exec bench/main.exe -- e11smoke
+
+# the CI-sized E12: two loopback replicas with 5x skewed injected
+# latency, asserting that adaptive placement beats static round-robin
+# AND beats a single replica on the wall clock, with answers and
+# invocation counts identical to the unsharded run
+bench-e12-smoke:
+	dune exec bench/main.exe -- e12smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -4,7 +4,7 @@
    behind each table.
 
    Usage: main.exe [--metrics-dir DIR]
-            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|micro]...
+            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|e12|e12smoke|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -40,6 +40,7 @@ module Server = Axml_net.Server
 module Client = Axml_net.Client
 module Remote = Axml_net.Remote
 module Exec = Axml_exec.Exec
+module Sched = Axml_sched.Sched
 
 (* ------------------------------------------------------------------ *)
 (* Per-experiment metrics snapshots.
@@ -1103,6 +1104,170 @@ let e11smoke () =
     (List.length (tuples rp.Engine.answers))
 
 (* ------------------------------------------------------------------ *)
+(* E12: replica balancing over skewed loopback peers. Two [axmld] peers
+   serve the full city registry, one fast and one 5x slower
+   ([Server.create ~delay]); each peer gets [slots] concurrent request
+   slots — the per-endpoint capacity the scheduler manages. The arms:
+
+     unsharded     one registry on the fast peer, no scheduler — the
+                   reference answers (and the E9-style uncapped run)
+     replicas=1    the fast peer behind the scheduler, capacity-capped
+     round-robin   both peers, cost-blind rotation
+     adaptive      both peers, least-loaded-first on the EWMA/p95 cost
+
+   The §4.4 contract extends to routing: every arm must produce the
+   reference answers and invocation count — only the wall clock and the
+   shard split may move. The wall-clock claims under test: adaptive
+   beats round-robin (it drains through the fast peer instead of
+   parking half the batch behind the slow one), and two replicas beat
+   one (extra capacity, same answers). *)
+
+let e12_arm ~cfg ~jobs ~mk_sched servers =
+  let inst = City.generate cfg in
+  let clients =
+    List.map
+      (fun srv ->
+        Client.create ~pool_size:(max 4 jobs) ~host:"127.0.0.1" ~port:(Server.port srv) ())
+      servers
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Client.close clients)
+    (fun () ->
+      (* one registry per peer: a full replica each, never memoized, so
+         every invocation really crosses the wire *)
+      let registries =
+        List.map
+          (fun c ->
+            let r = Registry.create () in
+            ignore (Remote.register ~memoize:false ~registry:r c);
+            r)
+          clients
+      in
+      let sched = mk_sched registries in
+      let dispatch = Option.map Sched.dispatch sched in
+      let registry = List.hd registries in
+      let pool = if jobs > 1 then Some (Exec.create ~jobs ()) else None in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Exec.shutdown pool)
+        (fun () ->
+          let go obs (i : City.t) =
+            Lazy_eval.run ~registry ~schema:i.City.schema ~strategy:Lazy_eval.nfqa_typed ?pool
+              ~obs ?dispatch i.City.query i.City.doc
+          in
+          (* one untimed warmup on its own (identical) instance —
+             evaluation materializes the document's calls in place —
+             fills the TCP connection pools and lets the scheduler's
+             cost estimates converge, so the timed run measures
+             steady-state placement for every arm *)
+          ignore (go Obs.null (City.generate cfg));
+          let r, elapsed = wall (fun () -> go !bench_obs inst) in
+          let answer_bytes =
+            Axml_xml.Print.forest_to_string (Eval.bindings_to_xml r.Engine.answers)
+          in
+          (r, answer_bytes, elapsed)))
+
+let e12_sweep ~title ~hotels ~fast ~slow ~jobs ~slots =
+  let cfg =
+    {
+      City.default_config with
+      City.hotels;
+      seed = 1;
+      extensional_fraction = 1.0;
+      intensional_rating_fraction = 1.0;
+      intensional_nearby_fraction = 1.0;
+      target_fraction = 1.0;
+      five_star_fraction = 1.0;
+    }
+  in
+  let mk_server delay =
+    let served = City.generate cfg in
+    let server = Server.create ~delay ~registry:served.City.registry () in
+    Server.start server;
+    server
+  in
+  let servers = [ mk_server fast; mk_server slow ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop servers)
+    (fun () ->
+      let spec_of id regs i = Sched.spec ~id ~slots (List.nth regs i) in
+      let arms =
+        [
+          ("unsharded", (fun _ -> None), [ List.hd servers ]);
+          ( "replicas=1",
+            (fun regs -> Some (Sched.create [ spec_of "fast" regs 0 ])),
+            [ List.hd servers ] );
+          ( "round-robin x2",
+            (fun regs ->
+              Some
+                (Sched.create ~mode:Sched.Round_robin
+                   [ spec_of "fast" regs 0; spec_of "slow" regs 1 ])),
+            servers );
+          ( "adaptive x2",
+            (fun regs ->
+              Some
+                (Sched.create ~mode:Sched.Adaptive
+                   [ spec_of "fast" regs 0; spec_of "slow" regs 1 ])),
+            servers );
+        ]
+      in
+      let runs =
+        List.map (fun (name, mk_sched, arm_servers) ->
+            (name, e12_arm ~cfg ~jobs ~mk_sched arm_servers))
+          arms
+      in
+      let _, (base, base_answers, _) = List.hd runs in
+      let rows =
+        List.map
+          (fun (name, (r, answers, elapsed)) ->
+            (* routing must not change the result, only the clock *)
+            assert (answers = base_answers);
+            assert (r.Engine.invoked = base.Engine.invoked);
+            assert (r.Engine.complete = base.Engine.complete);
+            [
+              name;
+              string_of_int r.Engine.invoked;
+              string_of_int r.Engine.sharded_calls;
+              string_of_int r.Engine.rebalanced_calls;
+              secs elapsed;
+            ])
+          runs
+      in
+      print_table ~title
+        ~header:[ "arm"; "invoked"; "sharded"; "rebalanced"; "wall(s)" ]
+        rows;
+      List.map (fun (name, (_, _, elapsed)) -> (name, elapsed)) runs)
+
+let e12 () =
+  ignore
+    (e12_sweep
+       ~title:
+         "E12: replica balancing over 2 loopback peers (16 hotels, 20 ms vs 100 ms, 2 slots, \
+          jobs=16)"
+       ~hotels:16 ~fast:0.02 ~slow:0.1 ~jobs:16 ~slots:2)
+
+(* The CI-sized variant, with hard assertions on the two wall-clock
+   claims: adaptive beats round-robin, and two replicas beat one. *)
+let e12smoke () =
+  let walls =
+    e12_sweep
+      ~title:"E12 (smoke): 2 loopback peers (12 hotels, 20 ms vs 100 ms, 2 slots, jobs=12)"
+      ~hotels:12 ~fast:0.02 ~slow:0.1 ~jobs:12 ~slots:2
+  in
+  let w n = List.assoc n walls in
+  if w "adaptive x2" >= w "round-robin x2" then begin
+    Printf.eprintf "e12smoke: adaptive (%.3fs) did not beat round-robin (%.3fs)\n"
+      (w "adaptive x2") (w "round-robin x2");
+    exit 1
+  end;
+  if w "adaptive x2" >= w "replicas=1" then begin
+    Printf.eprintf "e12smoke: two replicas (%.3fs) did not beat one (%.3fs)\n" (w "adaptive x2")
+      (w "replicas=1");
+    exit 1
+  end;
+  Printf.printf "e12smoke: ok (adaptive %.3fs < round-robin %.3fs, < one replica %.3fs)\n"
+    (w "adaptive x2") (w "round-robin x2") (w "replicas=1")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -1211,6 +1376,8 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e11smoke", e11smoke);
+    ("e12", e12);
+    ("e12smoke", e12smoke);
     ("micro", micro);
   ]
 

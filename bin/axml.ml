@@ -27,6 +27,8 @@ module Json = Axml_obs.Json
 module Server = Axml_net.Server
 module Client = Axml_net.Client
 module Remote = Axml_net.Remote
+module Wire = Axml_net.Wire
+module Sched = Axml_sched.Sched
 module Exec = Axml_exec.Exec
 module Adversary = Axml_workload.Adversary
 module Fuzz = Axml_fuzz.Fuzz
@@ -240,6 +242,142 @@ let connect_peers ?(jobs = 1) registry endpoints =
          endpoints)
   with Registry.Transport_error { reason; _ } -> Error ("connect: " ^ reason)
 
+(* ---------------- sharding / replication ---------------- *)
+
+let shard_conv =
+  let parse s =
+    let bad () = Error (`Msg (Printf.sprintf "%S: expected NAME[@BUDGET]=SVC[,SVC...]" s)) in
+    match String.index_opt s '=' with
+    | None -> bad ()
+    | Some i -> (
+      let left = String.sub s 0 i in
+      let right = String.sub s (i + 1) (String.length s - i - 1) in
+      let services = List.filter (fun x -> x <> "") (String.split_on_char ',' right) in
+      let name, budget =
+        match String.index_opt left '@' with
+        | None -> (left, Ok None)
+        | Some j -> (
+          let b = String.sub left (j + 1) (String.length left - j - 1) in
+          ( String.sub left 0 j,
+            match int_of_string_opt b with
+            | Some b when b >= 0 -> Ok (Some b)
+            | _ -> Error (`Msg (Printf.sprintf "%S: bad budget %S" s b)) ))
+      in
+      match budget with
+      | Error _ as e -> e
+      | Ok budget -> if name = "" || services = [] then bad () else Ok (name, budget, services))
+  in
+  let print ppf (n, b, svcs) =
+    Format.fprintf ppf "%s%s=%s" n
+      (match b with None -> "" | Some b -> "@" ^ string_of_int b)
+      (String.concat "," svcs)
+  in
+  Arg.conv (parse, print)
+
+let shard_arg =
+  Arg.(
+    value
+    & opt_all shard_conv []
+    & info [ "shard" ] ~docv:"NAME[@BUDGET]=SVC[,SVC...]"
+        ~doc:
+          "Statically assign the listed services to a named shard with its own registry \
+           (repeatable). An optional $(b,@BUDGET) caps the calls the shard may serve; when \
+           every shard is bounded the sum also caps the whole evaluation. Services no shard \
+           claims stay on an implicit $(b,rest) shard. Calls are routed per $(b,--balance).")
+
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Serve every service from $(docv) identical replicas and balance each batch across \
+           them per $(b,--balance). Local workloads are regenerated per replica (same seed, so \
+           identical fault fates); with $(b,--connect), $(docv) must equal the number of peers \
+           and each peer becomes one replica.")
+
+let balance_arg =
+  Arg.(
+    value
+    & opt (enum [ ("adaptive", Sched.Adaptive); ("round-robin", Sched.Round_robin) ]) Sched.Adaptive
+    & info [ "balance" ] ~docv:"MODE"
+        ~doc:
+          "Replica placement policy: $(b,adaptive) (least-loaded-first on an EWMA/quantile \
+           cost estimate; the default) or $(b,round-robin).")
+
+(* Build the scheduler behind --shard/--replicas, or [None] when neither
+   was asked for. [regen ()] produces a fresh registry identical to
+   [registry] (same generator config or spec file, same fault knobs), so
+   every shard/replica draws the same seeded fault fates. *)
+let build_sched ~shards ~replicas ~balance ~registry ~regen =
+  if replicas < 1 then Error "--replicas must be >= 1"
+  else if shards <> [] && replicas > 1 then Error "--shard and --replicas cannot be combined"
+  else if shards = [] && replicas <= 1 then Ok None
+  else if replicas > 1 then
+    let specs =
+      List.init replicas (fun i ->
+          Sched.spec
+            ~id:(Printf.sprintf "r%d" (i + 1))
+            (if i = 0 then registry else regen ()))
+    in
+    Ok (Some (Sched.create ~mode:balance specs))
+  else begin
+    let local = Registry.names registry in
+    let claimed = List.concat_map (fun (_, _, svcs) -> svcs) shards in
+    let missing = List.filter (fun s -> not (List.mem s local)) claimed in
+    let rec first_dup seen = function
+      | [] -> None
+      | s :: rest -> if List.mem s seen then Some s else first_dup (s :: seen) rest
+    in
+    if missing <> [] then
+      Error (Printf.sprintf "--shard: unknown service(s) %s" (String.concat ", " missing))
+    else
+      match first_dup [] claimed with
+      | Some s -> Error (Printf.sprintf "--shard: service %s claimed twice" s)
+      | None -> (
+        let specs =
+          List.map
+            (fun (name, budget, services) -> Sched.spec ~id:name ?budget ~services (regen ()))
+            shards
+        in
+        let rest = List.filter (fun n -> not (List.mem n claimed)) local in
+        let specs =
+          specs @ if rest = [] then [] else [ Sched.spec ~id:"rest" ~services:rest registry ]
+        in
+        match Sched.create ~mode:balance specs with
+        | sched -> Ok (Some sched)
+        | exception Invalid_argument m -> Error m)
+  end
+
+(* --replicas over --connect: each peer is one full replica shard (its
+   own client, connection pool and registry), id HOST:PORT. A defeat on
+   one peer re-routes to the next through the scheduler. When the run
+   also has local services, they go on a "local" shard listed first. *)
+let connect_replicas ~jobs ~balance ~local_registry ~local_names connect =
+  try
+    let specs =
+      List.map
+        (fun (host, port) ->
+          let id = Printf.sprintf "%s:%d" host port in
+          let client = Client.create ~pool_size:(max 4 jobs) ~host ~port () in
+          let registry = Registry.create () in
+          (* register dials, which settles the handshake caps *)
+          let names = Remote.register ~registry client in
+          if not (List.mem Wire.cap_shard (Client.capabilities client)) then
+            Printf.eprintf
+              "warning: peer %s predates the shard capability; balancing across it anyway\n%!" id;
+          Printf.eprintf "replica %s: %s\n%!" id (String.concat ", " names);
+          Sched.spec ~id registry)
+        connect
+    in
+    let specs =
+      if local_names = [] then specs
+      else Sched.spec ~id:"local" ~services:local_names local_registry :: specs
+    in
+    Ok (Sched.create ~mode:balance specs)
+  with
+  | Registry.Transport_error { reason; _ } -> Error ("connect: " ^ reason)
+  | Invalid_argument m -> Error m
+
 (* ---------------- observability knobs ---------------- *)
 
 let trace_arg =
@@ -299,13 +437,18 @@ let emit_report_json dest json =
     Json.write_file ~indent:2 path json;
     Printf.eprintf "wrote report %s\n%!" path
 
-let print_fault_counters registry =
-  let retries = Registry.total_retries registry in
-  let timeouts = Registry.total_timeouts registry in
-  let failed = Registry.failed_count registry in
+(* Pools over every registry the run touched: with a scheduler in play,
+   calls (and their fault draws) land on shard registries, not just the
+   main one. *)
+let print_fault_counters registries =
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 registries in
+  let retries = sum Registry.total_retries in
+  let timeouts = sum Registry.total_timeouts in
+  let failed = sum Registry.failed_count in
   if retries > 0 || timeouts > 0 || failed > 0 then
     Printf.printf "faults: %d retried attempt(s), %d timeout(s), %d permanently failed, %.3f s backoff\n"
-      retries timeouts failed (Registry.total_backoff registry)
+      retries timeouts failed
+      (List.fold_left (fun acc r -> acc +. Registry.total_backoff r) 0.0 registries)
 
 let load_schema = function
   | None -> Ok None
@@ -445,10 +588,11 @@ let strategy_conv =
    Lazy_eval configurations — all return the one engine report) and
    [finish_run] (summary, fault counters, obs sinks, --report-json). *)
 
-let evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ~registry query doc =
+let evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ?dispatch ?max_calls ~registry
+    query doc =
   let projector = if project then Some (Project.compile ?schema query) else None in
   match strategy with
-  | `Naive -> Engine.naive_run ?pool ~obs ?projector registry query doc
+  | `Naive -> Engine.naive_run ?max_calls ?pool ~obs ?projector ?dispatch registry query doc
   | (`Nfqa | `Typed | `Lenient | `Lpq) as s ->
     let base =
       match s with
@@ -459,7 +603,13 @@ let evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ~registry query
     in
     let base = if push then Lazy_eval.with_push base else base in
     let strategy = if fguide then Lazy_eval.with_fguide base else base in
-    Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool ?projector query doc
+    let strategy =
+      (* summed shard budgets tighten the engine's global budget *)
+      match max_calls with
+      | None -> strategy
+      | Some b -> Lazy_eval.with_budget b strategy
+    in
+    Lazy_eval.run ?schema ~registry ~strategy ~obs ?pool ?projector ?dispatch query doc
 
 let print_summary (r : Engine.report) =
   Printf.printf
@@ -472,19 +622,28 @@ let print_summary (r : Engine.report) =
     r.Engine.bytes_transferred r.Engine.complete;
   if r.Engine.full_nodes > 0 then
     Printf.printf "projection: kept %d of %d node(s), saved %d byte(s)\n"
-      r.Engine.projected_nodes r.Engine.full_nodes r.Engine.projected_bytes_saved
+      r.Engine.projected_nodes r.Engine.full_nodes r.Engine.projected_bytes_saved;
+  if r.Engine.sharded_calls > 0 then
+    Printf.printf "routing: %d sharded call(s), %d rebalanced, %d rerouted\n"
+      r.Engine.sharded_calls r.Engine.rebalanced_calls r.Engine.rerouted_calls
 
-let finish_run ~registry ~trace_out ~metrics_out ~report_json obs (r : Engine.report) =
+let finish_run ~registry ?sched ~trace_out ~metrics_out ~report_json obs (r : Engine.report) =
   print_summary r;
-  print_fault_counters registry;
+  print_fault_counters
+    (match sched with
+    | None -> [ registry ]
+    | Some s ->
+      let shard_regs = Sched.registries s in
+      if List.memq registry shard_regs then shard_regs else registry :: shard_regs);
   write_obs ~trace:trace_out ~metrics:metrics_out obs;
   emit_report_json report_json (Engine.report_to_json r);
   `Ok ()
 
-let run_workload verbose workload strategy scale seed push fguide project xml jobs fault_rate
-    fault_seed max_retries timeout trace_out metrics_out report_json query_override =
+let run_workload verbose workload strategy scale seed push fguide project xml jobs shards
+    replicas balance fault_rate fault_seed max_retries timeout trace_out metrics_out report_json
+    query_override =
   setup_logs verbose;
-  let instance =
+  let generate () =
     match workload with
     | W_city ->
       let i = City.generate { City.default_config with City.hotels = scale; seed } in
@@ -498,7 +657,7 @@ let run_workload verbose workload strategy scale seed push fguide project xml jo
       in
       (i.Synthetic.doc, i.Synthetic.registry, i.Synthetic.schema, i.Synthetic.query)
   in
-  let doc, registry, schema, default_query = instance in
+  let doc, registry, schema, default_query = generate () in
   let query =
     match query_override with
     | None -> Ok default_query
@@ -513,16 +672,44 @@ let run_workload verbose workload strategy scale seed push fguide project xml jo
     with
     | Error m -> fail "%s" m
     | Ok () -> (
-      Printf.printf "document: %d nodes, %d calls\nquery:    %s\n\n" (Doc.size doc)
-        (Doc.count_calls doc)
-        (P.to_string query);
-      let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
-      with_pool jobs (fun pool ->
-          let r =
-            evaluate ~strategy ~push ~fguide ~project ~schema ~obs ?pool ~registry query doc
-          in
-          print_bindings ~xml r.Engine.answers;
-          finish_run ~registry ~trace_out ~metrics_out ~report_json obs r)))
+      (* a shard/replica registry is the same workload regenerated — same
+         generator seed, same fault knobs, so every replica draws the
+         identical seeded fault fates *)
+      let regen () =
+        let _, r, _, _ = generate () in
+        (match
+           apply_faults r ~fault_rate
+             ~fault_seed:(Some (Option.value fault_seed ~default:seed))
+             ~max_retries ~timeout
+         with
+        | Ok () -> ()
+        | Error m -> failwith m);
+        r
+      in
+      match build_sched ~shards ~replicas ~balance ~registry ~regen with
+      | Error m -> fail "%s" m
+      | Ok sched ->
+        let dispatch = Option.map Sched.dispatch sched in
+        let max_calls = Option.bind sched Sched.total_budget in
+        Printf.printf "document: %d nodes, %d calls\nquery:    %s\n\n" (Doc.size doc)
+          (Doc.count_calls doc)
+          (P.to_string query);
+        let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
+        with_pool jobs (fun pool ->
+            let r =
+              evaluate ~strategy ~push ~fguide ~project ~schema ~obs ?pool ?dispatch ?max_calls
+                ~registry query doc
+            in
+            print_bindings ~xml r.Engine.answers;
+            (match sched with
+            | Some s ->
+              Printf.printf "shards: %s\n"
+                (String.concat ", "
+                   (List.map
+                      (fun (id, n) -> Printf.sprintf "%s=%d" id n)
+                      (Sched.dispatched s)))
+            | None -> ());
+            finish_run ~registry ?sched ~trace_out ~metrics_out ~report_json obs r)))
 
 let run_cmd =
   let doc =
@@ -553,9 +740,9 @@ let run_cmd =
     Term.(
       ret
         (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
-       $ push_arg $ fguide_arg $ project_flag $ xml_flag $ jobs_arg $ fault_rate_arg
-       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg
-       $ report_json_arg $ query_arg))
+       $ push_arg $ fguide_arg $ project_flag $ xml_flag $ jobs_arg $ shard_arg $ replicas_arg
+       $ balance_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg
+       $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
 
 (* ---------------- generate ---------------- *)
 
@@ -608,8 +795,8 @@ let generate_cmd =
 (* ---------------- eval (user files) ---------------- *)
 
 let eval_files verbose doc_path schema_path services_path connect strategy push fguide project
-    xml flwr jobs fault_rate fault_seed max_retries timeout trace_out metrics_out report_json
-    query_src =
+    xml flwr jobs shards replicas balance fault_rate fault_seed max_retries timeout trace_out
+    metrics_out report_json query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -631,31 +818,78 @@ let eval_files verbose doc_path schema_path services_path connect strategy push 
     match Option.map (Axml_services.Spec.load_file registry) services_path with
     | exception Axml_services.Spec.Error m -> fail "services: %s" m
     | names -> (
+      let local_names = Option.value names ~default:[] in
       (match names with
       | Some names -> Printf.eprintf "registered services: %s\n%!" (String.concat ", " names)
       | None -> ());
-      match
-        connect_peers ~jobs:(if jobs = 0 then Exec.default_jobs () else jobs) registry connect
-      with
-      | Error m -> fail "%s" m
-      | Ok remote_names -> (
-      if remote_names <> [] then
-        Printf.eprintf "remote services: %s\n%!" (String.concat ", " remote_names);
-      match apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout with
-      | Error m -> fail "%s" m
-      | Ok () -> (
-        let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
-        with_pool jobs (fun pool ->
-            let r =
-              evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ~registry query doc
+      let eff_jobs = if jobs = 0 then Exec.default_jobs () else jobs in
+      (* with --replicas over --connect the peers become shard registries
+         of their own instead of merging into the main registry *)
+      let replica_peers = replicas > 1 && connect <> [] in
+      let claimed = List.concat_map (fun (_, _, s) -> s) shards in
+      let foreign = List.filter (fun s -> not (List.mem s local_names)) claimed in
+      if replica_peers && shards <> [] then fail "--shard and --replicas cannot be combined"
+      else if replica_peers && List.length connect <> replicas then
+        fail "--replicas %d but %d --connect peer(s): the counts must match" replicas
+          (List.length connect)
+      else if replicas > 1 && connect = [] && services_path = None then
+        fail "--replicas needs --services (reloaded per replica) or --connect peers"
+      else if foreign <> [] then
+        fail "--shard can only claim --services names, not remote ones: %s"
+          (String.concat ", " foreign)
+      else
+        match if replica_peers then Ok [] else connect_peers ~jobs:eff_jobs registry connect with
+        | Error m -> fail "%s" m
+        | Ok remote_names -> (
+          if remote_names <> [] then
+            Printf.eprintf "remote services: %s\n%!" (String.concat ", " remote_names);
+          match apply_faults registry ~fault_rate ~fault_seed ~max_retries ~timeout with
+          | Error m -> fail "%s" m
+          | Ok () -> (
+            let sched =
+              if replica_peers then
+                Result.map Option.some
+                  (connect_replicas ~jobs:eff_jobs ~balance ~local_registry:registry
+                     ~local_names connect)
+              else
+                let regen () =
+                  let r = Registry.create () in
+                  (match services_path with
+                  | Some p -> ignore (Axml_services.Spec.load_file r p)
+                  | None -> ());
+                  (match apply_faults r ~fault_rate ~fault_seed ~max_retries ~timeout with
+                  | Ok () -> ()
+                  | Error m -> failwith m);
+                  r
+                in
+                build_sched ~shards ~replicas ~balance ~registry ~regen
             in
-            (match flwr_query with
-            | Ok (Some q) ->
-              print_endline
-                (Axml_xml.Print.forest_to_string ~indent:2
-                   (Axml_query.Xquery.instantiate q r.Engine.answers))
-            | _ -> print_bindings ~xml r.Engine.answers);
-            finish_run ~registry ~trace_out ~metrics_out ~report_json obs r)))))
+            match sched with
+            | Error m -> fail "%s" m
+            | Ok sched ->
+              let dispatch = Option.map Sched.dispatch sched in
+              let max_calls = Option.bind sched Sched.total_budget in
+              let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
+              with_pool jobs (fun pool ->
+                  let r =
+                    evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ?dispatch
+                      ?max_calls ~registry query doc
+                  in
+                  (match flwr_query with
+                  | Ok (Some q) ->
+                    print_endline
+                      (Axml_xml.Print.forest_to_string ~indent:2
+                         (Axml_query.Xquery.instantiate q r.Engine.answers))
+                  | _ -> print_bindings ~xml r.Engine.answers);
+                  (match sched with
+                  | Some s ->
+                    Printf.printf "shards: %s\n"
+                      (String.concat ", "
+                         (List.map
+                            (fun (id, n) -> Printf.sprintf "%s=%d" id n)
+                            (Sched.dispatched s)))
+                  | None -> ());
+                  finish_run ~registry ?sched ~trace_out ~metrics_out ~report_json obs r)))))
 
 let eval_cmd =
   let doc =
@@ -682,8 +916,8 @@ let eval_cmd =
       ret
         (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ connect_arg
        $ strategy_arg $ push_arg $ fguide_arg $ project_flag $ xml_flag $ flwr_flag $ jobs_arg
-       $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg
-       $ metrics_arg $ report_json_arg $ query_arg))
+       $ shard_arg $ replicas_arg $ balance_arg $ fault_rate_arg $ fault_seed_arg
+       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
 
 (* ---------------- project ---------------- *)
 
@@ -827,10 +1061,11 @@ let termination_cmd =
 
 (* ---------------- serve ---------------- *)
 
-let serve verbose services_path host port latency fault_rate fault_seed max_retries timeout
-    trace_out metrics_out =
+let serve verbose services_path host port latency jitter jitter_seed fault_rate fault_seed
+    max_retries timeout trace_out metrics_out =
   setup_logs verbose;
   if latency < 0.0 then fail "latency must be >= 0"
+  else if jitter < 0.0 then fail "latency-jitter must be >= 0"
   else
   let registry = Registry.create () in
   match Axml_services.Spec.load_file registry services_path with
@@ -841,7 +1076,7 @@ let serve verbose services_path host port latency fault_rate fault_seed max_retr
     | Error m -> fail "%s" m
     | Ok () -> (
       let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
-      match Server.create ~host ~port ~obs ~delay:latency ~registry () with
+      match Server.create ~host ~port ~obs ~delay:latency ~jitter ~jitter_seed ~registry () with
       | exception Unix.Unix_error (e, _, _) ->
         fail "cannot listen on %s:%d: %s" host port (Unix.error_message e)
       | server ->
@@ -885,13 +1120,27 @@ let serve_cmd =
             "Sleep $(docv) of real wall-clock time before serving each invoke request — \
              injected provider latency for wall-clock experiments (E9).")
   in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "latency-jitter" ] ~docv:"SECONDS"
+          ~doc:
+            "Add a uniform random $(b,[0,)$(docv)$(b,)) of wall-clock time on top of \
+             $(b,--latency) before serving each request — seeded, reproducible provider \
+             noise for balancing experiments (E12).")
+  in
+  let jitter_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter-seed" ] ~docv:"N" ~doc:"Seed for the $(b,--latency-jitter) stream.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const serve $ verbose_flag $ services_required $ host_arg $ port_arg $ latency_arg
-       $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg
-       $ metrics_arg))
+       $ jitter_arg $ jitter_seed_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg
+       $ timeout_arg $ trace_arg $ metrics_arg))
 
 (* ---------------- fuzz ---------------- *)
 

@@ -95,6 +95,7 @@ let nfqa_lenient = { default with typing = Lenient_types; relax_joins = true }
 let lpq_only = { default with relevance = Lpq_relevance }
 let with_fguide s = { s with use_fguide = true }
 let with_push s = { s with push = true }
+let with_budget b s = { s with max_calls = min b s.max_calls }
 
 type report = Engine.report = {
   answers : Eval.binding list;
@@ -115,6 +116,9 @@ type report = Engine.report = {
   full_nodes : int;  (** nodes handed to the projector; 0 without one *)
   projected_nodes : int;  (** nodes surviving projection; 0 without one *)
   projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
+  sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
+  rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
+  rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
   complete : bool;  (** the document is complete for the query (Def. 3) *)
 }
 
@@ -365,8 +369,8 @@ let process_layer st (layer : Relevance.t list) =
 let relevance_name = function Nfq_relevance -> "nfq" | Lpq_relevance -> "lpq"
 let typing_name = function No_types -> "none" | Lenient_types -> "lenient" | Exact_types -> "exact"
 
-let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ~registry (q : P.t)
-    (d : Doc.t) : report =
+let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ?dispatch ~registry
+    (q : P.t) (d : Doc.t) : report =
   let rqs =
     match strategy.relevance with
     | Nfq_relevance -> Nfq.of_query q
@@ -394,7 +398,9 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ~regist
     | Lenient_types, Some s -> Some (Typing.create ~mode:Sat.Lenient s q)
     | Exact_types, Some s -> Some (Typing.create ~mode:Sat.Exact s q)
   in
-  let eng = Engine.create ~max_calls:strategy.max_calls ?pool ~obs ?projector registry d in
+  let eng =
+    Engine.create ~max_calls:strategy.max_calls ?pool ~obs ?projector ?dispatch registry d
+  in
   let st =
     {
       strategy;

@@ -58,6 +58,11 @@ val lpq_only : strategy
 val with_fguide : strategy -> strategy
 val with_push : strategy -> strategy
 
+val with_budget : int -> strategy -> strategy
+(** Tightens the strategy's invocation budget to [min b max_calls] —
+    how a scheduler's summed shard budgets roll into the engine's
+    global budget. *)
+
 type report = Axml_engine.Engine.report = {
   answers : Axml_query.Eval.binding list;
   invoked : int;
@@ -80,6 +85,15 @@ type report = Axml_engine.Engine.report = {
   projected_nodes : int;  (** nodes surviving projection; 0 without one *)
   projected_bytes_saved : int;
       (** serialized XML bytes of the subtrees projection dropped *)
+  sharded_calls : int;
+      (** successful calls placed on a named shard by a scheduler
+          dispatch; 0 when dispatch goes straight to the registry *)
+  rebalanced_calls : int;
+      (** calls the replica balancer placed somewhere other than the
+          first eligible shard *)
+  rerouted_calls : int;
+      (** failed-replica attempts salvaged by re-routing to another
+          replica *)
   complete : bool;
       (** the document is complete for the query (Def. 3): every relevant
           call was expanded within budget and none permanently failed.
@@ -94,6 +108,7 @@ val run :
   ?obs:Axml_obs.Obs.t ->
   ?pool:Axml_exec.Exec.pool ->
   ?projector:Axml_project.Project.t ->
+  ?dispatch:Axml_engine.Engine.dispatch ->
   registry:Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->
@@ -125,6 +140,12 @@ val run :
     (fragments are clock-clamped as they are absorbed, see
     {!Axml_obs.Trace.absorb}); either way the aggregated (max) charge is
     the round span's [batch_cost_s] attribute.
+
+    [dispatch] (default: straight to [Registry.invoke] on [registry])
+    replaces the engine's request half — {!Axml_sched.Sched.dispatch}
+    plugs sharded/replicated routing in here without the analysis
+    noticing; [registry] is still consulted for push capability and
+    service existence.
 
     The returned record is the unified {!Axml_engine.Engine.report}
     (invocation, fault and clock accounting all happen inside the

@@ -25,6 +25,9 @@ type report = Engine.report = {
   full_nodes : int;  (** nodes handed to the projector; 0 without one *)
   projected_nodes : int;  (** nodes surviving projection; 0 without one *)
   projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
+  sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
+  rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
+  rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
   complete : bool;
 }
 

@@ -26,6 +26,9 @@ type report = Axml_engine.Engine.report = {
   full_nodes : int;  (** nodes handed to the projector; 0 without one *)
   projected_nodes : int;  (** nodes surviving projection; 0 without one *)
   projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
+  sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
+  rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
+  rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
   complete : bool;
 }
 (** The unified report (see {!Axml_engine.Engine.report}); the analysis
@@ -48,6 +51,7 @@ val run :
   ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
   ?projector:Axml_project.Project.t ->
+  ?dispatch:Axml_engine.Engine.dispatch ->
   Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->

@@ -47,6 +47,9 @@ type report = {
   full_nodes : int;  (** nodes handed to the projector; 0 without one *)
   projected_nodes : int;  (** nodes surviving projection; 0 without one *)
   projected_bytes_saved : int;  (** serialized bytes of dropped subtrees *)
+  sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
+  rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
+  rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
   complete : bool;  (** the answers are the full snapshot result *)
 }
 
@@ -86,6 +89,9 @@ let report_to_json (r : report) : Axml_obs.Json.t =
       ("full_nodes", J.Int r.full_nodes);
       ("projected_nodes", J.Int r.projected_nodes);
       ("projected_bytes_saved", J.Int r.projected_bytes_saved);
+      ("sharded_calls", J.Int r.sharded_calls);
+      ("rebalanced_calls", J.Int r.rebalanced_calls);
+      ("rerouted_calls", J.Int r.rerouted_calls);
       ("complete", J.Bool r.complete);
     ]
 
@@ -100,10 +106,32 @@ let call_name_exn (call : Doc.node) =
   | Doc.Elem _ | Doc.Data _ -> invalid_arg "not a function node"
 
 (* ------------------------------------------------------------------ *)
+(* Routing *)
+
+(* Where a call actually went. The default (registry-direct) dispatch
+   reports [no_route]; a scheduler reports the shard it picked, whether
+   the balancer moved the call off the first eligible shard, and how
+   many failed replica attempts were salvaged by re-routing before the
+   result came back. Only successful dispatches carry a route — a call
+   that permanently fails has no placement to report. *)
+type route = { shard : string option; rebalanced : bool; rerouted : int }
+
+let no_route = { shard = None; rebalanced = false; rerouted = 0 }
+
+type dispatch =
+  name:string ->
+  params:Axml_xml.Tree.forest ->
+  ?push:P.node ->
+  obs:Obs.t ->
+  unit ->
+  Axml_xml.Tree.forest * Registry.invocation * route
+
+(* ------------------------------------------------------------------ *)
 (* The invocation driver *)
 
 type t = {
   registry : Registry.t;
+  dispatch : dispatch;
   doc : Doc.t;
   obs : Obs.t;
   pool : Exec.pool option;
@@ -122,18 +150,28 @@ type t = {
   mutable retries : int;
   mutable timeouts : int;
   mutable backoff_seconds : float;
+  mutable sharded_calls : int;
+  mutable rebalanced_calls : int;
+  mutable rerouted_calls : int;
   mutable budget_hit : bool;
 }
 
 type accounting = Max | Sum
 
-let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) ?projector registry (doc : Doc.t) =
+let registry_dispatch registry : dispatch =
+ fun ~name ~params ?push ~obs () ->
+  let result, inv = Registry.invoke registry ~name ~params ?push ~obs () in
+  (result, inv, no_route)
+
+let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) ?projector ?dispatch registry
+    (doc : Doc.t) =
   (* Layer 1: project the initial document before any strategy sees it. *)
   let projection =
     match projector with None -> Project.zero_stats | Some p -> Project.doc p doc
   in
   {
     registry;
+    dispatch = (match dispatch with Some d -> d | None -> registry_dispatch registry);
     doc;
     obs;
     pool;
@@ -150,6 +188,9 @@ let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) ?projector registry (d
     retries = 0;
     timeouts = 0;
     backoff_seconds = 0.0;
+    sharded_calls = 0;
+    rebalanced_calls = 0;
+    rerouted_calls = 0;
     budget_hit = false;
   }
 
@@ -181,26 +222,24 @@ let account t (inv : Registry.invocation) =
    order, so neither the engine nor the strategy state needs locks. *)
 
 type outcome =
-  | O_ok of Axml_xml.Tree.forest * Registry.invocation
+  | O_ok of Axml_xml.Tree.forest * Registry.invocation * route
   | O_failed of Registry.invocation
 
 let request t ~obs ?push (call : Doc.node) =
-  match
-    Registry.invoke t.registry ~name:(call_name_exn call) ~params:(call_params call) ?push
-      ~obs ()
-  with
-  | result, inv -> O_ok (result, inv)
+  match t.dispatch ~name:(call_name_exn call) ~params:(call_params call) ?push ~obs () with
+  | result, inv, route -> O_ok (result, inv, route)
   | exception Registry.Service_failure inv -> O_failed inv
 
 let apply t ?push (call : Doc.node) outcome =
   let name = call_name_exn call in
   match outcome with
-  | O_ok (result, inv) ->
+  | O_ok (result, inv, route) ->
     Log.debug (fun m ->
-        m "invoke [%d]%s%s"
+        m "invoke [%d]%s%s%s"
           (match call.Doc.label with Doc.Call { call_id; _ } -> call_id | _ -> -1)
           name
-          (if push = None then "" else " (pushed)"));
+          (if push = None then "" else " (pushed)")
+          (match route.shard with None -> "" | Some s -> " @" ^ s));
     let added = Doc.replace_call t.doc call result in
     (* Layer 2: re-project the freshly materialized result before the
        strategy's hook sees it, so F-guides and function scans only ever
@@ -219,6 +258,19 @@ let apply t ?push (call : Doc.node) outcome =
     if inv.Registry.pushed then begin
       t.pushed <- t.pushed + 1;
       Metrics.incr t.obs.Obs.metrics "eval.pushed"
+    end;
+    (match route.shard with
+    | None -> ()
+    | Some _ ->
+      t.sharded_calls <- t.sharded_calls + 1;
+      Metrics.incr t.obs.Obs.metrics "eval.sharded_calls");
+    if route.rebalanced then begin
+      t.rebalanced_calls <- t.rebalanced_calls + 1;
+      Metrics.incr t.obs.Obs.metrics "eval.rebalanced_calls"
+    end;
+    if route.rerouted > 0 then begin
+      t.rerouted_calls <- t.rerouted_calls + route.rerouted;
+      Metrics.incr t.obs.Obs.metrics ~by:route.rerouted "eval.rerouted_calls"
     end;
     account t inv;
     inv.Registry.cost
@@ -345,6 +397,9 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
     full_nodes = t.projection.Project.full_nodes;
     projected_nodes = t.projection.Project.kept_nodes;
     projected_bytes_saved = t.projection.Project.bytes_saved;
+    sharded_calls = t.sharded_calls;
+    rebalanced_calls = t.rebalanced_calls;
+    rerouted_calls = t.rerouted_calls;
     complete;
   }
 
@@ -353,11 +408,11 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
    per fixpoint iteration, until no visible call remains (or the
    budget cuts). A degenerate client of the driver above. *)
 
-let naive_run ?max_calls ?(parallel = true) ?pool ?(obs = Obs.null) ?projector registry
-    (q : P.t) (d : Doc.t) : report =
+let naive_run ?max_calls ?(parallel = true) ?pool ?(obs = Obs.null) ?projector ?dispatch
+    registry (q : P.t) (d : Doc.t) : report =
   let tr = obs.Obs.trace in
   let root = if Trace.enabled tr then Trace.open_span tr "eval.naive" else Trace.none in
-  let t = create ?max_calls ?pool ~obs ?projector registry d in
+  let t = create ?max_calls ?pool ~obs ?projector ?dispatch registry d in
   let continue = ref true in
   while !continue do
     let calls =

@@ -55,6 +55,15 @@ type report = {
   projected_nodes : int;  (** nodes surviving projection; 0 without one *)
   projected_bytes_saved : int;
       (** serialized XML bytes of the subtrees projection dropped *)
+  sharded_calls : int;
+      (** successful calls placed on a named shard by a scheduler
+          dispatch; 0 when dispatch goes straight to the registry *)
+  rebalanced_calls : int;
+      (** calls the replica balancer placed somewhere other than the
+          first eligible shard (load- or cost-driven moves) *)
+  rerouted_calls : int;
+      (** failed-replica attempts salvaged by re-routing to another
+          replica before degrading to [complete = false] *)
   complete : bool;
       (** the evaluation finished within budget and no call permanently
           failed: the answers are the full snapshot result. When [false]
@@ -75,6 +84,33 @@ val call_params : Axml_doc.node -> Axml_xml.Tree.forest
 val call_name_exn : Axml_doc.node -> string
 (** Raises [Invalid_argument] on data nodes. *)
 
+(** {2 Routing} *)
+
+type route = {
+  shard : string option;  (** the shard the call was placed on, if any *)
+  rebalanced : bool;  (** placed off the first eligible shard *)
+  rerouted : int;  (** failed replica attempts salvaged en route *)
+}
+(** Where a dispatch actually sent a call. The registry-direct default
+    reports {!no_route}; {!Axml_sched.Sched} reports its placement so
+    the engine can account [sharded_calls] / [rebalanced_calls] /
+    [rerouted_calls] without knowing the scheduler exists. *)
+
+val no_route : route
+
+type dispatch =
+  name:string ->
+  params:Axml_xml.Tree.forest ->
+  ?push:Axml_query.Pattern.node ->
+  obs:Axml_obs.Obs.t ->
+  unit ->
+  Axml_xml.Tree.forest * Axml_services.Registry.invocation * route
+(** The pluggable request half: same contract as
+    {!Axml_services.Registry.invoke} (raises
+    [Registry.Service_failure inv] after retry exhaustion, must be
+    thread-safe — the engine calls it from pool workers), plus the
+    {!route} it chose. *)
+
 (** {2 The invocation driver} *)
 
 type t
@@ -93,6 +129,7 @@ val create :
   ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
   ?projector:Axml_project.Project.t ->
+  ?dispatch:dispatch ->
   Axml_services.Registry.t ->
   Axml_doc.t ->
   t
@@ -101,7 +138,10 @@ val create :
     sees it, and re-projects every spliced result forest before the
     {!on_replace} hook runs — so strategies only ever observe the
     projected document — accumulating the [full_nodes] /
-    [projected_nodes] / [projected_bytes_saved] report fields. *)
+    [projected_nodes] / [projected_bytes_saved] report fields.
+    [dispatch] (default: straight to [Registry.invoke] on the given
+    registry) replaces the request half — this is where a scheduler
+    plugs in routing without touching any strategy. *)
 
 val on_replace : t -> (invoked:Axml_doc.node -> added:Axml_doc.node list -> unit) -> unit
 (** Strategy hook run after each successful splice, on the coordinating
@@ -170,6 +210,7 @@ val naive_run :
   ?pool:Axml_exec.Exec.pool ->
   ?obs:Axml_obs.Obs.t ->
   ?projector:Axml_project.Project.t ->
+  ?dispatch:dispatch ->
   Axml_services.Registry.t ->
   Axml_query.Pattern.t ->
   Axml_doc.t ->

@@ -14,6 +14,7 @@ module Client = Axml_net.Client
 module Remote = Axml_net.Remote
 module Adversary = Axml_workload.Adversary
 module Project = Axml_project.Project
+module Sched = Axml_sched.Sched
 
 type case = {
   case_seed : int;
@@ -29,6 +30,8 @@ type case = {
   max_retries : int;
   budget : int;
   project : bool;
+  shards : int;
+  replicate : bool;
 }
 
 type failure = { oracle : string; detail : string }
@@ -57,6 +60,13 @@ let case_of_seed seed =
   (* drawn last so every earlier dimension derives identically per seed
      to the pre-projection case stream *)
   let project = Random.State.float rng 1.0 < 0.35 in
+  (* and the scheduler dimensions after that, for the same reason: a
+     two-way static service split, or a twin local replica — memoization
+     is forced off under replication, split caches would legitimately
+     diverge from the unsharded arm *)
+  let shards = if Random.State.float rng 1.0 < 0.3 then 2 else 1 in
+  let replicate = shards = 1 && Random.State.float rng 1.0 < 0.25 in
+  let memoize = memoize && not replicate in
   {
     case_seed = seed;
     family;
@@ -71,16 +81,18 @@ let case_of_seed seed =
     max_retries;
     budget;
     project;
+    shards;
+    replicate;
   }
 
 let case_to_string c =
   Printf.sprintf
     "seed=%d family=%s scale=%d strategy=%s jobs=%d remote=%b push=%b memo=%b fault_rate=%.2f \
-     permanent=%b retries=%d budget=%d project=%b"
+     permanent=%b retries=%d budget=%d project=%b shards=%d replicate=%b"
     c.case_seed (Adversary.family_name c.family) c.scale
     (if c.lazy_strategy then "lazy" else "naive")
     c.jobs c.remote c.push c.memoize c.fault_rate c.fault_permanent c.max_retries c.budget
-    c.project
+    c.project c.shards c.replicate
 
 let replay_hint c =
   Printf.sprintf "axml fuzz --seed %d --iters 1 --family %s" c.case_seed
@@ -185,16 +197,45 @@ let run_arm ~watchdog (c : case) ~jobs ~push ?(project = false) ?obs () : Engine
           Some (Project.compile ~schema:inst.Adversary.schema inst.Adversary.query)
         else None
       in
+      (* The scheduler dimension is local-only (a remote case already
+         exercises the wire path): a two-way static split of the service
+         names over the one registry, or a twin replica regenerated from
+         the same config — identical documents, services and fault fates,
+         so routing must be answer-invisible. *)
+      let dispatch_for registry =
+        if c.replicate then
+          let twin = Adversary.generate acfg in
+          Some
+            (Sched.dispatch
+               (Sched.create
+                  [
+                    Sched.spec ~id:"r1" registry;
+                    Sched.spec ~id:"r2" twin.Adversary.registry;
+                  ]))
+        else if c.shards = 2 then
+          let names = Registry.names registry in
+          let evens = List.filteri (fun i _ -> i mod 2 = 0) names in
+          let odds = List.filteri (fun i _ -> i mod 2 = 1) names in
+          Some
+            (Sched.dispatch
+               (Sched.create
+                  [
+                    Sched.spec ~id:"even" ~services:evens registry;
+                    Sched.spec ~id:"odd" ~services:odds registry;
+                  ]))
+        else None
+      in
       let eval registry =
+        let dispatch = if c.remote then None else dispatch_for registry in
         with_pool jobs (fun pool ->
             if c.lazy_strategy then begin
               let strategy = { Lazy_eval.nfqa with Lazy_eval.max_calls = c.budget } in
               let strategy = if push then Lazy_eval.with_push strategy else strategy in
-              Lazy_eval.run ~strategy ?obs ?pool ?projector ~registry inst.Adversary.query
-                inst.Adversary.doc
+              Lazy_eval.run ~strategy ?obs ?pool ?projector ?dispatch ~registry
+                inst.Adversary.query inst.Adversary.doc
             end
             else
-              Engine.naive_run ~max_calls:c.budget ?pool ?obs ?projector registry
+              Engine.naive_run ~max_calls:c.budget ?pool ?obs ?projector ?dispatch registry
                 inst.Adversary.query inst.Adversary.doc)
       in
       if c.remote then begin
@@ -240,6 +281,9 @@ let reconcile (obs : Obs.t) (r : Engine.report) =
   ck "eval.timeouts" r.Engine.timeouts;
   ck "eval.failed_calls" r.Engine.failed_calls;
   ck "eval.bytes" r.Engine.bytes_transferred;
+  ck "eval.sharded_calls" r.Engine.sharded_calls;
+  ck "eval.rebalanced_calls" r.Engine.rebalanced_calls;
+  ck "eval.rerouted_calls" r.Engine.rerouted_calls;
   if not (feq (Metrics.value m "eval.backoff_seconds") r.Engine.backoff_seconds) then
     violate "reconcile" "backoff_seconds: report %g, metrics %g" r.Engine.backoff_seconds
       (Metrics.value m "eval.backoff_seconds");
@@ -393,6 +437,9 @@ let shrink_candidates (c : case) =
   List.filter
     (fun c' -> c' <> c)
     [
+      (* routing off first: a failure that survives on one plain shard
+         is a simpler report than any scheduler interaction *)
+      { c with shards = 1; replicate = false };
       { c with remote = false };
       { c with jobs = 1 };
       { c with push = false };

@@ -30,8 +30,15 @@
       a hang is reported as a failure instead of wedging the run;
     - {b crash}: any escaped exception is a failure.
 
-    Failures are shrunk by a greedy deterministic pass (drop remoteness,
-    parallelism, push, memoization, faults; halve scale and budget) and
+    Sharded and replicated cases (see {!case.shards} and
+    {!case.replicate}) run their non-reference arms through an
+    {!Axml_sched.Sched} dispatch, so every oracle above doubles as a
+    routing-invisibility check: the scheduler may move calls between
+    shards but must never change answers, counters or fates.
+
+    Failures are shrunk by a greedy deterministic pass (drop the
+    scheduler first, then remoteness, parallelism, push, memoization,
+    faults; halve scale and budget) and
     reported with a one-line replay: because case derivation, generation
     and shrinking are all pure functions of the seed, re-running
     [axml fuzz --seed S --iters 1 --family F] reproduces the failure
@@ -56,6 +63,15 @@ type case = {
       (** run every non-reference arm under type-based projection
           (schema-backed, see {!Axml_project.Project}) and check the
           projected≡full oracle against an unprojected twin *)
+  shards : int;
+      (** 1 (no scheduler) or 2 — route every non-reference local arm
+          through an {!Axml_sched.Sched} dispatch with the service names
+          statically split over two shards of the one registry *)
+  replicate : bool;
+      (** route through two local replicas — the instance's registry
+          plus a twin regenerated from the same config, so both draw
+          identical fault fates; forces [memoize] off (split caches
+          would legitimately diverge from the unsharded arm) *)
 }
 
 val case_of_seed : int -> case

@@ -18,6 +18,9 @@ type t = {
       (* enables provider-side projection of non-push-capable results *)
   caps : string list;  (* capabilities advertised in Welcome *)
   delay : float;  (* injected per-request latency, really slept *)
+  jitter : float;  (* extra uniform [0, jitter) latency per request *)
+  jitter_rng : Random.State.t;  (* seeded; guarded by [jitter_mu] *)
+  jitter_mu : Mutex.t;
   listen_fd : Unix.file_descr;
   host : string;
   port : int;
@@ -38,7 +41,8 @@ let resolve host =
     with Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
-    ?(caps = [ Wire.cap_project ]) ?(delay = 0.0) ~registry () =
+    ?(caps = [ Wire.cap_project; Wire.cap_shard ]) ?(delay = 0.0) ?(jitter = 0.0)
+    ?(jitter_seed = 0) ~registry () =
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -60,6 +64,9 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
     schema;
     caps;
     delay = Float.max 0.0 delay;
+    jitter = Float.max 0.0 jitter;
+    jitter_rng = Random.State.make [| 0x5e2e; jitter_seed |];
+    jitter_mu = Mutex.create ();
     listen_fd = fd;
     host;
     port;
@@ -75,6 +82,21 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
 
 let port t = t.port
 let host t = t.host
+
+(* The per-request injected latency: the fixed [delay] plus a seeded
+   uniform draw in [0, jitter). The RNG is shared across connection
+   threads, so the draw sequence depends on request arrival order — the
+   latency {e distribution} is reproducible per seed, individual
+   request/draw pairings are not (and need not be: jitter exists to
+   skew replicas, not to be replayed). *)
+let inject_latency t =
+  let wait =
+    if t.jitter > 0.0 then
+      t.delay
+      +. Mutex.protect t.jitter_mu (fun () -> Random.State.float t.jitter_rng t.jitter)
+    else t.delay
+  in
+  if wait > 0.0 then Unix.sleepf wait
 let connections t = Mutex.protect t.mu (fun () -> List.length t.conns)
 
 let welcome t =
@@ -116,7 +138,7 @@ let project_result t ~client_caps ~push ~pushed forest =
   | _ -> (forest, pushed)
 
 let handle_invoke t ~client_caps ~id ~service ~params ~push =
-  if t.delay > 0.0 then Unix.sleepf t.delay;
+  inject_latency t;
   let obs = Obs.fork t.obs in
   let tr = obs.Obs.trace in
   let span =
@@ -169,7 +191,7 @@ let handle_invoke t ~client_caps ~id ~service ~params ~push =
    by value and is private to this request, so concurrent evaluations
    need no locking beyond the registry's own. *)
 let handle_eval t ~id ~strategy ~query ~doc =
-  if t.delay > 0.0 then Unix.sleepf t.delay;
+  inject_latency t;
   let obs = Obs.fork t.obs in
   let tr = obs.Obs.trace in
   let span =

@@ -34,6 +34,8 @@ val create :
   ?schema:Axml_schema.Schema.t ->
   ?caps:string list ->
   ?delay:float ->
+  ?jitter:float ->
+  ?jitter_seed:int ->
   registry:Axml_services.Registry.t ->
   unit ->
   t
@@ -47,12 +49,18 @@ val create :
     projection: results of services that cannot witness-prune are
     projected against the pushed pattern before crossing the wire, when
     both sides negotiated {!Wire.cap_project}. [caps] (default
-    [[Wire.cap_project]]) is what {!Wire.Welcome} advertises — pass [[]]
-    to emulate a pre-capability peer in tests. [delay] (default [0.0])
-    injects that many seconds of {e real} latency ([Unix.sleepf]) before
-    serving each invoke request — the knob behind [axml serve --latency]
-    and the E9 speedup benchmark. Raises [Unix.Unix_error] when the
-    address cannot be bound. *)
+    [[Wire.cap_project; Wire.cap_shard]]) is what {!Wire.Welcome}
+    advertises — pass [[]] to emulate a pre-capability peer in tests.
+    [delay] (default [0.0]) injects that many seconds of {e real}
+    latency ([Unix.sleepf]) before serving each invoke/eval request —
+    the knob behind [axml serve --latency] and the E9 speedup benchmark.
+    [jitter] (default [0.0]) adds a further uniform draw from
+    [\[0, jitter)] seconds per request, from a [Random.State] seeded
+    with [jitter_seed] (default [0]) — the heterogeneous-replica knob
+    behind [axml serve --latency-jitter]; the distribution is
+    reproducible per seed, but which request gets which draw depends on
+    arrival order. Raises [Unix.Unix_error] when the address cannot be
+    bound. *)
 
 val port : t -> int
 (** The actual bound port (useful after [~port:0]). *)

@@ -143,6 +143,11 @@ type service_info = { name : string; push : bool }
    the extra JSON member when encoding — negotiation degrades to "none". *)
 let cap_project = "project"
 
+(* A shard-aware peer: its Welcome service list is complete enough to be
+   used for replica discovery and shard assignment. Purely an
+   advertisement — no wire-format change rides on it. *)
+let cap_shard = "shard"
+
 type message =
   | Hello of { version : int; caps : string list }
   | Welcome of { version : int; services : service_info list; caps : string list }

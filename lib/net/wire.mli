@@ -38,6 +38,14 @@ val cap_project : string
     [projected]), and a server holding a schema may project
     non-push-capable service results against a pushed pattern. *)
 
+val cap_shard : string
+(** Capability: this peer is shard-aware — its {!Welcome} service list
+    is a complete advertisement, safe for the scheduler's replica
+    discovery (grouping identical advertisements from several peers into
+    replica sets) and static shard assignment. No wire-format change
+    rides on it; pre-shard peers simply don't advertise it and are
+    treated as single, non-replicated owners. *)
+
 val max_frame : int
 (** Frames above this many payload bytes (64 MiB) are rejected with
     {!Protocol_error} before any allocation. *)

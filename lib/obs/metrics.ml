@@ -107,6 +107,35 @@ let observe t ?(labels = []) ?(buckets = default_buckets) name v =
         h.sum <- h.sum +. v;
         h.n <- h.n + 1)
 
+let quantile t ?(labels = []) name q =
+  if (not t.on) || q < 0.0 || q > 1.0 then None
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.instruments (key name labels) with
+        | Some (Histogram h) when h.n > 0 ->
+          (* Prometheus-style estimate: find the bucket where the
+             cumulative count crosses [q * n], interpolate linearly
+             inside it. The overflow bucket reports its lower bound (the
+             last finite upper bound) — there is nothing to interpolate
+             toward. *)
+          let rank = q *. float_of_int h.n in
+          let nb = Array.length h.buckets in
+          let rec scan i cum =
+            let cum' = cum + h.counts.(i) in
+            if float_of_int cum' >= rank || i = nb then (i, cum, cum')
+            else scan (i + 1) cum'
+          in
+          let i, below, upto = scan 0 0 in
+          if i >= nb then Some h.buckets.(nb - 1)
+          else
+            let lo = if i = 0 then 0.0 else h.buckets.(i - 1) in
+            let hi = h.buckets.(i) in
+            let inside = upto - below in
+            if inside <= 0 then Some hi
+            else
+              Some (lo +. ((hi -. lo) *. ((rank -. float_of_int below) /. float_of_int inside)))
+        | _ -> None)
+
 let value t ?(labels = []) name =
   locked t (fun () ->
       match Hashtbl.find_opt t.instruments (key name labels) with

@@ -51,6 +51,15 @@ val value : t -> ?labels:labels -> string -> float
 val count : t -> ?labels:labels -> string -> int
 (** {!value} truncated to an integer — for counters fed by {!incr}. *)
 
+val quantile : t -> ?labels:labels -> string -> float -> float option
+(** [quantile m name q] estimates the [q]-quantile (0 ≤ q ≤ 1, e.g.
+    0.5/0.95) of a histogram from its bucket counts, Prometheus-style:
+    linear interpolation inside the bucket where the cumulative count
+    crosses [q·n]. Observations landing in the overflow bucket clamp to
+    the last finite upper bound. [None] when the registry is disabled,
+    the instrument is missing or not a histogram, it has no
+    observations, or [q] is out of range. *)
+
 val total : t -> string -> float
 (** A counter's value summed across all label sets — the reconciliation
     totals ([total m "service.retries"] over every service). Histograms

@@ -397,6 +397,44 @@ let test_histograms () =
     Alcotest.(check (list int)) "cumulative buckets" [ 1; 3; 4; 5 ] cumulative
   | _ -> Alcotest.fail "expected exactly one histogram"
 
+let test_quantiles () =
+  let m = Metrics.create () in
+  let buckets = [ 0.1; 1.0; 10.0 ] in
+  List.iter (fun v -> Metrics.observe m ~buckets "h" v) [ 0.05; 0.5; 0.5; 5.0; 50.0 ];
+  (* p50: rank 2.5 crosses in (0.1, 1.0], two observations inside,
+     1.5 of them below the rank → 0.1 + 0.9 · 0.75 *)
+  (match Metrics.quantile m "h" 0.5 with
+  | None -> Alcotest.fail "p50 missing"
+  | Some v -> feq "p50 interpolates inside its bucket" 0.775 v);
+  (* p95: rank 4.75 lands on the overflow observation (50.0), which
+     clamps to the last finite upper bound *)
+  (match Metrics.quantile m "h" 0.95 with
+  | None -> Alcotest.fail "p95 missing"
+  | Some v -> feq "p95 clamps to the last finite bound" 10.0 v);
+  (* q = 1 with everything inside the finite buckets reaches the
+     enclosing bucket's upper bound *)
+  let m2 = Metrics.create () in
+  Metrics.observe m2 ~buckets "h" 0.5;
+  (match Metrics.quantile m2 "h" 1.0 with
+  | None -> Alcotest.fail "q=1 missing"
+  | Some v -> feq "q=1 is the bucket upper bound" 1.0 v);
+  (* labels address distinct histograms *)
+  Metrics.observe m ~labels:[ ("shard", "r1") ] ~buckets "h" 0.05;
+  (match Metrics.quantile m ~labels:[ ("shard", "r1") ] "h" 0.5 with
+  | None -> Alcotest.fail "labeled p50 missing"
+  | Some v -> feq "labeled histogram is its own" 0.05 v);
+  (* every no-answer case is None, never an exception *)
+  Alcotest.(check (option (float 0.0))) "q out of range (high)" None (Metrics.quantile m "h" 1.5);
+  Alcotest.(check (option (float 0.0)))
+    "q out of range (negative)" None
+    (Metrics.quantile m "h" (-0.1));
+  Alcotest.(check (option (float 0.0))) "missing instrument" None (Metrics.quantile m "nope" 0.5);
+  Metrics.incr m "c";
+  Alcotest.(check (option (float 0.0))) "not a histogram" None (Metrics.quantile m "c" 0.5);
+  Alcotest.(check (option (float 0.0)))
+    "disabled registry" None
+    (Metrics.quantile Metrics.null "h" 0.5)
+
 let test_snapshot_shape () =
   let m = Metrics.create () in
   Metrics.incr m ~labels:[ ("service", "x") ] "b";
@@ -612,6 +650,7 @@ let () =
           quick "negative increments rejected" test_counter_rejects_negative;
           quick "gauges and kind mismatch" test_gauges_and_kind_mismatch;
           quick "histogram buckets" test_histograms;
+          quick "histogram quantiles" test_quantiles;
           quick "snapshot shape" test_snapshot_shape;
           quick "null registry is free" test_null_metrics_is_free;
         ] );
