@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project test-sched fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke bench-e12-smoke examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project test-sched test-wire-bin fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke bench-e12-smoke bench-e13-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -44,6 +44,13 @@ test-gen:
 # negotiation round-trip against an old (no-caps) peer
 test-project:
 	dune exec test/test_project.exe
+
+# binary wire codec tests: the binary ≡ JSON differential round-trips
+# (trees with whitespace-only leaves, patterns, every envelope), the
+# 64 MiB max_frame rejection path, and codec negotiation end-to-end
+# against binary-capable, JSON-pinned and pre-binary peers
+test-wire-bin:
+	dune exec test/test_net.exe -- test wire-binary
 
 # distributed-scheduler tests: the sharded/replicated ≡ single-registry
 # differential (answers, report, fault fates) at jobs 1 and 4,
@@ -111,6 +118,13 @@ bench-e11-smoke:
 # invocation counts identical to the unsharded run
 bench-e12-smoke:
 	dune exec bench/main.exe -- e12smoke
+
+# the CI-sized E13: one event-loop server, 64 raw concurrent
+# connections on the city workload, asserting binary-framed answers
+# byte-identical to JSON with strictly fewer wire bytes and
+# binary wall <= JSON wall
+bench-e13-smoke:
+	dune exec bench/main.exe -- e13smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -4,7 +4,7 @@
    behind each table.
 
    Usage: main.exe [--metrics-dir DIR]
-            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|e12|e12smoke|micro]...
+            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|e12|e12smoke|e13|e13smoke|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -1268,6 +1268,204 @@ let e12smoke () =
     (w "adaptive x2") (w "round-robin x2") (w "replicas=1")
 
 (* ------------------------------------------------------------------ *)
+(* E13: event-loop server under connection pressure — one server, raw
+   concurrent connections in the thousands, binary vs JSON framing on
+   the city workload. Every connection handshakes (always JSON), then
+   issues [rounds] gethotels requests; the binary arms advertise
+   cap_binary and so negotiate the binary codec. Clients speak through
+   raw fds with blocking Wire.send/recv (NOT the Client pool, whose
+   health check selects — fd *values* past 1024 are exactly what the
+   epoll loop exists for). Asserted invariants: every reply in every
+   arm is byte-identical (serialized forest digest), and binary moves
+   strictly fewer wire bytes. *)
+
+module Wire = Axml_net.Wire
+
+type e13_result = {
+  e13_setup : float;  (* seconds to dial + handshake every connection *)
+  e13_wall : float;  (* seconds for the request phase *)
+  e13_bytes : int;  (* request-phase wire bytes, both directions *)
+  e13_alloc : float;  (* bytes allocated process-wide during the arm *)
+  e13_digest : string;  (* digest of the (identical) serialized replies *)
+  e13_requests : int;
+}
+
+let e13_cfg hotels =
+  (* all-intensional: gethotels answers with every hotel subtree, a
+     meaty forest whose encoding cost is what the codecs compete on *)
+  { City.default_config with City.hotels = hotels; seed = 7; extensional_fraction = 0.0 }
+
+let e13_arm ~port ~binary ~conns ~threads ~rounds =
+  let caps =
+    if binary then [ Wire.cap_project; Wire.cap_binary ] else [ Wire.cap_project ]
+  in
+  let invoke id =
+    Wire.Invoke
+      { id; service = "gethotels"; params = [ Axml_xml.Tree.text "NY" ]; push = None }
+  in
+  let alloc0 = Gc.allocated_bytes () in
+  let dial () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let scr = Wire.scratch () in
+    ignore (Wire.send ~scratch:scr fd (Wire.Hello { version = Wire.version; caps }));
+    match Wire.recv ~scratch:scr fd with
+    | Wire.Welcome { caps = server_caps; _ }, _ ->
+      let codec =
+        if binary && List.mem Wire.cap_binary server_caps then Wire.Binary else Wire.Json
+      in
+      (fd, codec, scr, ref 0)
+    | _ -> failwith "e13: handshake failed"
+  in
+  let pool, e13_setup = wall (fun () -> Array.init conns (fun _ -> dial ())) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun (fd, _, _, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+        pool)
+    (fun () ->
+      let exchange (fd, codec, scr, next) =
+        incr next;
+        let sent = Wire.send ~codec ~scratch:scr fd (invoke !next) in
+        match Wire.recv ~scratch:scr fd with
+        | Wire.Result { id; forest; _ }, got when id = !next ->
+          (sent + got, Digest.string (Axml_xml.Print.forest_to_string forest))
+        | _ -> failwith "e13: unexpected reply"
+      in
+      (* one untimed probe pins the expected answer for the whole arm *)
+      let _, e13_digest = exchange pool.(0) in
+      let bytes_total = Atomic.make 0 in
+      let errors = Atomic.make [] in
+      let run_thread t () =
+        try
+          let local = ref 0 in
+          for _ = 1 to rounds do
+            Array.iteri
+              (fun i conn ->
+                if i mod threads = t then begin
+                  let b, d = exchange conn in
+                  if d <> e13_digest then failwith "e13: reply differs within arm";
+                  local := !local + b
+                end)
+              pool
+          done;
+          ignore (Atomic.fetch_and_add bytes_total !local)
+        with e -> Atomic.set errors (e :: Atomic.get errors)
+      in
+      let (), e13_wall =
+        wall (fun () ->
+            let ts = List.init threads (fun t -> Thread.create (run_thread t) ()) in
+            List.iter Thread.join ts)
+      in
+      (match Atomic.get errors with [] -> () | e :: _ -> raise e);
+      {
+        e13_setup;
+        e13_wall;
+        e13_bytes = Atomic.get bytes_total;
+        e13_alloc = Gc.allocated_bytes () -. alloc0;
+        e13_digest;
+        e13_requests = conns * rounds;
+      })
+
+let e13_sweep ~title ~hotels ~conns ~threads_list ~rounds =
+  let served = City.generate (e13_cfg hotels) in
+  let server = Server.create ~registry:served.City.registry () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let port = Server.port server in
+      let arms =
+        List.concat_map
+          (fun threads ->
+            List.map
+              (fun binary ->
+                ((binary, threads), e13_arm ~port ~binary ~conns ~threads ~rounds))
+              [ false; true ])
+          threads_list
+      in
+      let _, base = List.hd arms in
+      List.iter
+        (fun (_, r) ->
+          (* the acceptance bar: every arm answers byte-identically *)
+          assert (r.e13_digest = base.e13_digest))
+        arms;
+      let rows =
+        List.map
+          (fun ((binary, threads), r) ->
+            [
+              (if binary then "binary" else "json");
+              string_of_int threads;
+              string_of_int conns;
+              string_of_int r.e13_requests;
+              secs r.e13_setup;
+              secs r.e13_wall;
+              Printf.sprintf "%.2f" (float_of_int r.e13_bytes /. 1048576.0);
+              Printf.sprintf "%.1f" (r.e13_alloc /. 1048576.0);
+              Printf.sprintf "%.0f" (float_of_int r.e13_requests /. Float.max 1e-9 r.e13_wall);
+            ])
+          arms
+      in
+      print_table ~title
+        ~header:
+          [ "wire"; "threads"; "conns"; "requests"; "setup(s)"; "wall(s)"; "wire(MB)"; "alloc(MB)"; "req/s" ]
+        rows;
+      arms)
+
+let e13 () =
+  let arms =
+    e13_sweep
+      ~title:"E13: 2000 concurrent connections through one event-loop server (24 hotels)"
+      ~hotels:24 ~conns:2000 ~threads_list:[ 4; 16 ] ~rounds:2
+  in
+  List.iter
+    (fun threads ->
+      let find binary = List.assoc (binary, threads) arms in
+      let j = find false and b = find true in
+      if b.e13_bytes >= j.e13_bytes then begin
+        Printf.eprintf "e13: binary moved %d B >= json %d B at %d threads\n" b.e13_bytes
+          j.e13_bytes threads;
+        exit 1
+      end)
+    [ 4; 16 ]
+
+(* The CI-sized variant: 64 connections, 8 client threads, best of two
+   runs per arm (the smoke assertion is about codec cost, not scheduler
+   noise), hard-asserting byte-identical answers, strictly fewer wire
+   bytes, and binary wall <= JSON wall. *)
+let e13smoke () =
+  let served = City.generate (e13_cfg 12) in
+  let server = Server.create ~registry:served.City.registry () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let port = Server.port server in
+      let run binary = e13_arm ~port ~binary ~conns:64 ~threads:8 ~rounds:4 in
+      let j1 = run false in
+      let b1 = run true in
+      let j2 = run false in
+      let b2 = run true in
+      if j1.e13_digest <> b1.e13_digest then begin
+        Printf.eprintf "e13smoke: binary and json answers differ\n";
+        exit 1
+      end;
+      if b1.e13_bytes >= j1.e13_bytes then begin
+        Printf.eprintf "e13smoke: binary moved %d B >= json %d B\n" b1.e13_bytes
+          j1.e13_bytes;
+        exit 1
+      end;
+      let jw = Float.min j1.e13_wall j2.e13_wall in
+      let bw = Float.min b1.e13_wall b2.e13_wall in
+      if bw > jw then begin
+        Printf.eprintf "e13smoke: binary wall %.3fs > json wall %.3fs\n" bw jw;
+        exit 1
+      end;
+      Printf.printf
+        "e13smoke: ok (binary %.3fs <= json %.3fs, %d B < %d B, answers identical)\n" bw jw
+        b1.e13_bytes j1.e13_bytes)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -1378,6 +1576,8 @@ let experiments =
     ("e11smoke", e11smoke);
     ("e12", e12);
     ("e12smoke", e12smoke);
+    ("e13", e13);
+    ("e13smoke", e13smoke);
     ("micro", micro);
   ]
 

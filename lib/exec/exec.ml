@@ -53,6 +53,18 @@ let shutdown pool =
   List.iter Thread.join pool.workers;
   pool.workers <- []
 
+let async pool task =
+  Mutex.lock pool.mu;
+  if pool.stopped || pool.jobs <= 1 then begin
+    Mutex.unlock pool.mu;
+    (try task () with _ -> ())
+  end
+  else begin
+    Queue.push (fun () -> try task () with _ -> ()) pool.queue;
+    Condition.signal pool.cond;
+    Mutex.unlock pool.mu
+  end
+
 let map_batch pool f xs =
   match xs with
   | [] -> []

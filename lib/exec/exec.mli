@@ -47,6 +47,15 @@ val map_batch : pool -> ('a -> 'b) -> 'a list -> 'b list
     work is silently dropped. Empty and singleton batches, and pools
     with [jobs = 1], run inline on the calling thread. *)
 
+val async : pool -> (unit -> unit) -> unit
+(** [async pool task] enqueues [task] for a pool thread and returns
+    immediately; exceptions escaping [task] are swallowed. Used by the
+    event-loop server to hand decoded requests off its loop thread.
+    Beware the pool's counting: the calling thread is one of the [jobs]
+    executors, so a pool intended to run [n] async tasks concurrently
+    without the caller's help needs [jobs = n + 1]. On a stopped pool
+    (or one with [jobs = 1], which has no threads) the task runs inline. *)
+
 val shutdown : pool -> unit
 (** Stops the worker threads and joins them. Idempotent. Batches already
     dispatched complete first; calling {!map_batch} afterwards runs

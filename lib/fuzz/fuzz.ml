@@ -32,6 +32,7 @@ type case = {
   project : bool;
   shards : int;
   replicate : bool;
+  wire_binary : bool;
 }
 
 type failure = { oracle : string; detail : string }
@@ -67,6 +68,9 @@ let case_of_seed seed =
   let shards = if Random.State.float rng 1.0 < 0.3 then 2 else 1 in
   let replicate = shards = 1 && Random.State.float rng 1.0 < 0.25 in
   let memoize = memoize && not replicate in
+  (* the wire dimension last, for the same reason again: remote cases
+     split between the binary codec and pinned JSON *)
+  let wire_binary = Random.State.bool rng in
   {
     case_seed = seed;
     family;
@@ -83,16 +87,18 @@ let case_of_seed seed =
     project;
     shards;
     replicate;
+    wire_binary;
   }
 
 let case_to_string c =
   Printf.sprintf
     "seed=%d family=%s scale=%d strategy=%s jobs=%d remote=%b push=%b memo=%b fault_rate=%.2f \
-     permanent=%b retries=%d budget=%d project=%b shards=%d replicate=%b"
+     permanent=%b retries=%d budget=%d project=%b shards=%d replicate=%b wire=%s"
     c.case_seed (Adversary.family_name c.family) c.scale
     (if c.lazy_strategy then "lazy" else "naive")
     c.jobs c.remote c.push c.memoize c.fault_rate c.fault_permanent c.max_retries c.budget
     c.project c.shards c.replicate
+    (if c.wire_binary then "binary" else "json")
 
 let replay_hint c =
   Printf.sprintf "axml fuzz --seed %d --iters 1 --family %s" c.case_seed
@@ -172,13 +178,13 @@ let remote_retry =
     attempt_timeout = 10.0;
   }
 
-let with_remote ~registry:served f =
+let with_remote ~wire ~registry:served f =
   let server = Server.create ~registry:served () in
   Server.start server;
   Fun.protect
     ~finally:(fun () -> Server.stop server)
     (fun () ->
-      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      let client = Client.create ~wire ~host:"127.0.0.1" ~port:(Server.port server) () in
       Fun.protect
         ~finally:(fun () -> Client.close client)
         (fun () ->
@@ -240,7 +246,8 @@ let run_arm ~watchdog (c : case) ~jobs ~push ?(project = false) ?obs () : Engine
       in
       if c.remote then begin
         let served = Adversary.generate acfg in
-        with_remote ~registry:served.Adversary.registry eval
+        let wire = if c.wire_binary then `Auto else `Json in
+        with_remote ~wire ~registry:served.Adversary.registry eval
       end
       else eval inst.Adversary.registry)
 
@@ -395,6 +402,31 @@ let check ?(watchdog = 30.0) (c : case) : failure option =
           (List.length (tuples rp.Engine.answers))
           (List.length reference)
     end;
+    (* wire equivalence (remote cases): the binary codec and pinned JSON
+       must produce byte-identical serialized answers and the same
+       degradation profile — the codec is invisible above the framing
+       layer *)
+    if c.remote then begin
+      let rb =
+        run_arm ~watchdog { c with wire_binary = true } ~jobs:1 ~push:c.push
+          ~project:c.project ()
+      in
+      let rj =
+        run_arm ~watchdog { c with wire_binary = false } ~jobs:1 ~push:c.push
+          ~project:c.project ()
+      in
+      if answer_bytes rb <> answer_bytes rj then
+        violate "wire-equivalence" "binary and JSON serialized answers differ";
+      if rb.Engine.complete <> rj.Engine.complete then
+        violate "wire-equivalence" "binary complete=%b, JSON complete=%b" rb.Engine.complete
+          rj.Engine.complete;
+      if rb.Engine.failed_calls <> rj.Engine.failed_calls then
+        violate "wire-equivalence" "binary failed %d calls, JSON %d" rb.Engine.failed_calls
+          rj.Engine.failed_calls;
+      if rb.Engine.invoked <> rj.Engine.invoked then
+        violate "wire-equivalence" "binary invoked %d, JSON %d" rb.Engine.invoked
+          rj.Engine.invoked
+    end;
     (* push equivalence: the generator keeps fault fates byte-independent,
        so push-on and push-off must degrade identically *)
     if c.lazy_strategy then begin
@@ -441,6 +473,7 @@ let shrink_candidates (c : case) =
          is a simpler report than any scheduler interaction *)
       { c with shards = 1; replicate = false };
       { c with remote = false };
+      { c with wire_binary = false };
       { c with jobs = 1 };
       { c with push = false };
       { c with project = false };

@@ -72,6 +72,11 @@ type case = {
           plus a twin regenerated from the same config, so both draw
           identical fault fates; forces [memoize] off (split caches
           would legitimately diverge from the unsharded arm) *)
+  wire_binary : bool;
+      (** remote cases only: negotiate the binary frame codec
+          ({!Axml_net.Wire.cap_binary}) instead of pinning JSON; every
+          remote case additionally checks the binary ≡ JSON
+          wire-equivalence oracle with both codecs at jobs = 1 *)
 }
 
 val case_of_seed : int -> case

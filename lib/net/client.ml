@@ -4,13 +4,21 @@ module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
 module Project = Axml_project.Project
 
-type conn = { fd : Unix.file_descr; mutable next_id : int }
+type conn = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  codec : Wire.codec;  (* negotiated at handshake; Json unless both ends speak binary *)
+  scratch : Wire.scratch;
+      (* per-connection encode/decode buffers, reused across requests —
+         no fresh frame buffer per call on a warm connection *)
+}
 
 type t = {
   host : string;
   port : int;
   pool_size : int;
   connect_timeout : float;
+  wire : [ `Auto | `Json ];
   mu : Mutex.t;
   mutable idle : conn list;
   mutable idle_len : int;
@@ -22,13 +30,14 @@ type t = {
          which is also what a pre-capability peer negotiates to *)
 }
 
-let create ?(pool_size = 4) ?(connect_timeout = 10.0) ~host ~port () =
+let create ?(pool_size = 4) ?(connect_timeout = 10.0) ?(wire = `Auto) ~host ~port () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   {
     host;
     port;
     pool_size;
     connect_timeout;
+    wire;
     mu = Mutex.create ();
     idle = [];
     idle_len = 0;
@@ -59,14 +68,24 @@ let dial t ~obs =
     set_deadline fd t.connect_timeout;
     Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port));
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    ignore (Wire.send fd (Wire.Hello { version = Wire.version; caps = [ Wire.cap_project ] }));
+    let my_caps =
+      match t.wire with
+      | `Json -> [ Wire.cap_project ]
+      | `Auto -> [ Wire.cap_project; Wire.cap_binary ]
+    in
+    ignore (Wire.send fd (Wire.Hello { version = Wire.version; caps = my_caps }));
     match Wire.recv fd with
     | Wire.Welcome { version; services; caps }, _ when version = Wire.version ->
       Mutex.protect t.mu (fun () ->
           t.advertised <- Some services;
           t.peer_caps <- caps);
       Metrics.incr obs.Obs.metrics "net.connects";
-      { fd; next_id = 1 }
+      let codec =
+        if List.mem Wire.cap_binary my_caps && List.mem Wire.cap_binary caps then
+          Wire.Binary
+        else Wire.Json
+      in
+      { fd; next_id = 1; codec; scratch = Wire.scratch () }
     | Wire.Error { message; _ }, _ -> raise (Wire.Protocol_error message)
     | _ -> raise (Wire.Protocol_error "expected a welcome handshake")
   with e ->
@@ -212,8 +231,11 @@ let call t ~obs ~timeout ~service ~params ~push =
     Metrics.incr m ~labels:[ ("service", service) ] "net.requests";
     match
       set_deadline conn.fd timeout;
-      let sent = Wire.send conn.fd (Wire.Invoke { id; service; params; push }) in
-      let reply, received = Wire.recv conn.fd in
+      let sent =
+        Wire.send ~codec:conn.codec ~scratch:conn.scratch conn.fd
+          (Wire.Invoke { id; service; params; push })
+      in
+      let reply, received = Wire.recv ~scratch:conn.scratch conn.fd in
       (sent, reply, received)
     with
     | sent, Wire.Result { id = rid; pushed; forest }, received when rid = id ->
@@ -306,8 +328,11 @@ let eval t ?(obs = Obs.null) ?(timeout = infinity) ?projector ~strategy query do
     in
     match
       set_deadline conn.fd timeout;
-      let sent = Wire.send conn.fd (Wire.Eval { id; strategy; query; doc; projected }) in
-      let reply, received = Wire.recv conn.fd in
+      let sent =
+        Wire.send ~codec:conn.codec ~scratch:conn.scratch conn.fd
+          (Wire.Eval { id; strategy; query; doc; projected })
+      in
+      let reply, received = Wire.recv ~scratch:conn.scratch conn.fd in
       (sent, reply, received)
     with
     | sent, Wire.Report { id = rid; report }, received when rid = id ->

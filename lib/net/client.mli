@@ -17,10 +17,24 @@
 
 type t
 
-val create : ?pool_size:int -> ?connect_timeout:float -> host:string -> port:int -> unit -> t
+val create :
+  ?pool_size:int ->
+  ?connect_timeout:float ->
+  ?wire:[ `Auto | `Json ] ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
 (** No I/O happens until the first call. [pool_size] (default 4) bounds
     the {e idle} connections kept for reuse; [connect_timeout] (default
-    10 s) is the socket deadline for the dial + handshake. *)
+    10 s) is the socket deadline for the dial + handshake. [wire]
+    (default [`Auto]) selects the frame codec: [`Auto] advertises
+    {!Wire.cap_binary} in the handshake and uses the binary codec on
+    connections whose server advertised it too (falling back to JSON
+    against older peers); [`Json] never advertises it, pinning every
+    frame to JSON — the [axml --wire json] escape hatch. Each pooled
+    connection keeps its own scratch buffers, so a warm connection
+    allocates no fresh frame buffers per request. *)
 
 val host : t -> string
 val port : t -> int

@@ -1,0 +1,130 @@
+/* epoll(7) bindings for the axml event-loop server.
+ *
+ * Unix.select caps fd *values* at FD_SETSIZE (1024 on glibc), which a
+ * server holding thousands of concurrent connections blows through
+ * immediately.  On Linux we therefore drive the loop with epoll; on
+ * other systems the stubs report unavailability and Evloop falls back
+ * to a select-based backend (capped, but portable).
+ *
+ * Event bits exchanged with the OCaml side: 1 = readable, 2 = writable.
+ * EPOLLERR/EPOLLHUP are folded into both so a handler always gets told
+ * about a dead peer through whichever interest it registered.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <errno.h>
+#include <string.h>
+#include <stdio.h>
+
+CAMLprim value axml_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value axml_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) {
+    char msg[128];
+    snprintf(msg, sizeof msg, "epoll_create1: %s", strerror(errno));
+    caml_failwith(msg);
+  }
+  return Val_int(fd);
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete */
+CAMLprim value axml_epoll_ctl(value vepfd, value vop, value vfd, value vevents)
+{
+  struct epoll_event ev;
+  int op, bits = Int_val(vevents);
+  memset(&ev, 0, sizeof ev);
+  if (bits & 1) ev.events |= EPOLLIN;
+  if (bits & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(vepfd), op, Int_val(vfd), &ev) == -1) {
+    char msg[128];
+    snprintf(msg, sizeof msg, "epoll_ctl: %s", strerror(errno));
+    caml_failwith(msg);
+  }
+  return Val_unit;
+}
+
+#define AXML_EPOLL_MAX_EVENTS 512
+
+/* timeout in milliseconds, -1 = infinite.  Returns an array of
+ * (fd, event-bits) pairs; EINTR yields the empty array so the caller
+ * simply loops. */
+CAMLprim value axml_epoll_wait(value vepfd, value vtimeout_ms)
+{
+  CAMLparam0();
+  CAMLlocal2(arr, pair);
+  struct epoll_event evs[AXML_EPOLL_MAX_EVENTS];
+  int epfd = Int_val(vepfd), timeout = Int_val(vtimeout_ms), n, i;
+  caml_release_runtime_system();
+  n = epoll_wait(epfd, evs, AXML_EPOLL_MAX_EVENTS, timeout);
+  caml_acquire_runtime_system();
+  if (n == -1) {
+    if (errno == EINTR) n = 0;
+    else {
+      char msg[128];
+      snprintf(msg, sizeof msg, "epoll_wait: %s", strerror(errno));
+      caml_failwith(msg);
+    }
+  }
+  arr = caml_alloc(n == 0 ? 0 : n, 0);
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) bits |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) bits |= 2;
+    pair = caml_alloc_tuple(2);
+    Store_field(pair, 0, Val_int(evs[i].data.fd));
+    Store_field(pair, 1, Val_int(bits));
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value axml_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value axml_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll is unavailable on this platform");
+}
+
+CAMLprim value axml_epoll_ctl(value vepfd, value vop, value vfd, value vevents)
+{
+  (void)vepfd; (void)vop; (void)vfd; (void)vevents;
+  caml_failwith("epoll is unavailable on this platform");
+}
+
+CAMLprim value axml_epoll_wait(value vepfd, value vtimeout_ms)
+{
+  (void)vepfd; (void)vtimeout_ms;
+  caml_failwith("epoll is unavailable on this platform");
+}
+
+#endif

@@ -6,10 +6,34 @@ module P = Axml_query.Pattern
 module Engine = Axml_engine.Engine
 module Lazy_eval = Axml_core.Lazy_eval
 module Project = Axml_project.Project
+module Exec = Axml_exec.Exec
 
 let log_src = Logs.Src.create "axml.net.server" ~doc:"axmld server"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* One connection's state, owned by the event-loop thread. Workers see
+   a conn only as an opaque token inside a completion; they never touch
+   its fields. *)
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  scratch : Wire.scratch;  (* reply encoding; reused for the conn's life *)
+  mutable codec : Wire.codec;  (* for replies; negotiated at handshake *)
+  mutable handshaken : bool;
+  mutable client_caps : string list;
+  mutable rbuf : Bytes.t;  (* incoming bytes: [roff, rlen) is unconsumed *)
+  mutable roff : int;
+  mutable rlen : int;
+  mutable wbuf : Bytes.t;  (* outgoing bytes: [woff, wlen) is unsent *)
+  mutable woff : int;
+  mutable wlen : int;
+  mutable busy : bool;  (* a request of this conn is at a worker *)
+  mutable closing : bool;  (* close once the write buffer drains *)
+  mutable dead : bool;
+  mutable want_read : bool;
+  mutable want_write : bool;
+}
 
 type t = {
   registry : Registry.t;
@@ -24,14 +48,19 @@ type t = {
   listen_fd : Unix.file_descr;
   host : string;
   port : int;
+  max_conns : int;
+  force_select : bool;
+  pool : Exec.pool;  (* request execution off the loop thread *)
   mu : Mutex.t;  (* guards the connection bookkeeping below *)
   mutable conns : (int * Unix.file_descr) list;
   mutable next_conn : int;
   mutable stopped : bool;
   mutable stop_after_reply : bool;
-  stop_r : Unix.file_descr;  (* self-pipe waking the accept loop *)
-  stop_w : Unix.file_descr;
-  mutable accept_thread : Thread.t option;
+  comp_mu : Mutex.t;  (* guards [completions] *)
+  completions : (conn * Wire.message) Queue.t;
+  wake_r : Unix.file_descr;  (* self-pipe waking the event loop *)
+  wake_w : Unix.file_descr;
+  mutable loop_thread : Thread.t option;
 }
 
 let resolve host =
@@ -41,8 +70,9 @@ let resolve host =
     with Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
-    ?(caps = [ Wire.cap_project; Wire.cap_shard ]) ?(delay = 0.0) ?(jitter = 0.0)
-    ?(jitter_seed = 0) ~registry () =
+    ?(caps = [ Wire.cap_project; Wire.cap_shard; Wire.cap_binary ]) ?(delay = 0.0)
+    ?(jitter = 0.0) ?(jitter_seed = 0) ?(workers = 32) ?(max_conns = 8192)
+    ?(force_select = false) ~registry () =
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -50,14 +80,16 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
      Unix.bind fd (Unix.ADDR_INET (resolve host, port));
-     Unix.listen fd 64
+     Unix.listen fd 1024;
+     Unix.set_nonblock fd
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   let port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let stop_r, stop_w = Unix.pipe () in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
   {
     registry;
     obs;
@@ -70,21 +102,28 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(obs = Obs.null) ?schema
     listen_fd = fd;
     host;
     port;
+    max_conns = max 1 max_conns;
+    force_select;
+    (* the pool's jobs count includes the (never-helping) caller of
+       map_batch, so [workers] concurrent request handlers need +1 *)
+    pool = Exec.create ~jobs:(max 1 workers + 1) ();
     mu = Mutex.create ();
     conns = [];
     next_conn = 0;
     stopped = false;
     stop_after_reply = false;
-    stop_r;
-    stop_w;
-    accept_thread = None;
+    comp_mu = Mutex.create ();
+    completions = Queue.create ();
+    wake_r;
+    wake_w;
+    loop_thread = None;
   }
 
 let port t = t.port
 let host t = t.host
 
 (* The per-request injected latency: the fixed [delay] plus a seeded
-   uniform draw in [0, jitter). The RNG is shared across connection
+   uniform draw in [0, jitter). The RNG is shared across worker
    threads, so the draw sequence depends on request arrival order — the
    latency {e distribution} is reproducible per seed, individual
    request/draw pairings are not (and need not be: jitter exists to
@@ -97,6 +136,7 @@ let inject_latency t =
     else t.delay
   in
   if wait > 0.0 then Unix.sleepf wait
+
 let connections t = Mutex.protect t.mu (fun () -> List.length t.conns)
 
 let welcome t =
@@ -228,8 +268,11 @@ let handle_eval t ~id ~strategy ~query ~doc =
   Obs.join t.obs obs;
   reply
 
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 'x') 0 1) with Unix.Unix_error _ -> ()
+
 (* Stop accepting: mark stopped, close the listener (so reconnects are
-   refused synchronously from here on) and wake the accept loop. *)
+   refused synchronously from here on) and wake the event loop. *)
 let stop_listening t =
   let was_running =
     Mutex.protect t.mu (fun () ->
@@ -241,8 +284,7 @@ let stop_listening t =
   in
   if was_running then begin
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    try ignore (Unix.write t.stop_w (Bytes.make 1 'x') 0 1)
-    with Unix.Unix_error _ -> ()
+    wake t
   end
 
 let shutdown_conns ?except t =
@@ -253,117 +295,377 @@ let shutdown_conns ?except t =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns
 
-let serve_conn t conn_id fd =
-  let cleanup () =
-    Mutex.protect t.mu (fun () ->
-        t.conns <- List.filter (fun (id, _) -> id <> conn_id) t.conns);
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  in
-  Fun.protect ~finally:cleanup (fun () ->
-      try
-        let client_caps = ref [] in
-        (match Wire.recv fd with
-        | Wire.Hello { version; caps }, _ when version = Wire.version ->
-          client_caps := caps;
-          ignore (Wire.send fd (welcome t))
-        | Wire.Hello { version; _ }, _ ->
-          ignore
-            (Wire.send fd
-               (Wire.Error
-                  {
-                    id = 0;
-                    transient = false;
-                    message =
-                      Printf.sprintf "unsupported protocol version %d (this peer speaks %d)"
-                        version Wire.version;
-                  }));
-          raise Exit
-        | _ ->
-          ignore
-            (Wire.send fd
-               (Wire.Error
-                  { id = 0; transient = false; message = "expected a hello handshake" }));
-          raise Exit);
-        let rec loop () =
-          let answer reply =
-            if t.stop_after_reply then begin
-              (* Deterministic mid-run death: refuse reconnects *before*
-                 the reply reaches the client, so everything after this
-                 answer fails even through retries. *)
-              stop_listening t;
-              shutdown_conns ~except:conn_id t;
-              ignore (Wire.send fd reply)
-            end
-            else begin
-              ignore (Wire.send fd reply);
-              loop ()
-            end
-          in
-          match Wire.recv fd with
-          | Wire.Invoke { id; service; params; push }, _ ->
-            answer (handle_invoke t ~client_caps:!client_caps ~id ~service ~params ~push)
-          | Wire.Eval { id; strategy; query; doc; projected = _ }, _ ->
-            answer (handle_eval t ~id ~strategy ~query ~doc)
-          | _, _ ->
-            ignore
-              (Wire.send fd
-                 (Wire.Error
-                    { id = 0; transient = false; message = "expected an invoke or eval request" }))
-        in
-        loop ()
-      with
-      | Wire.Closed | Exit -> ()
-      | Unix.Unix_error _ -> ()
-      | Wire.Protocol_error m -> (
-        Log.debug (fun f -> f "closing connection on protocol error: %s" m);
-        try ignore (Wire.send fd (Wire.Error { id = 0; transient = false; message = m }))
-        with Wire.Protocol_error _ | Unix.Unix_error _ -> ()))
+(* ------------------------------------------------------------------ *)
+(* The event loop.
 
-let accept_loop t =
-  let rec loop () =
-    let stop_now = Mutex.protect t.mu (fun () -> t.stopped) in
-    if not stop_now then begin
-      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
-      | rs, _, _ when List.mem t.stop_r rs -> ()
-      | _ -> (
-        match Unix.accept t.listen_fd with
-        | fd, _ ->
-          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-          let conn_id =
-            Mutex.protect t.mu (fun () ->
-                let id = t.next_conn in
-                t.next_conn <- id + 1;
-                t.conns <- (id, fd) :: t.conns;
-                id)
-          in
-          ignore (Thread.create (fun () -> serve_conn t conn_id fd) ());
-          loop ()
-        | exception
-            Unix.Unix_error
-              ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _) ->
-          loop ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+   One thread owns every conn and the Evloop; workers get requests
+   through {!Exec.async} and give replies back through [t.completions]
+   plus a byte on the wake pipe. Request handlers never run on the loop
+   thread, so a slow service or an injected latency stalls one worker,
+   not the whole server; a conn with a request in flight has its read
+   interest parked ([busy]), which both applies backpressure and
+   preserves the strict request/response order of the old
+   thread-per-connection server. *)
+
+let grow_to b need =
+  let cap = ref (max 4096 (2 * Bytes.length b)) in
+  while !cap < need do
+    cap := !cap * 2
+  done;
+  let b' = Bytes.create !cap in
+  Bytes.blit b 0 b' 0 (Bytes.length b);
+  b'
+
+let event_loop t =
+  let ev = Evloop.create ~force_select:t.force_select () in
+  Log.debug (fun f -> f "event loop on the %s backend" (Evloop.backend_name ev));
+  let tbl : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 256 in
+  let accepting = ref false in
+  let listener_gone = ref false in
+  Evloop.add ev t.wake_r ~read:true ~write:false;
+  (try
+     Evloop.add ev t.listen_fd ~read:true ~write:false;
+     accepting := true
+   with Invalid_argument _ | Failure _ -> listener_gone := true);
+  let set_interest c =
+    if not c.dead then Evloop.modify ev c.fd ~read:c.want_read ~write:c.want_write
+  in
+  let close_conn c =
+    if not c.dead then begin
+      c.dead <- true;
+      Evloop.remove ev c.fd;
+      Hashtbl.remove tbl c.fd;
+      Mutex.protect t.mu (fun () ->
+          t.conns <- List.filter (fun (id, _) -> id <> c.cid) t.conns);
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      (* room again below the cap: resume accepting *)
+      if (not !accepting) && (not !listener_gone) && (not t.stopped)
+         && Hashtbl.length tbl < t.max_conns
+      then begin
+        try
+          Evloop.add ev t.listen_fd ~read:true ~write:false;
+          accepting := true
+        with Invalid_argument _ | Failure _ -> listener_gone := true
+      end
     end
   in
-  loop ()
+  let drop_listener () =
+    if !accepting then begin
+      Evloop.remove ev t.listen_fd;
+      accepting := false
+    end;
+    listener_gone := true
+  in
+  let queue_bytes c b off n =
+    if c.woff = c.wlen then begin
+      c.woff <- 0;
+      c.wlen <- 0
+    end;
+    if c.wlen + n > Bytes.length c.wbuf then begin
+      (* compact before growing so capacity tracks unsent bytes *)
+      if c.woff > 0 then begin
+        Bytes.blit c.wbuf c.woff c.wbuf 0 (c.wlen - c.woff);
+        c.wlen <- c.wlen - c.woff;
+        c.woff <- 0
+      end;
+      if c.wlen + n > Bytes.length c.wbuf then c.wbuf <- grow_to c.wbuf (c.wlen + n)
+    end;
+    Bytes.blit b off c.wbuf c.wlen n;
+    c.wlen <- c.wlen + n;
+    if not c.want_write then begin
+      c.want_write <- true;
+      set_interest c
+    end
+  in
+  let queue_reply ?codec c msg =
+    let codec = match codec with Some k -> k | None -> c.codec in
+    match Wire.encode_frame_into ~codec c.scratch msg with
+    | b, n -> queue_bytes c b 0 n
+    | exception Wire.Protocol_error m ->
+      (* an oversized reply: all we can do is tell the peer and hang up *)
+      Log.debug (fun f -> f "conn %d: unencodable reply: %s" c.cid m);
+      (match
+         Wire.encode_frame_into ~codec c.scratch
+           (Wire.Error { id = 0; transient = false; message = m })
+       with
+      | b, n -> queue_bytes c b 0 n
+      | exception Wire.Protocol_error _ -> ());
+      c.closing <- true
+  in
+  let protocol_error c m =
+    Log.debug (fun f -> f "conn %d: closing on protocol error: %s" c.cid m);
+    queue_reply c (Wire.Error { id = 0; transient = false; message = m });
+    c.closing <- true;
+    c.want_read <- false;
+    set_interest c;
+    if c.woff = c.wlen then close_conn c
+  in
+  let dispatch c msg =
+    if not c.handshaken then begin
+      match msg with
+      | Wire.Hello { version; caps } when version = Wire.version ->
+        c.client_caps <- caps;
+        c.handshaken <- true;
+        (* the handshake itself is always JSON; only frames after a
+           mutual cap_binary may switch *)
+        queue_reply ~codec:Wire.Json c (welcome t);
+        if List.mem Wire.cap_binary caps && List.mem Wire.cap_binary t.caps then
+          c.codec <- Wire.Binary
+      | Wire.Hello { version; _ } ->
+        protocol_error c
+          (Printf.sprintf "unsupported protocol version %d (this peer speaks %d)"
+             version Wire.version)
+      | _ -> protocol_error c "expected a hello handshake"
+    end
+    else begin
+      match msg with
+      | Wire.Invoke { id; service; params; push } ->
+        c.busy <- true;
+        c.want_read <- false;
+        set_interest c;
+        let client_caps = c.client_caps in
+        Exec.async t.pool (fun () ->
+            let reply = handle_invoke t ~client_caps ~id ~service ~params ~push in
+            Mutex.protect t.comp_mu (fun () -> Queue.push (c, reply) t.completions);
+            wake t)
+      | Wire.Eval { id; strategy; query; doc; projected = _ } ->
+        c.busy <- true;
+        c.want_read <- false;
+        set_interest c;
+        Exec.async t.pool (fun () ->
+            let reply = handle_eval t ~id ~strategy ~query ~doc in
+            Mutex.protect t.comp_mu (fun () -> Queue.push (c, reply) t.completions);
+            wake t)
+      | _ -> protocol_error c "expected an invoke or eval request"
+    end
+  in
+  (* Decode and dispatch every complete frame sitting in [rbuf]. Stops
+     at a partial frame, or as soon as the conn goes busy/closing. *)
+  let rec process_frames c =
+    if (not c.dead) && (not c.busy) && (not c.closing) && c.rlen - c.roff >= 4 then begin
+      match Wire.decode_frame_header (Bytes.sub_string c.rbuf c.roff 4) with
+      | exception Wire.Protocol_error m -> protocol_error c m
+      | codec, len ->
+        if c.rlen - c.roff - 4 >= len then begin
+          let msg =
+            (* decode copies every string it keeps and finishes before
+               the loop can refill rbuf, so no copy of the slice *)
+            try Ok (Wire.decode_payload ~pos:(c.roff + 4) ~len codec
+                      (Bytes.unsafe_to_string c.rbuf))
+            with Wire.Protocol_error m -> Error m
+          in
+          c.roff <- c.roff + 4 + len;
+          if c.roff = c.rlen then begin
+            c.roff <- 0;
+            c.rlen <- 0
+          end;
+          match msg with
+          | Ok msg ->
+            dispatch c msg;
+            process_frames c
+          | Error m -> protocol_error c m
+        end
+        else if 4 + len > Bytes.length c.rbuf - c.roff then begin
+          (* the complete frame cannot fit in the space after roff *)
+          if c.roff > 0 then begin
+            Bytes.blit c.rbuf c.roff c.rbuf 0 (c.rlen - c.roff);
+            c.rlen <- c.rlen - c.roff;
+            c.roff <- 0
+          end;
+          if 4 + len > Bytes.length c.rbuf then c.rbuf <- grow_to c.rbuf (4 + len)
+        end
+    end
+  in
+  let handle_read c =
+    if c.rlen = Bytes.length c.rbuf then begin
+      if c.roff > 0 then begin
+        Bytes.blit c.rbuf c.roff c.rbuf 0 (c.rlen - c.roff);
+        c.rlen <- c.rlen - c.roff;
+        c.roff <- 0
+      end
+      else c.rbuf <- grow_to c.rbuf (Bytes.length c.rbuf + 1)
+    end;
+    match Unix.read c.fd c.rbuf c.rlen (Bytes.length c.rbuf - c.rlen) with
+    | 0 -> close_conn c
+    | n ->
+      c.rlen <- c.rlen + n;
+      process_frames c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+    | exception Unix.Unix_error _ -> close_conn c
+  in
+  let handle_write c =
+    match Unix.write c.fd c.wbuf c.woff (c.wlen - c.woff) with
+    | n ->
+      c.woff <- c.woff + n;
+      if c.woff = c.wlen then begin
+        c.woff <- 0;
+        c.wlen <- 0;
+        c.want_write <- false;
+        set_interest c;
+        if c.closing then close_conn c
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+    | exception Unix.Unix_error _ -> close_conn c
+  in
+  let accept_burst () =
+    let continue = ref !accepting in
+    while !continue do
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        (try
+           Unix.set_nonblock fd;
+           Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let cid =
+          Mutex.protect t.mu (fun () ->
+              let id = t.next_conn in
+              t.next_conn <- id + 1;
+              t.conns <- (id, fd) :: t.conns;
+              id)
+        in
+        let c =
+          {
+            cid;
+            fd;
+            scratch = Wire.scratch ();
+            codec = Wire.Json;
+            handshaken = false;
+            client_caps = [];
+            rbuf = Bytes.create 4096;
+            roff = 0;
+            rlen = 0;
+            wbuf = Bytes.create 4096;
+            woff = 0;
+            wlen = 0;
+            busy = false;
+            closing = false;
+            dead = false;
+            want_read = true;
+            want_write = false;
+          }
+        in
+        (match Evloop.add ev fd ~read:true ~write:false with
+        | () ->
+          Hashtbl.replace tbl fd c;
+          if Hashtbl.length tbl >= t.max_conns && !accepting then begin
+            Evloop.remove ev t.listen_fd;
+            accepting := false;
+            continue := false
+          end
+        | exception Failure m ->
+          (* the select backend out of fd range: refuse, keep serving *)
+          Log.debug (fun f -> f "refusing connection: %s" m);
+          Mutex.protect t.mu (fun () ->
+              t.conns <- List.filter (fun (id, _) -> id <> cid) t.conns);
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        drop_listener ();
+        continue := false
+    done
+  in
+  let drain_wake () =
+    let b = Bytes.create 64 in
+    let rec go () =
+      match Unix.read t.wake_r b 0 64 with
+      | 64 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+    in
+    go ()
+  in
+  let drain_completions () =
+    let pending =
+      Mutex.protect t.comp_mu (fun () ->
+          let xs = List.of_seq (Queue.to_seq t.completions) in
+          Queue.clear t.completions;
+          xs)
+    in
+    List.iter
+      (fun (c, reply) ->
+        if not c.dead then begin
+          c.busy <- false;
+          if t.stop_after_reply then begin
+            (* Deterministic mid-run death: refuse reconnects *before*
+               the reply reaches the client, so everything after this
+               answer fails even through retries. *)
+            stop_listening t;
+            shutdown_conns ~except:c.cid t;
+            c.closing <- true;
+            queue_reply c reply
+          end
+          else begin
+            queue_reply c reply;
+            if not c.closing then begin
+              c.want_read <- true;
+              set_interest c;
+              (* the client may have pipelined the next request *)
+              process_frames c
+            end
+          end
+        end)
+      pending
+  in
+  let stopped () = Mutex.protect t.mu (fun () -> t.stopped) in
+  let rec loop () =
+    let events =
+      try Evloop.wait ev ~timeout:(-1.0)
+      with Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* the listener was closed under us by [stop_listening] *)
+        drop_listener ();
+        []
+    in
+    List.iter
+      (fun { Evloop.fd; readable; writable } ->
+        if fd = t.wake_r then (if readable then drain_wake ())
+        else if fd = t.listen_fd && !accepting then (if readable then accept_burst ())
+        else
+          match Hashtbl.find_opt tbl fd with
+          | None -> ()
+          | Some c ->
+            if writable && not c.dead then handle_write c;
+            if readable && not c.dead then handle_read c)
+      events;
+    drain_completions ();
+    if stopped () then begin
+      if not !listener_gone then drop_listener ();
+      (* conns shut down by [stop] EOF out; force the issue for the
+         rest (busy ones have no read interest, so an EOF alone cannot
+         reach them on every backend) — except a closing conn still
+         flushing its last reply (the kill_after_reply survivor). *)
+      Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+      |> List.iter (fun c ->
+             if not (c.closing && c.wlen > c.woff) then close_conn c);
+      if Hashtbl.length tbl > 0 then loop ()
+    end
+    else loop ()
+  in
+  loop ();
+  Evloop.close ev
 
 let start t =
-  match t.accept_thread with
+  match t.loop_thread with
   | Some _ -> ()
-  | None -> t.accept_thread <- Some (Thread.create accept_loop t)
+  | None -> t.loop_thread <- Some (Thread.create event_loop t)
 
-let run t = accept_loop t
+let run t = event_loop t
 
 let stop t =
   stop_listening t;
   shutdown_conns t;
-  (match t.accept_thread with
+  (match t.loop_thread with
   | Some th ->
-    t.accept_thread <- None;
+    t.loop_thread <- None;
     Thread.join th
   | None -> ());
-  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
-  try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+  Exec.shutdown t.pool;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
 
 let kill_after_reply t = t.stop_after_reply <- true

@@ -1,8 +1,20 @@
 (** [axmld]: serve a {!Axml_services.Registry} to remote AXML peers.
 
-    The server binds a TCP socket, accepts connections on a dedicated
-    thread and runs one [Thread] per connection. Each connection is
-    handshaken ({!Wire.Hello}/{!Wire.Welcome}, exact version match),
+    The server binds a TCP socket and drives {e every} connection from
+    one event-loop thread (epoll on Linux, [Unix.select] elsewhere —
+    see {!Evloop}): non-blocking accept, per-connection read/write
+    state machines assembling frames incrementally, no thread or
+    per-frame buffer per connection — which is what lets one server
+    hold thousands of concurrent peers. Decoded requests are handed to
+    a bounded {!Axml_exec.Exec} pool; replies come back to the loop
+    through a completion queue and a self-pipe, and are flushed as the
+    socket accepts them. A connection with a request in flight has its
+    read interest parked, which applies backpressure and preserves the
+    strict in-order request/response contract of the wire protocol.
+
+    Each connection is handshaken ({!Wire.Hello}/{!Wire.Welcome}, exact
+    version match, always in JSON); when both sides advertise
+    {!Wire.cap_binary}, replies switch to the binary codec. The server
     then serves {!Wire.Invoke} requests by calling
     {!Axml_services.Registry.invoke} on the served registry — pushed
     [sub_q_v] patterns are evaluated provider-side through exactly the
@@ -19,10 +31,11 @@
     {!Wire.Report} with the engine report — answers, invocation and
     fault accounting included.
 
-    Requests from different connections run {e concurrently}: the
-    registry and the observability sinks are thread-safe, so no lock is
-    held around behavior execution. Fault draws are keyed by the logical
-    call ({!Axml_services.Faults.invocation_key}), so a seeded schedule
+    Requests from different connections run {e concurrently} on the
+    worker pool: the registry and the observability sinks are
+    thread-safe, so no lock is held around behavior execution. Fault
+    draws are keyed by the logical call
+    ({!Axml_services.Faults.invocation_key}), so a seeded schedule
     produces the same fates regardless of how connections interleave. *)
 
 type t
@@ -36,6 +49,9 @@ val create :
   ?delay:float ->
   ?jitter:float ->
   ?jitter_seed:int ->
+  ?workers:int ->
+  ?max_conns:int ->
+  ?force_select:bool ->
   registry:Axml_services.Registry.t ->
   unit ->
   t
@@ -59,8 +75,17 @@ val create :
     with [jitter_seed] (default [0]) — the heterogeneous-replica knob
     behind [axml serve --latency-jitter]; the distribution is
     reproducible per seed, but which request gets which draw depends on
-    arrival order. Raises [Unix.Unix_error] when the address cannot be
-    bound. *)
+    arrival order. [workers] (default 32) is how many requests execute
+    concurrently — workers spend their time in service sleeps and
+    injected latency, so they are cheap; connections beyond that merely
+    queue. [max_conns] (default 8192) caps concurrent connections: at
+    the cap the listener's read interest is parked (the backlog, not a
+    reset, absorbs the burst) and accepting resumes as connections
+    close. [force_select] (default false) pins the event loop to the
+    portable select backend even where epoll is available — a test
+    knob; select caps fd {e values} at 1024, so high [max_conns] needs
+    epoll. [caps] now also defaults to advertising {!Wire.cap_binary}.
+    Raises [Unix.Unix_error] when the address cannot be bound. *)
 
 val port : t -> int
 (** The actual bound port (useful after [~port:0]). *)
@@ -68,17 +93,18 @@ val port : t -> int
 val host : t -> string
 
 val start : t -> unit
-(** Spawns the accept loop on a background thread and returns. *)
+(** Spawns the event loop on a background thread and returns. *)
 
 val run : t -> unit
-(** Runs the accept loop in the calling thread (the [axml serve]
+(** Runs the event loop in the calling thread (the [axml serve]
     foreground mode); returns after {!stop}. *)
 
 val stop : t -> unit
 (** Stops accepting (the listening socket closes synchronously, so new
     connections are refused from this point on), shuts down every live
-    connection, and waits for the accept thread if {!start} spawned
-    one. Idempotent. Must not be called from a connection handler. *)
+    connection, waits for the event loop if {!start} spawned it, and
+    joins the worker pool. Idempotent. Must not be called from a
+    request handler. *)
 
 val kill_after_reply : t -> unit
 (** Test hook for degradation experiments: after the next reply is

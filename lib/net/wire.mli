@@ -1,10 +1,15 @@
 (** The AXML peer wire protocol.
 
     Peers exchange {e frames}: a 4-byte big-endian length followed by
-    that many bytes of compact {!Axml_obs.Json} — the same hand-rolled
-    JSON the observability sinks use, so the whole protocol needs no
-    dependency beyond [Unix]. One JSON value per frame; the protocol is
-    strictly request/response over one connection.
+    that many payload bytes. The payload is compact {!Axml_obs.Json} —
+    the same hand-rolled JSON the observability sinks use, so the whole
+    protocol needs no dependency beyond [Unix] — or, when both ends
+    advertise the {!cap_binary} capability, the length-prefixed binary
+    codec ({!Binary}). {!max_frame} fits in 26 bits, so the top bit of
+    the first header byte is free: binary frames set it and are
+    self-describing; JSON frames (including everything a pre-binary
+    peer can produce) leave it clear. One message per frame; the
+    protocol is strictly request/response over one connection.
 
     A connection opens with a version handshake ({!Hello} from the
     client, {!Welcome} from the server, which also advertises the served
@@ -46,6 +51,14 @@ val cap_shard : string
     rides on it; pre-shard peers simply don't advertise it and are
     treated as single, non-replicated owners. *)
 
+val cap_binary : string
+(** Capability: this peer speaks the binary codec. The handshake
+    ({!Hello}/{!Welcome}) is always JSON; once both sides have
+    advertised [cap_binary], either end may encode subsequent frames
+    with {!Binary} (the flag bit in the header tells the receiver,
+    frame by frame). Peers that never advertise it see pure JSON —
+    byte-for-byte the pre-binary protocol. *)
+
 val max_frame : int
 (** Frames above this many payload bytes (64 MiB) are rejected with
     {!Protocol_error} before any allocation. *)
@@ -71,6 +84,33 @@ val pattern_of_json : Axml_obs.Json.t -> Axml_query.Pattern.node
 (** The decoded pattern carries fresh pids (pattern nodes are allocated
     from a global counter); axes, labels, result flags and structure
     round-trip exactly. Raises {!Protocol_error}. *)
+
+(** {2 The binary codec}
+
+    A compact alternative to the JSON payloads: one-byte tags,
+    length-prefixed strings, LEB128 varints (zigzag where values can be
+    negative). Semantically identical to the JSON codec — every value
+    that round-trips through one round-trips through the other to the
+    same result. Decoding is hardened against hostile bytes: all reads
+    are bounds-checked, every length/count is capped by the bytes
+    remaining in the frame, and pathological nesting raises
+    {!Protocol_error}, never an escaped [Stack_overflow]. *)
+
+type codec = Json | Binary
+
+val codec_name : codec -> string
+(** ["json"] / ["binary"] — the values the CLI's [--wire] flag takes. *)
+
+val tree_to_binary : Axml_xml.Tree.t -> string
+val tree_of_binary : string -> Axml_xml.Tree.t
+(** Raises {!Protocol_error} (also on trailing bytes). *)
+
+val forest_to_binary : Axml_xml.Tree.forest -> string
+val forest_of_binary : string -> Axml_xml.Tree.forest
+
+val pattern_to_binary : Axml_query.Pattern.node -> string
+val pattern_of_binary : string -> Axml_query.Pattern.node
+(** Fresh pids, exactly like {!pattern_of_json}. *)
 
 (** {2 Envelopes} *)
 
@@ -120,11 +160,47 @@ val message_of_json : Axml_obs.Json.t -> message
     the cost accounting reports as wire traffic. *)
 
 val write_frame : Unix.file_descr -> Axml_obs.Json.t -> int
-(** Returns the bytes written. *)
+(** JSON-only frame write (never sets the binary flag). Returns the
+    bytes written. *)
 
 val read_frame : Unix.file_descr -> Axml_obs.Json.t * int
-(** Returns the value and the bytes read. Raises {!Closed} on EOF,
-    {!Protocol_error} on garbage. *)
+(** JSON-only frame read (a binary-flagged header is rejected as
+    {!Protocol_error}). Returns the value and the bytes read. Raises
+    {!Closed} on EOF, {!Protocol_error} on garbage. *)
 
-val send : Unix.file_descr -> message -> int
-val recv : Unix.file_descr -> message * int
+type scratch
+(** Per-connection reusable encode/decode buffers. A hot connection
+    that threads one scratch through every {!send}/{!recv} allocates no
+    fresh frame buffers after warm-up — the backing storage amortises to
+    the largest frame the connection has seen. A scratch belongs to one
+    connection at a time; it is not thread-safe. *)
+
+val scratch : unit -> scratch
+
+val encode_frame : ?codec:codec -> message -> string
+(** The complete frame — header included — as it would appear on the
+    wire. [codec] defaults to [Json]. Raises {!Protocol_error} if the
+    payload exceeds {!max_frame}. *)
+
+val encode_frame_into : ?codec:codec -> scratch -> message -> Bytes.t * int
+(** Like {!encode_frame} but into the scratch's reusable buffer:
+    [(backing, frame_length)]. The bytes are valid until the next
+    encode or {!send} on the same scratch. *)
+
+val decode_frame_header : string -> codec * int
+(** Inspects the first 4 bytes: the payload codec and length. Raises
+    {!Protocol_error} on truncation or a length outside
+    [(0, max_frame]]. *)
+
+val decode_payload : ?pos:int -> ?len:int -> codec -> string -> message
+(** Decodes one payload from [s.[pos .. pos+len-1]] ([pos] defaults to
+    0, [len] to the rest of the string). Raises {!Protocol_error} on
+    malformed bytes, unknown tags, or trailing garbage. *)
+
+val send : ?codec:codec -> ?scratch:scratch -> Unix.file_descr -> message -> int
+(** [codec] defaults to [Json]. Without a [scratch], fresh buffers are
+    allocated per call (the pre-binary behavior). *)
+
+val recv : ?scratch:scratch -> Unix.file_descr -> message * int
+(** Auto-detects the codec from the header flag, so a receiver needs no
+    out-of-band negotiation state. *)

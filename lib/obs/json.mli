@@ -23,6 +23,10 @@ type t =
 val to_string : ?indent:int -> t -> string
 (** [indent] > 0 pretty-prints with that step; default 0 is compact. *)
 
+val to_buffer : ?indent:int -> Buffer.t -> t -> unit
+(** Appends the serialization to [b] — lets hot paths (the wire codec)
+    reuse one buffer instead of allocating a string per value. *)
+
 val to_channel : ?indent:int -> out_channel -> t -> unit
 
 val write_file : ?indent:int -> string -> t -> unit

@@ -118,16 +118,25 @@ let total_budget t =
 
 let ewma_alpha = 0.3
 
-(* What one call on this shard is expected to cost. The EWMA over
-   observed costs is the primary signal (it exists even with metrics
-   disabled); when the run's metrics registry carries this shard's
-   [sched.replica_cost] histogram, its p95 widens the estimate to the
-   observed tail. Before any observation the spec's static prior
-   stands, refined by the histogram's median when one survives from an
-   earlier evaluation on the same registry. Called under [t.mu]. *)
-let estimate metrics shard =
+(* What one call of [name] on this shard is expected to cost. The EWMA
+   over observed costs is the primary signal (it exists even with
+   metrics disabled); a histogram quantile widens the estimate to the
+   observed tail: this shard's [sched.replica_cost] when the scheduler
+   itself has routed through it, else the registry's per-service
+   [service.cost] latency histogram — so an estimator on a registry
+   that has already served traffic (retries, evaluations, other
+   schedulers) starts from measured latency instead of the static
+   prior. Both fall back in the same p95 → p50 → prior order. Before
+   any observation the spec's static prior stands, refined by a
+   histogram median when one survives from an earlier evaluation on the
+   same registry. Called under [t.mu]. *)
+let estimate metrics ~name shard =
   let quant q =
-    Metrics.quantile metrics ~labels:[ ("shard", shard.spec.id) ] "sched.replica_cost" q
+    match
+      Metrics.quantile metrics ~labels:[ ("shard", shard.spec.id) ] "sched.replica_cost" q
+    with
+    | Some _ as v -> v
+    | None -> Metrics.quantile metrics ~labels:[ ("service", name) ] "service.cost" q
   in
   match (shard.ewma, quant 0.95) with
   | Some e, Some p95 -> Float.max e p95
@@ -156,14 +165,14 @@ let slot_free s = match s.spec.slots with None -> true | Some k -> s.inflight < 
    cost. A slow replica therefore only wins a call once the fast one's
    queue has grown past the latency gap; before any estimate exists the
    shards tie and declaration order decides. *)
-let score metrics s =
+let score metrics ~name s =
   let queued = s.inflight + s.waiting + 1 in
   let waves =
     match s.spec.slots with
     | None -> queued
     | Some k -> (queued + k - 1) / k
   in
-  float_of_int waves *. estimate metrics s
+  float_of_int waves *. estimate metrics ~name s
 
 (* Pick a shard for [name]. Called with [t.mu] held. [tried] are the
    shards whose retry loop this call already exhausted (a re-route in
@@ -219,7 +228,8 @@ let rec place t ~metrics ~tried name =
         | Adaptive ->
           let chosen =
             List.fold_left
-              (fun best s -> if score metrics s < score metrics best then s else best)
+              (fun best s ->
+                if score metrics ~name s < score metrics ~name best then s else best)
               (List.hd untried) (List.tl untried)
           in
           if slot_free chosen then commit chosen

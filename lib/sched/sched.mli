@@ -17,9 +17,15 @@
     Placement is cost-model-driven in the shape of Mukhopadhyay et al.,
     "Query Optimization Over Web Services Using A Mixed Approach": a
     static prior per shard, refined online by an EWMA over observed
-    per-call costs and by the p95 of the [sched.replica_cost] latency
-    histogram the scheduler feeds into the run's {!Axml_obs.Metrics}
-    registry. {!Adaptive} mode charges each candidate
+    per-call costs and by the p95 of a latency histogram from the run's
+    {!Axml_obs.Metrics} registry: the [sched.replica_cost] histogram
+    the scheduler itself feeds, or — when the scheduler has not routed
+    through that shard yet — the per-service [service.cost] histogram
+    the registry records for {e every} invocation, so traffic served
+    before this scheduler existed (retries, prior evaluations, other
+    schedulers) still seeds the estimate. Both histograms fall back in
+    the same p95 → p50 → static-prior order. {!Adaptive} mode charges
+    each candidate
     [(inflight + 1) × estimated_cost] and takes the cheapest (ties to
     the earliest shard), so a skewed replica set drains through the fast
     peer without starving the slow one; {!Round_robin} ignores cost and

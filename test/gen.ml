@@ -179,7 +179,8 @@ let arb_transient_fault_case =
 (* ------------------------------------------------------------------ *)
 (* Wire garbage: hostile byte strings to throw at an AXML peer. The
    frame format is a 4-byte big-endian length followed by that many
-   bytes of compact JSON (lib/net/wire.ml); every generated string is
+   payload bytes — compact JSON, or the binary codec when the header's
+   top bit is set (lib/net/wire.ml); every generated string is
    malformed at one of the protocol's layers. *)
 
 let frame payload =
@@ -187,6 +188,12 @@ let frame payload =
   let b = Bytes.create (4 + len) in
   Bytes.set_int32_be b 0 (Int32.of_int len);
   Bytes.blit_string payload 0 b 4 len;
+  Bytes.to_string b
+
+(* The same frame flagged as binary-codec (top bit of header byte 0). *)
+let frame_bin payload =
+  let b = Bytes.of_string (frame payload) in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lor 0x80));
   Bytes.to_string b
 
 let gen_raw_bytes =
@@ -200,6 +207,10 @@ type garbage =
   | Non_positive of int  (* zero or negative length prefix *)
   | Not_json of string  (* well-framed, payload isn't JSON *)
   | Wrong_envelope of string  (* well-framed valid JSON, bad envelope *)
+  | Binary_random of string  (* binary-flagged frame over arbitrary bytes *)
+  | Binary_truncated of string * int  (* binary header promises more than sent *)
+  | Binary_bad_tag of string  (* binary frame opening on an unknown message tag *)
+  | Binary_oversize of int  (* binary flag + length prefix above max_frame *)
 
 let print_garbage g =
   let hex s = String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s)))) in
@@ -211,6 +222,10 @@ let print_garbage g =
   | Non_positive n -> Printf.sprintf "non-positive length %d" n
   | Not_json s -> Printf.sprintf "non-JSON payload %S" s
   | Wrong_envelope s -> Printf.sprintf "wrong envelope %s" s
+  | Binary_random s -> Printf.sprintf "binary random payload %s" (hex s)
+  | Binary_truncated (s, n) -> Printf.sprintf "binary payload %s cut to %d bytes" (hex s) n
+  | Binary_bad_tag s -> Printf.sprintf "binary bad tag %s" (hex s)
+  | Binary_oversize n -> Printf.sprintf "binary oversize length %d" n
 
 (* The bytes a client would actually write for this garbage. *)
 let garbage_bytes = function
@@ -225,6 +240,16 @@ let garbage_bytes = function
     Bytes.to_string b
   | Not_json s -> frame s
   | Wrong_envelope s -> frame s
+  | Binary_random s -> frame_bin s
+  | Binary_truncated (payload, sent) ->
+    let full = frame_bin payload in
+    String.sub full 0 (min (String.length full) (4 + sent))
+  | Binary_bad_tag s -> frame_bin s
+  | Binary_oversize n ->
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lor 0x80));
+    Bytes.to_string b
 
 let gen_garbage =
   QCheck.Gen.(
@@ -252,6 +277,16 @@ let gen_garbage =
         (1, map (fun n -> Non_positive (-n)) (int_bound 1000));
         (2, map (fun s -> Not_json ("not json " ^ s)) (oneofl [ "{"; "}"; "<xml/>"; "" ]));
         (2, map (fun s -> Wrong_envelope s) envelopes);
+        (2, map (fun s -> Binary_random s) gen_raw_bytes);
+        ( 2,
+          map2
+            (fun s sent -> Binary_truncated (s, sent))
+            gen_raw_bytes (int_bound 8) );
+        ( 2,
+          map2
+            (fun tag s -> Binary_bad_tag (String.make 1 (Char.chr tag) ^ s))
+            (int_range 8 255) gen_raw_bytes );
+        (1, map (fun n -> Binary_oversize (64 * 1024 * 1024 + 1 + n)) (int_bound 1000));
       ])
 
 let arb_garbage = QCheck.make ~print:print_garbage gen_garbage

@@ -41,8 +41,8 @@ let fast_policy =
     attempt_timeout = 5.0;
   }
 
-let with_server ?obs registry f =
-  let server = Server.create ?obs ~registry () in
+let with_server ?obs ?caps registry f =
+  let server = Server.create ?obs ?caps ~registry () in
   Server.start server;
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
 
@@ -189,10 +189,180 @@ let prop_garbage_frames_rejected =
           match Wire.recv b with
           | _ ->
             (* four random bytes can in principle spell a consistent
-               length prefix over valid JSON; decoding is then allowed —
-               escaping with any unexpected exception is not *)
-            (match g with Gen.Random_bytes _ -> true | _ -> false)
+               length prefix over valid JSON — and random binary-flagged
+               payloads can spell a valid tagged message; decoding is
+               then allowed — escaping with any unexpected exception is
+               not *)
+            (match g with
+            | Gen.Random_bytes _ | Gen.Binary_random _ -> true
+            | _ -> false)
           | exception (Wire.Protocol_error _ | Wire.Closed) -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Binary wire codec: differential against JSON *)
+
+(* Canonical JSON text of a value — the cross-codec comparison key. Two
+   codecs agree iff the decoded values re-encode to the same JSON. *)
+let json_key_of_msg m = Json.to_string (Wire.message_to_json m)
+
+(* gen.ml trees wrapped with locally injected whitespace-only text
+   leaves and attributes: the binary codec must preserve them exactly.
+   (The shared [Gen.gen_tree] keeps whitespace-only leaves out because
+   the XML parse round-trip property drops them.) *)
+let gen_wire_tree =
+  let open QCheck.Gen in
+  map2
+    (fun tr ws ->
+      Tree.Element
+        {
+          Tree.name = "root";
+          attrs = [ ("lang", "fr"); ("q", "a \"b\"\nc") ];
+          children = [ Tree.Text ws; tr; Tree.Text "  \t\n" ];
+        })
+    Gen.gen_tree
+    (oneofl [ " "; "\t"; "\n  " ])
+
+let arb_wire_tree = QCheck.make ~print:(Fmt.to_to_string Tree.pp) gen_wire_tree
+
+let prop_binary_tree_differential =
+  QCheck.Test.make ~name:"binary tree codec ≡ JSON tree codec" ~count:200 arb_wire_tree
+    (fun tr ->
+      let via_bin = Wire.tree_of_binary (Wire.tree_to_binary tr) in
+      let via_json = Wire.tree_of_json (Wire.tree_to_json tr) in
+      via_bin = tr && via_json = tr
+      && Wire.forest_of_binary (Wire.forest_to_binary [ tr; Tree.Text " " ])
+         = [ tr; Tree.Text " " ])
+
+let test_binary_pattern_roundtrip () =
+  List.iter
+    (fun src ->
+      let q = (Parser.parse src).P.root in
+      let key p = Json.to_string (Wire.pattern_to_json p) in
+      Alcotest.(check string) (Printf.sprintf "pattern %s survives binary" src) (key q)
+        (key (Wire.pattern_of_binary (Wire.pattern_to_binary q))))
+    [
+      {|/guide/hotel[name="Best Western"][rating=$R!]/nearby//restaurant[name=$X!]|};
+      {|/a//b[c=$X!]|};
+      {|/r/*[v="  "]|};
+      {|/root/item[val=$X!]|};
+    ]
+
+(* Every envelope, encoded binary and decoded back, re-encodes to the
+   same canonical JSON as the original — the codec-equivalence oracle
+   the fuzz harness's wire dimension relies on. *)
+let prop_binary_envelope_differential =
+  QCheck.Test.make ~name:"binary envelope ≡ JSON envelope" ~count:100
+    QCheck.(pair arb_wire_tree small_int)
+    (fun (tr, n) ->
+      let push = (Parser.parse "/r//s[v=$X!]").P.root in
+      let msgs =
+        [
+          Wire.Hello { version = Wire.version; caps = [ Wire.cap_binary; "x" ] };
+          Wire.Welcome
+            {
+              version = Wire.version;
+              services = [ { Wire.name = "a"; push = true }; { Wire.name = "b"; push = false } ];
+              caps = [ Wire.cap_project; Wire.cap_binary ];
+            };
+          Wire.Invoke { id = n; service = "getrating"; params = [ tr; t "Hôtel" ]; push = Some push };
+          Wire.Invoke { id = n + 1; service = "s"; params = []; push = None };
+          Wire.Result { id = n; pushed = true; forest = [ tr ] };
+          Wire.Error { id = n; transient = n mod 2 = 0; message = "try \"again\"\n" };
+          Wire.Degraded { id = n; message = "backend down"; retries = 3; timeouts = 1 };
+          Wire.Eval { id = n; strategy = "lazy"; query = push; doc = tr; projected = true };
+          Wire.Report
+            {
+              id = n;
+              report =
+                Json.Obj
+                  [
+                    ("answers", Json.List [ Json.Int n; Json.Null; Json.Bool false ]);
+                    ("wall", Json.Float 0.125);
+                    ("note", Json.String "π ≈ 3.14159");
+                  ];
+            };
+        ]
+      in
+      List.for_all
+        (fun m ->
+          let frame = Wire.encode_frame ~codec:Wire.Binary m in
+          let codec, len = Wire.decode_frame_header frame in
+          codec = Wire.Binary
+          && String.length frame = 4 + len
+          && json_key_of_msg (Wire.decode_payload ~pos:4 Wire.Binary frame)
+             = json_key_of_msg m)
+        msgs)
+
+let test_binary_max_frame_rejection () =
+  (* encoding a message whose binary payload exceeds max_frame *)
+  let huge = Wire.Result { id = 1; pushed = false; forest = [ t (String.make Wire.max_frame 'x') ] } in
+  (match Wire.encode_frame ~codec:Wire.Binary huge with
+  | _ -> Alcotest.fail "oversize binary frame encoded"
+  | exception Wire.Protocol_error _ -> ());
+  (* a binary-flagged header advertising an oversize length is rejected
+     from the header alone *)
+  let header len =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int len);
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lor 0x80));
+    Bytes.to_string b
+  in
+  (match Wire.decode_frame_header (header (Wire.max_frame + 1)) with
+  | _ -> Alcotest.fail "oversize binary header accepted"
+  | exception Wire.Protocol_error _ -> ());
+  (* and over a real socket *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      ignore (Unix.write_substring a (header (Wire.max_frame + 1)) 0 4);
+      match Wire.recv b with
+      | _ -> Alcotest.fail "oversize binary frame received"
+      | exception Wire.Protocol_error _ -> ())
+
+(* Negotiation end-to-end: an `Auto client against a binary-capable
+   server advertises and speaks binary; pinning --wire json or talking
+   to a pre-binary server falls back to JSON — identical answers in
+   every pairing. *)
+let test_binary_negotiation_e2e () =
+  let invoke_result client =
+    let result, _ =
+      Client.call client ~obs:Obs.null ~timeout:5.0 ~service:"echo"
+        ~params:[ t "payload"; el "x" [ t "  " ] ]
+        ~push:None
+    in
+    result
+  in
+  let registry () =
+    let r = Registry.create () in
+    Registry.register r ~name:"echo" (fun params -> [ el "val" params ]);
+    r
+  in
+  let expected = ref None in
+  let check_one ~caps ~wire ~expect_cap_binary =
+    with_server ~caps (registry ()) (fun server ->
+        let client =
+          Client.create ~wire ~host:"127.0.0.1" ~port:(Server.port server) ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            let r = invoke_result client in
+            (match !expected with
+            | None -> expected := Some r
+            | Some e ->
+              Alcotest.(check bool) "identical answers across codecs" true (r = e));
+            Alcotest.(check bool) "server cap_binary advertisement" expect_cap_binary
+              (List.mem Wire.cap_binary (Client.capabilities client))))
+  in
+  let full = [ Wire.cap_project; Wire.cap_shard; Wire.cap_binary ] in
+  (* binary both ends *)
+  check_one ~caps:full ~wire:`Auto ~expect_cap_binary:true;
+  (* client pins JSON against a binary-capable server *)
+  check_one ~caps:full ~wire:`Json ~expect_cap_binary:true;
+  (* pre-binary server, modern client *)
+  check_one ~caps:[ Wire.cap_project ] ~wire:`Auto ~expect_cap_binary:false
 
 (* ------------------------------------------------------------------ *)
 (* Handshake *)
@@ -434,6 +604,28 @@ let test_server_survives_garbage () =
           Alcotest.(check int) "still serving" 1
             (List.length (Client.services client ()))))
 
+(* The portable select backend (the non-Linux / pre-epoll path) serves
+   the same protocol: force it and run real exchanges through it. *)
+let test_select_backend () =
+  let server = Server.create ~force_select:true ~registry:(echo_registry ()) () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let client = Client.create ~host:"127.0.0.1" ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          for i = 1 to 20 do
+            let result, _ =
+              Client.call client ~obs:Obs.null ~timeout:5.0 ~service:"echo"
+                ~params:[ t (string_of_int i) ]
+                ~push:None
+            in
+            Alcotest.(check bool) "echoed through select loop" true
+              (result = [ el "val" [ t (string_of_int i) ] ])
+          done))
+
 (* After a stop, the port refuses connections — no zombie listener. *)
 let test_stop_refuses_connections () =
   let server = Server.create ~registry:(echo_registry ()) () in
@@ -458,6 +650,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_garbage_frames_rejected;
           Alcotest.test_case "server survives garbage" `Quick test_server_survives_garbage;
         ] );
+      ( "wire-binary",
+        [
+          QCheck_alcotest.to_alcotest prop_binary_tree_differential;
+          Alcotest.test_case "pattern round-trip" `Quick test_binary_pattern_roundtrip;
+          QCheck_alcotest.to_alcotest prop_binary_envelope_differential;
+          Alcotest.test_case "max_frame rejection" `Quick test_binary_max_frame_rejection;
+          Alcotest.test_case "negotiation e2e" `Quick test_binary_negotiation_e2e;
+        ] );
       ( "handshake",
         [
           Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
@@ -470,6 +670,7 @@ let () =
           Alcotest.test_case "unknown service fails fast" `Quick
             test_unknown_remote_service_fails_fast;
           Alcotest.test_case "stop refuses connections" `Quick test_stop_refuses_connections;
+          Alcotest.test_case "select backend serves" `Quick test_select_backend;
         ] );
       ( "degradation",
         [ Alcotest.test_case "server killed mid-run" `Quick test_server_killed_mid_run ] );

@@ -325,6 +325,43 @@ let test_adaptive_prefers_cheap () =
     (Sched.dispatched sched);
   Alcotest.(check int) "every placement was a rebalance" 10 (Sched.rebalanced sched)
 
+(* The estimator's service.cost fallback: a shard the scheduler has
+   never routed through (no [sched.replica_cost] samples, no EWMA) is
+   seeded from the per-service [service.cost] histogram the registry
+   records for every invocation — so traffic served before this
+   scheduler existed still informs placement. Here the fresh shard's
+   static prior lies expensive while pre-scheduler history says it is
+   cheap; without the fallback the first call would stay on the
+   already-observed (and genuinely slow) replica. *)
+let test_service_cost_seeds_estimate () =
+  let observed = costed 0.5 and fresh = costed 0.001 in
+  let sched =
+    Sched.create ~mode:Sched.Adaptive
+      [
+        Sched.spec ~id:"observed" ~static_cost:0.001 observed;
+        Sched.spec ~id:"fresh" ~static_cost:1.0 fresh;
+      ]
+  in
+  let obs = Obs.measuring () in
+  let m = obs.Obs.metrics in
+  (* scheduler-fed history for "observed" only: it is slow *)
+  for _ = 1 to 8 do
+    Metrics.observe m ~labels:[ ("shard", "observed") ] "sched.replica_cost" 0.5
+  done;
+  (* pre-scheduler per-service history: the service is cheap where it
+     actually ran — which was the fresh replica's backend *)
+  for _ = 1 to 8 do
+    Metrics.observe m ~labels:[ ("service", "s") ] "service.cost" 0.001
+  done;
+  let d = Sched.dispatch sched in
+  for _ = 1 to 6 do
+    ignore (d ~name:"s" ~params:[] ~obs ())
+  done;
+  Alcotest.(check (list (pair string int)))
+    "service.cost history routes every call to the fresh replica"
+    [ ("observed", 0); ("fresh", 6) ]
+    (Sched.dispatched sched)
+
 let test_round_robin_alternates () =
   let slow = costed 0.05 and fast = costed 0.01 in
   let sched =
@@ -454,6 +491,8 @@ let () =
           Alcotest.test_case "adaptive prefers the cheap replica" `Quick
             test_adaptive_prefers_cheap;
           Alcotest.test_case "round-robin is cost-blind" `Quick test_round_robin_alternates;
+          Alcotest.test_case "service.cost history seeds the estimate" `Quick
+            test_service_cost_seeds_estimate;
         ] );
       ( "failover",
         [ Alcotest.test_case "mid-run replica death re-routes" `Quick test_replica_death_reroutes ]
