@@ -1,4 +1,4 @@
-.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project test-sched test-wire-bin fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke bench-e12-smoke bench-e13-smoke examples doc clean trace-demo serve-demo
+.PHONY: all build test test-faults test-obs test-net test-exec test-engine test-gen test-project test-sched test-view test-wire-bin fuzz-smoke check-one-report bench bench-e9-smoke bench-e11-smoke bench-e12-smoke bench-e13-smoke bench-e14-smoke examples doc clean trace-demo serve-demo
 
 all: build
 
@@ -60,6 +60,13 @@ test-wire-bin:
 test-sched:
 	dune exec test/test_sched.exe
 
+# snapshot-view tests: index round-trips and invariants on random
+# trees, incremental splice patching ≡ full rebuild across randomized
+# splice sequences (empty forests included), the parallel ≡ sequential
+# matching property, and F-guide memoization on the generation counter
+test-view:
+	dune exec test/test_view.exe
+
 # the model-based differential fuzzer at a fixed seed: ~200 iterations
 # of the full oracle battery over adversarial instances; exits nonzero
 # on the first violation, printing the shrunk case and its replay seed
@@ -78,6 +85,8 @@ check-one-report:
 	  || { echo 'projection report fields serialized outside lib/engine'; exit 1; }
 	@! grep -rn '"sharded_calls"\|"rebalanced_calls"\|"rerouted_calls"' bin bench lib/net lib/core lib/sched --include='*.ml' \
 	  || { echo 'routing report fields serialized outside lib/engine'; exit 1; }
+	@! grep -rn '"view_rebuild_nodes"\|"parallel_match_batches"' bin bench lib/net lib/core lib/sched --include='*.ml' \
+	  || { echo 'view report fields serialized outside lib/engine'; exit 1; }
 
 # record a traced + measured run, then pretty-print the span tree;
 # load /tmp/axml-demo.trace.json in chrome://tracing or ui.perfetto.dev
@@ -125,6 +134,13 @@ bench-e12-smoke:
 # binary wall <= JSON wall
 bench-e13-smoke:
 	dune exec bench/main.exe -- e13smoke
+
+# the CI-sized E14: a ~20k-node skewed document swept at --match-jobs
+# 1 and 4, always asserting byte-identical answers and counters; the
+# wall-clock speedup assertion additionally runs when the machine has
+# at least two cores
+bench-e14-smoke:
+	dune exec bench/main.exe -- e14smoke
 
 examples:
 	dune exec examples/quickstart.exe

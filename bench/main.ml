@@ -4,7 +4,7 @@
    behind each table.
 
    Usage: main.exe [--metrics-dir DIR]
-            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|e12|e12smoke|e13|e13smoke|micro]...
+            [e1|e2|e3|e4|e5|e6|e7|e8|e9|e9smoke|e10|e11|e11smoke|e12|e12smoke|e13|e13smoke|e14|e14smoke|micro]...
    (default: everything)
 
    With [--metrics-dir DIR], each experiment runs with a metrics-only
@@ -304,7 +304,7 @@ let e3 () =
                       (Relevance.guide_steps rq)
                   in
                   Axml_query.Pathstack.matches steps doc
-                  |> List.filter (fun c -> Relevance.retrieves rq c))
+                  |> List.filter (fun c -> Relevance.retrieves rq doc c))
                 rqs
               |> List.map (fun (n : Doc.node) -> n.Doc.id)
               |> List.sort_uniq compare)
@@ -315,7 +315,7 @@ let e3 () =
               List.concat_map
                 (fun rq ->
                   Fguide.candidates guide (Relevance.guide_steps rq)
-                  |> List.filter (fun c -> Relevance.retrieves rq c))
+                  |> List.filter (fun c -> Relevance.retrieves rq doc c))
                 rqs
               |> List.map (fun (n : Doc.node) -> n.Doc.id)
               |> List.sort_uniq compare)
@@ -1466,6 +1466,123 @@ let e13smoke () =
         b1.e13_bytes j1.e13_bytes)
 
 (* ------------------------------------------------------------------ *)
+(* E14: intra-document parallel match/detect. One Skewed_fanout
+   Adversary instance is padded with cold ballast sections (pure data,
+   no calls, keys never "magic") so the //item descendant sweep — not
+   service invocation — dominates the run. The same evaluation is run
+   at several --match-jobs levels: answers and every report counter
+   must be byte-identical at every level (hard assert, even on one
+   core); on a multi-core machine jobs=4 must also beat jobs=1 on the
+   wall clock. *)
+
+let e14_ballast doc ~sections ~items =
+  let root = Doc.root doc in
+  for s = 0 to sections - 1 do
+    let item i =
+      Doc.elem doc "item"
+        [
+          Doc.elem doc "key" [ Doc.data doc (Printf.sprintf "cold-%d-%d" s i) ];
+          Doc.elem doc "payload" [ Doc.data doc "ballast" ];
+        ]
+    in
+    Doc.append_child doc root (Doc.elem doc "section" (List.init items item))
+  done
+
+(* The cross-arm fingerprint: serialized answers plus every counter that
+   must not move with the jobs level (analysis_seconds is wall-clock and
+   parallel_match_batches is the parallelism accounting itself). *)
+let e14_fingerprint (r : Engine.report) =
+  let answers = Axml_xml.Print.forest_to_string (Eval.bindings_to_xml r.Engine.answers) in
+  Printf.sprintf "%s|%d|%d|%d|%d|%d|%d|%d|%b" (Digest.to_hex (Digest.string answers))
+    r.Engine.invoked r.Engine.rounds r.Engine.passes r.Engine.relevance_evals
+    r.Engine.candidates_checked r.Engine.layer_count r.Engine.view_rebuild_nodes
+    r.Engine.complete
+
+let e14_arm ~scale ~sections ~items ~jobs =
+  let inst =
+    Adversary.generate
+      { Adversary.default_config with Adversary.family = Adversary.Skewed_fanout; scale }
+  in
+  let doc = inst.Adversary.doc in
+  e14_ballast doc ~sections ~items;
+  let nodes = Doc.size doc in
+  let strategy = Lazy_eval.with_match_jobs jobs Lazy_eval.nfqa in
+  let r, w =
+    wall (fun () ->
+        Lazy_eval.run ~registry:inst.Adversary.registry ~strategy ~obs:!bench_obs
+          inst.Adversary.query doc)
+  in
+  (nodes, r, w)
+
+let e14_sweep ~title ~scale ~sections ~items ~jobs_list =
+  let arms = List.map (fun jobs -> (jobs, e14_arm ~scale ~sections ~items ~jobs)) jobs_list in
+  let _, (_, base, base_wall) = List.hd arms in
+  let base_fp = e14_fingerprint base in
+  List.iter
+    (fun (jobs, (_, r, _)) ->
+      if e14_fingerprint r <> base_fp then begin
+        Printf.eprintf "e14: answers/counters diverge at match-jobs %d\n" jobs;
+        exit 1
+      end)
+    arms;
+  print_table ~title
+    ~header:[ "match-jobs"; "nodes"; "wall(s)"; "analysis(s)"; "batches"; "speedup" ]
+    (List.map
+       (fun (jobs, ((nodes, r, w) : int * Engine.report * float)) ->
+         [
+           string_of_int jobs;
+           string_of_int nodes;
+           secs w;
+           secs r.Engine.analysis_seconds;
+           string_of_int r.Engine.parallel_match_batches;
+           Printf.sprintf "%.2fx" (base_wall /. Float.max 1e-9 w);
+         ])
+       arms);
+  arms
+
+(* The strict wall-clock bar only applies where a speedup is physically
+   possible: on a single-core container the domains serialize and the
+   fan-out can only cost overhead, so the timing assertion is skipped
+   (the byte-identity assertion above always runs). *)
+let e14_assert_speedup ~label arms =
+  let wall_of j =
+    let _, _, w = List.assoc j arms in
+    w
+  in
+  if Domain.recommended_domain_count () >= 2 then begin
+    if wall_of 4 >= wall_of 1 then begin
+      Printf.eprintf "%s: match-jobs 4 wall %.3fs >= match-jobs 1 wall %.3fs\n" label
+        (wall_of 4) (wall_of 1);
+      exit 1
+    end;
+    Printf.printf "%s: ok (jobs=4 %.3fs < jobs=1 %.3fs, answers identical)\n" label
+      (wall_of 4) (wall_of 1)
+  end
+  else
+    Printf.printf
+      "%s: single core (recommended_domain_count < 2), timing bar skipped; answers \
+       identical at every jobs level\n"
+      label
+
+let e14 () =
+  let arms =
+    e14_sweep
+      ~title:
+        "E14: intra-document parallel matching, million-node skewed doc (match-jobs sweep)"
+      ~scale:100 ~sections:64 ~items:3125 ~jobs_list:[ 1; 2; 4; 8 ]
+  in
+  e14_assert_speedup ~label:"e14" arms
+
+(* CI-sized: ~20k-node doc, jobs 1 vs 4 — same hard byte-identity bar,
+   same core-gated timing bar. *)
+let e14smoke () =
+  let arms =
+    e14_sweep ~title:"E14 smoke: parallel matching, ~20k-node skewed doc" ~scale:30
+      ~sections:16 ~items:250 ~jobs_list:[ 1; 4 ]
+  in
+  e14_assert_speedup ~label:"e14smoke" arms
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation of each table. *)
 
 let micro () =
@@ -1578,6 +1695,8 @@ let experiments =
     ("e12smoke", e12smoke);
     ("e13", e13);
     ("e13smoke", e13smoke);
+    ("e14", e14);
+    ("e14smoke", e14smoke);
     ("micro", micro);
   ]
 

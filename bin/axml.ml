@@ -183,6 +183,18 @@ let jobs_arg =
            unchanged). 1 (the default) stays sequential; 0 picks a machine-dependent \
            default.")
 
+let match_jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "match-jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the match/detect passes of the lazy strategies out over top-level document \
+           subtrees on $(docv) domains (real CPU parallelism, unlike $(b,--jobs) whose \
+           worker threads only overlap service I/O under the runtime lock). Answers and \
+           every report counter are byte-identical at every level. 1 (the default) stays \
+           sequential; 0 picks a machine-dependent default. Ignored by $(b,naive).")
+
 (* Resolve --jobs into an optional pool; [f] runs with it and the pool
    is always shut down, even on error. *)
 let with_pool jobs f =
@@ -600,8 +612,8 @@ let strategy_conv =
    Lazy_eval configurations — all return the one engine report) and
    [finish_run] (summary, fault counters, obs sinks, --report-json). *)
 
-let evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ?dispatch ?max_calls ~registry
-    query doc =
+let evaluate ~strategy ~push ~fguide ~project ~match_jobs ?schema ~obs ?pool ?dispatch
+    ?max_calls ~registry query doc =
   let projector = if project then Some (Project.compile ?schema query) else None in
   match strategy with
   | `Naive -> Engine.naive_run ?max_calls ?pool ~obs ?projector ?dispatch registry query doc
@@ -615,6 +627,7 @@ let evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ?dispatch ?max_
     in
     let base = if push then Lazy_eval.with_push base else base in
     let strategy = if fguide then Lazy_eval.with_fguide base else base in
+    let strategy = Lazy_eval.with_match_jobs match_jobs strategy in
     let strategy =
       (* summed shard budgets tighten the engine's global budget *)
       match max_calls with
@@ -651,9 +664,9 @@ let finish_run ~registry ?sched ~trace_out ~metrics_out ~report_json obs (r : En
   emit_report_json report_json (Engine.report_to_json r);
   `Ok ()
 
-let run_workload verbose workload strategy scale seed push fguide project xml jobs shards
-    replicas balance fault_rate fault_seed max_retries timeout trace_out metrics_out report_json
-    query_override =
+let run_workload verbose workload strategy scale seed push fguide project xml jobs match_jobs
+    shards replicas balance fault_rate fault_seed max_retries timeout trace_out metrics_out
+    report_json query_override =
   setup_logs verbose;
   let generate () =
     match workload with
@@ -709,8 +722,8 @@ let run_workload verbose workload strategy scale seed push fguide project xml jo
         let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
         with_pool jobs (fun pool ->
             let r =
-              evaluate ~strategy ~push ~fguide ~project ~schema ~obs ?pool ?dispatch ?max_calls
-                ~registry query doc
+              evaluate ~strategy ~push ~fguide ~project ~match_jobs ~schema ~obs ?pool ?dispatch
+                ?max_calls ~registry query doc
             in
             print_bindings ~xml r.Engine.answers;
             (match sched with
@@ -752,9 +765,9 @@ let run_cmd =
     Term.(
       ret
         (const run_workload $ verbose_flag $ workload_arg $ strategy_arg $ scale_arg $ seed_arg
-       $ push_arg $ fguide_arg $ project_flag $ xml_flag $ jobs_arg $ shard_arg $ replicas_arg
-       $ balance_arg $ fault_rate_arg $ fault_seed_arg $ max_retries_arg $ timeout_arg
-       $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
+       $ push_arg $ fguide_arg $ project_flag $ xml_flag $ jobs_arg $ match_jobs_arg
+       $ shard_arg $ replicas_arg $ balance_arg $ fault_rate_arg $ fault_seed_arg
+       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
 
 (* ---------------- generate ---------------- *)
 
@@ -807,8 +820,8 @@ let generate_cmd =
 (* ---------------- eval (user files) ---------------- *)
 
 let eval_files verbose doc_path schema_path services_path connect wire strategy push fguide
-    project xml flwr jobs shards replicas balance fault_rate fault_seed max_retries timeout
-    trace_out metrics_out report_json query_src =
+    project xml flwr jobs match_jobs shards replicas balance fault_rate fault_seed max_retries
+    timeout trace_out metrics_out report_json query_src =
   setup_logs verbose;
   let flwr_query =
     if not flwr then Ok None
@@ -886,8 +899,8 @@ let eval_files verbose doc_path schema_path services_path connect wire strategy 
               let obs = make_obs ~trace:trace_out ~metrics:metrics_out in
               with_pool jobs (fun pool ->
                   let r =
-                    evaluate ~strategy ~push ~fguide ~project ?schema ~obs ?pool ?dispatch
-                      ?max_calls ~registry query doc
+                    evaluate ~strategy ~push ~fguide ~project ~match_jobs ?schema ~obs ?pool
+                      ?dispatch ?max_calls ~registry query doc
                   in
                   (match flwr_query with
                   | Ok (Some q) ->
@@ -929,9 +942,10 @@ let eval_cmd =
     Term.(
       ret
         (const eval_files $ verbose_flag $ doc_arg $ schema_arg $ services_arg $ connect_arg
-       $ wire_arg $ strategy_arg $ push_arg $ fguide_arg $ project_flag $ xml_flag $ flwr_flag $ jobs_arg
-       $ shard_arg $ replicas_arg $ balance_arg $ fault_rate_arg $ fault_seed_arg
-       $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg $ report_json_arg $ query_arg))
+       $ wire_arg $ strategy_arg $ push_arg $ fguide_arg $ project_flag $ xml_flag $ flwr_flag
+       $ jobs_arg $ match_jobs_arg $ shard_arg $ replicas_arg $ balance_arg $ fault_rate_arg
+       $ fault_seed_arg $ max_retries_arg $ timeout_arg $ trace_arg $ metrics_arg
+       $ report_json_arg $ query_arg))
 
 (* ---------------- project ---------------- *)
 

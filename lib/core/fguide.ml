@@ -23,6 +23,11 @@ type t = {
   (* call node id -> the trie node holding it, for O(1) removal *)
   location : (int, trie) Hashtbl.t;
   mutable calls : int;
+  (* which document state the guide reflects: {!memoized} reuses the
+     guide while these match, {!sync} re-tags it after incremental
+     maintenance brought it up to date with a newer generation *)
+  mutable doc_uid : int;
+  mutable doc_generation : int;
 }
 
 let make_trie () = { children = []; extent = [] }
@@ -49,10 +54,70 @@ let rec index_from t prefix (n : Doc.node) =
   | Doc.Data _ -> ()
   | Doc.Elem label -> List.iter (index_from t (label :: prefix)) n.Doc.children
 
-let build d =
-  let t = { root = make_trie (); location = Hashtbl.create 64; calls = 0 } in
-  index_from t [] (Doc.root d);
+let empty () =
+  {
+    root = make_trie ();
+    location = Hashtbl.create 64;
+    calls = 0;
+    doc_uid = -1;
+    doc_generation = -1;
+  }
+
+(* Same traversal as [index_from], over the immutable snapshot view:
+   identical visit order, so extents come out in the same order and the
+   candidate lists (hence invocation order downstream) are unchanged. *)
+let of_view v =
+  let module View = Doc.View in
+  let t = empty () in
+  let rec go prefix i =
+    match View.label v i with
+    | Doc.Call _ -> insert_call t (List.rev prefix) (View.node v i)
+    | Doc.Data _ -> ()
+    | Doc.Elem label -> List.iter (go (label :: prefix)) (View.children v i)
+  in
+  go [] (View.root v);
+  t.doc_uid <- View.doc_uid v;
+  t.doc_generation <- View.generation v;
   t
+
+let build d =
+  let v = Doc.View.snapshot d in
+  let t = of_view v in
+  t.doc_uid <- Doc.uid d;
+  t.doc_generation <- Doc.generation d;
+  t
+
+let sync t d = t.doc_generation <- Doc.generation d
+
+(* ------------------------------------------------------------------ *)
+(* Generation-keyed memoization: two queries over an unchanged document
+   share one build. A guide maintained through [update_after_replace]
+   and re-tagged with [sync] stays reusable across evaluations. *)
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 16
+let cache_mu = Mutex.create ()
+let cache_cap = 32
+
+let memoized d =
+  Mutex.lock cache_mu;
+  let hit =
+    match Hashtbl.find_opt cache (Doc.uid d) with
+    | Some g when g.doc_generation = Doc.generation d -> Some g
+    | _ -> None
+  in
+  match hit with
+  | Some g ->
+    Mutex.unlock cache_mu;
+    (g, true)
+  | None ->
+    Mutex.unlock cache_mu;
+    let g = build d in
+    Mutex.lock cache_mu;
+    if Hashtbl.length cache >= cache_cap && not (Hashtbl.mem cache (Doc.uid d)) then
+      Hashtbl.reset cache;
+    Hashtbl.replace cache (Doc.uid d) g;
+    Mutex.unlock cache_mu;
+    (g, false)
 
 let call_count t = t.calls
 

@@ -14,6 +14,26 @@
 type t
 
 val build : Axml_doc.t -> t
+(** A fresh guide from the document's snapshot view (one pure O(n)
+    pass). *)
+
+val of_view : Axml_doc.View.t -> t
+(** A fresh guide from an explicit snapshot view — identical visit
+    order to {!build}, so extents (and downstream invocation order) are
+    unchanged. *)
+
+val memoized : Axml_doc.t -> t * bool
+(** [memoized d] returns the cached guide for [d] when one exists for
+    the document's current generation ([true] = reused, counted by the
+    engine's [fguide.reuse] metric), else builds and caches a fresh one.
+    A guide kept current through {!update_after_replace} + {!sync}
+    stays reusable across evaluations. Thread-safe; the cache is
+    bounded. *)
+
+val sync : t -> Axml_doc.t -> unit
+(** Re-tags the guide as reflecting the document's current generation —
+    call after incremental maintenance ({!update_after_replace},
+    {!add_subtree}, {!remove_subtree}) brought it up to date. *)
 
 val candidates :
   t -> (Axml_query.Pattern.axis * Axml_query.Pattern.label) list -> Axml_doc.node list

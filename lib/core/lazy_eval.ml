@@ -18,6 +18,7 @@
 
 module P = Axml_query.Pattern
 module Eval = Axml_query.Eval
+module Exec = Axml_exec.Exec
 
 let log_src = Logs.Src.create "axml.lazy" ~doc:"NFQA lazy evaluation trace"
 
@@ -64,6 +65,10 @@ type strategy = {
   materialize_results : bool;
       (** invoke the calls remaining below answer images, so answers ship
           fully extensional instead of "possibly intensionally" (§2) *)
+  match_jobs : int;
+      (** fan the match/detect passes out over top-level document
+          subtrees on this many domains (0 = auto, 1 = sequential);
+          answers are byte-identical at every level *)
   max_calls : int;
   max_passes : int;
 }
@@ -82,6 +87,7 @@ let default =
     containment_dedup = false;
     share_contexts = true;
     materialize_results = false;
+    match_jobs = 1;
     max_calls = 100_000;
     max_passes = 1_000_000;
   }
@@ -96,6 +102,7 @@ let lpq_only = { default with relevance = Lpq_relevance }
 let with_fguide s = { s with use_fguide = true }
 let with_push s = { s with push = true }
 let with_budget b s = { s with max_calls = min b s.max_calls }
+let with_match_jobs n s = { s with match_jobs = n }
 
 type report = Engine.report = {
   answers : Eval.binding list;
@@ -119,6 +126,11 @@ type report = Engine.report = {
   sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
   rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
   rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
+  view_rebuild_nodes : int;
+      (** nodes (re)indexed into snapshot views during the run — splice
+          patches, plus full rebuilds if any non-splice mutation hit *)
+  parallel_match_batches : int;
+      (** intra-document parallel match dispatches; 0 when sequential *)
   complete : bool;  (** the document is complete for the query (Def. 3) *)
 }
 
@@ -141,6 +153,8 @@ type state = {
   mutable finished_sources : int list;  (* sources of finished layers *)
   (* evaluation context shared across detections, reset on doc change *)
   mutable shared_ctx : Eval.context option;
+  (* intra-document parallel matching: jobs level + batch accounting *)
+  match_par : Eval.par option;
   (* analysis counters — the invocation counters live in the engine *)
   mutable passes : int;
   mutable relevance_evals : int;
@@ -196,6 +210,41 @@ let timed st f =
   st.analysis_seconds <- st.analysis_seconds +. (Sys.time () -. t0);
   r
 
+(* Contiguous split into at most [jobs] chunks, order-preserving — the
+   concatenated chunk results equal the sequential result exactly. *)
+let chunk_list jobs xs =
+  let n = List.length xs in
+  let per = max 1 ((n + jobs - 1) / jobs) in
+  let rec go cur k acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | x :: rest ->
+      if k >= per then go [ x ] 1 (List.rev cur :: acc) rest
+      else go (x :: cur) (k + 1) acc rest
+  in
+  match xs with [] -> [] | x :: rest -> go [ x ] 1 [] rest
+
+(* The [eval.match] span around a (potentially) parallel match pass,
+   closed with the number of parallel batches it dispatched. *)
+let with_match_span st f =
+  match st.match_par with
+  | None -> f ()
+  | Some par ->
+    let tr = st.obs.Obs.trace in
+    if not (Trace.enabled tr) then f ()
+    else begin
+      let b0 = Eval.par_batches par in
+      let span =
+        Trace.open_span tr
+          ~attrs:[ ("jobs", Trace.Int (Eval.par_jobs par)) ]
+          "eval.match"
+      in
+      let r = f () in
+      Trace.close_span tr
+        ~attrs:[ ("batches", Trace.Int (Eval.par_batches par - b0)) ]
+        span;
+      r
+    end
+
 (* Relevant calls the query currently retrieves — minus the permanently
    failed ones, which would otherwise be retrieved forever. *)
 let detect st (rq : Relevance.t) : Doc.node list =
@@ -221,13 +270,15 @@ let detect st (rq : Relevance.t) : Doc.node list =
                 match st.shared_ctx with
                 | Some ctx -> ctx
                 | None ->
-                  let ctx = Eval.context ~relax_joins () in
+                  let ctx = Eval.context ~relax_joins ?par:st.match_par () in
                   st.shared_ctx <- Some ctx;
                   ctx
               in
-              Relevance.relevant_calls_in ctx r st.doc
+              with_match_span st (fun () -> Relevance.relevant_calls_in ctx r st.doc)
             end
-            else Relevance.relevant_calls ~relax_joins r st.doc
+            else
+              with_match_span st (fun () ->
+                  Relevance.relevant_calls ~relax_joins ?par:st.match_par r st.doc)
           | Some guide ->
             let candidates = Fguide.candidates guide (Relevance.guide_steps r) in
             st.candidates_checked <- st.candidates_checked + List.length candidates;
@@ -237,8 +288,34 @@ let detect st (rq : Relevance.t) : Doc.node list =
             | Lpq_relevance ->
               (* an LPQ is exactly its linear path: guide answers are final *)
               candidates
-            | Nfq_relevance ->
-              List.filter (fun c -> Relevance.retrieves ~relax_joins r c) candidates))
+            | Nfq_relevance -> (
+              (* anchored filtering; chunked over domains when parallel —
+                 contiguous chunks, concatenated back in order, so the
+                 kept list is identical to the sequential filter *)
+              let sequential () =
+                List.filter (fun c -> Relevance.retrieves ~relax_joins r st.doc c) candidates
+              in
+              match st.match_par with
+              | Some par when Eval.par_jobs par > 1 && List.length candidates > 1 ->
+                with_match_span st (fun () ->
+                    let view = Doc.View.snapshot st.doc in
+                    match chunk_list (Eval.par_jobs par) candidates with
+                    | [] | [ _ ] -> sequential ()
+                    | chunks ->
+                      let work chunk =
+                        List.filter
+                          (fun (c : Doc.node) ->
+                            match Doc.View.index_of view c with
+                            | Some i -> Relevance.retrieves_view ~relax_joins r view i
+                            | None -> false)
+                          chunk
+                      in
+                      let kept =
+                        Exec.map_domains ~jobs:(Eval.par_jobs par) work chunks
+                      in
+                      Eval.par_count par (List.length chunks);
+                      List.concat kept)
+              | _ -> sequential ())))
       in
       let result =
         if Engine.failed_calls st.eng = 0 then retrieved
@@ -267,7 +344,7 @@ let push_pattern st (calls : Doc.node list) =
     let sources =
       List.filter_map
         (fun (rq, v) ->
-          if List.exists (fun c -> Relevance.retrieves rq c) calls then Some v
+          if List.exists (fun c -> Relevance.retrieves rq st.doc c) calls then Some v
           else None)
         pairs
     in
@@ -296,7 +373,9 @@ let materialize_answers st (q : P.t) =
   while !continue && within_budget st do
     st.passes <- st.passes + 1;
     Metrics.incr st.obs.Obs.metrics "eval.passes";
-    let answers = Eval.eval q st.doc in
+    let answers =
+      with_match_span st (fun () -> Eval.eval ?par:st.match_par q st.doc)
+    in
     let seen = Hashtbl.create 16 in
     let pending =
       List.concat_map
@@ -401,6 +480,18 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ?dispat
   let eng =
     Engine.create ~max_calls:strategy.max_calls ?pool ~obs ?projector ?dispatch registry d
   in
+  let match_jobs =
+    if strategy.match_jobs = 0 then Exec.default_jobs () else max 1 strategy.match_jobs
+  in
+  let match_par = if match_jobs > 1 then Some (Eval.par ~jobs:match_jobs) else None in
+  let fguide, fguide_reused =
+    if strategy.use_fguide then begin
+      let g, reused = Fguide.memoized d in
+      (Some g, reused)
+    end
+    else (None, false)
+  in
+  if fguide_reused then Metrics.incr obs.Obs.metrics "fguide.reuse";
   let st =
     {
       strategy;
@@ -417,13 +508,14 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ?dispat
              (Nfq.of_query q)
          else []);
       typing;
-      fguide = (if strategy.use_fguide then Some (Fguide.build d) else None);
+      fguide;
       known_functions = [];
       known_set = Hashtbl.create 16;
       refinement_dirty = false;
       refined = Hashtbl.create 16;
       finished_sources = [];
       shared_ctx = None;
+      match_par;
       passes = 0;
       relevance_evals = 0;
       candidates_checked = 0;
@@ -437,7 +529,11 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ?dispat
       st.shared_ctx <- None;
       (match st.fguide with
       | None -> ()
-      | Some guide -> Fguide.update_after_replace guide ~invoked ~added);
+      | Some guide ->
+        Fguide.update_after_replace guide ~invoked ~added;
+        (* the maintained guide reflects the spliced document: re-tag it
+           so the next evaluation's [memoized] reuses it *)
+        Fguide.sync guide st.doc);
       scan_new_functions st added);
   (match schema with
   | Some s -> List.iter (add_known st) (Schema.function_names s)
@@ -458,6 +554,7 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ?dispat
             ("parallel", Trace.Bool strategy.parallel);
             ("push", Trace.Bool strategy.push);
             ("fguide", Trace.Bool strategy.use_fguide);
+            ("match_jobs", Trace.Int match_jobs);
             ("doc_nodes", Trace.Int (Doc.size d));
           ]
         "eval.run"
@@ -486,9 +583,11 @@ let run ?(strategy = default) ?schema ?(obs = Obs.null) ?pool ?projector ?dispat
   if strategy.materialize_results then
     Trace.with_span tr "eval.materialize" (fun () -> materialize_answers st q);
   let budget_ok = within_budget st in
-  let answers = Eval.eval q st.doc in
+  let answers = with_match_span st (fun () -> Eval.eval ?par:st.match_par q st.doc) in
   (* the engine emits the final gauges, closes the root span and builds
      the one report; everything the analysis measured rides along *)
   Engine.finish eng ~root ~answers ~budget_ok ~passes:st.passes
     ~relevance_evals:st.relevance_evals ~candidates_checked:st.candidates_checked
     ~layer_count:(List.length layers) ~analysis_seconds:st.analysis_seconds
+    ~parallel_match_batches:
+      (match st.match_par with None -> 0 | Some par -> Eval.par_batches par)

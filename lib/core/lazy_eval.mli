@@ -41,6 +41,12 @@ type strategy = {
   materialize_results : bool;
       (** also invoke the calls remaining below answer images, so answers
           ship fully extensional instead of "possibly intensionally" (§2) *)
+  match_jobs : int;
+      (** fan the match/detect passes out over top-level document
+          subtrees on this many domains (0 = auto-detect from the
+          machine, 1 = sequential); the reassembly preserves document
+          order before deduplication and joins, so answers and every
+          report counter are byte-identical at every level *)
   max_calls : int;  (** invocation budget (rewritings may not terminate, §2) *)
   max_passes : int;
 }
@@ -62,6 +68,9 @@ val with_budget : int -> strategy -> strategy
 (** Tightens the strategy's invocation budget to [min b max_calls] —
     how a scheduler's summed shard budgets roll into the engine's
     global budget. *)
+
+val with_match_jobs : int -> strategy -> strategy
+(** Sets [match_jobs] — the [--match-jobs] CLI knob. *)
 
 type report = Axml_engine.Engine.report = {
   answers : Axml_query.Eval.binding list;
@@ -94,6 +103,13 @@ type report = Axml_engine.Engine.report = {
   rerouted_calls : int;
       (** failed-replica attempts salvaged by re-routing to another
           replica *)
+  view_rebuild_nodes : int;
+      (** snapshot-view nodes (re)indexed after the engine's initial
+          build — the incremental splice patches keeping the pure view
+          current *)
+  parallel_match_batches : int;
+      (** intra-document parallel match/detect dispatches
+          ([match_jobs > 1]); 0 when matching ran sequentially *)
   complete : bool;
       (** the document is complete for the query (Def. 3): every relevant
           call was expanded within budget and none permanently failed.

@@ -28,6 +28,8 @@ type report = Engine.report = {
   sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
   rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
   rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
+  view_rebuild_nodes : int;  (** snapshot-view nodes re-indexed by splices *)
+  parallel_match_batches : int;  (** always 0: naive matches sequentially *)
   complete : bool;
 }
 

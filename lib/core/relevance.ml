@@ -20,17 +20,28 @@ type t = {
 }
 
 (** The calls of [d] currently retrieved by the relevance query, by
-    top-down evaluation. *)
-let relevant_calls ?relax_joins t d = Eval.matches_of ?relax_joins t.query d ~target:t.target
+    top-down evaluation (pure over the document's snapshot view; [par]
+    fans the match out over top-level subtrees). *)
+let relevant_calls ?relax_joins ?par t d =
+  Eval.matches_of ?relax_joins ?par t.query d ~target:t.target
 
 (** Same, sharing an evaluation context across queries (multi-query
-    optimization); the context must be fresh for the current document
-    state. *)
+    optimization); the context self-heals when the document changed. *)
 let relevant_calls_in ctx t d = Eval.matches_of_in ctx t.query d ~target:t.target
+
+(** Same, over an explicit snapshot view. *)
+let relevant_calls_view ?relax_joins ?par t v =
+  Eval.matches_of_view ?relax_joins ?par t.query v ~target:t.target
 
 (** Candidate-anchored check: does the relevance query retrieve this
     specific call? (used after F-guide filtering, §6.2). *)
-let retrieves ?relax_joins t call = Eval.anchored_matches ?relax_joins t.query ~target:t.target call
+let retrieves ?relax_joins t d call =
+  Eval.anchored_matches ?relax_joins t.query ~target:t.target d call
+
+(** Candidate-anchored check at a view position — the pure form the
+    parallel candidate filter runs on domains. *)
+let retrieves_view ?relax_joins t v i =
+  Eval.anchored_matches_view ?relax_joins t.query ~target:t.target v i
 
 let lin_regex t = P.linear_regex t.lin
 

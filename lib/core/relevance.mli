@@ -18,18 +18,33 @@ type t = {
       (** [q_v^lin]: the linear path root → v, with v excluded (§4.2) *)
 }
 
-val relevant_calls : ?relax_joins:bool -> t -> Axml_doc.t -> Axml_doc.node list
-(** The calls the query currently retrieves, by top-down evaluation. *)
+val relevant_calls :
+  ?relax_joins:bool -> ?par:Axml_query.Eval.par -> t -> Axml_doc.t -> Axml_doc.node list
+(** The calls the query currently retrieves, by top-down evaluation —
+    a pure pass over the document's snapshot view; with [par] the match
+    fans out over top-level subtrees. *)
 
 val relevant_calls_in :
   Axml_query.Eval.context -> t -> Axml_doc.t -> Axml_doc.node list
 (** Same, sharing an evaluation context across the relevance queries of
     one detection sweep (the multi-query optimization of §4.1); the
-    context must be fresh for the current document state. *)
+    context rebinds itself when the document changed. *)
 
-val retrieves : ?relax_joins:bool -> t -> Axml_doc.node -> bool
+val relevant_calls_view :
+  ?relax_joins:bool ->
+  ?par:Axml_query.Eval.par ->
+  t ->
+  Axml_doc.View.t ->
+  Axml_doc.node list
+(** Same, over an explicit snapshot view. *)
+
+val retrieves : ?relax_joins:bool -> t -> Axml_doc.t -> Axml_doc.node -> bool
 (** Candidate-anchored check: does the query retrieve this specific
-    call? (used after F-guide filtering, §6.2). *)
+    call of the document? (used after F-guide filtering, §6.2). *)
+
+val retrieves_view : ?relax_joins:bool -> t -> Axml_doc.View.t -> int -> bool
+(** The same check at a view position — pure, safe to fan out over
+    domains when filtering many candidates. *)
 
 val lin_regex : t -> Axml_automata.Regex.t
 (** The path language of [lin], over node labels. *)

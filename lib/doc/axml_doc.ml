@@ -6,6 +6,8 @@ type node = {
   mutable attrs : (string * string) list;
   mutable children : node list;
   mutable parent : node option;
+  mutable viewpos : int;
+  mutable viewstamp : int;
 }
 
 and label =
@@ -15,18 +17,53 @@ and label =
 
 and call = { fname : string; call_id : int }
 
+(* An immutable snapshot of one subtree in document (pre)order: parallel
+   arrays indexed by position. [vspan.(i)] is the exclusive end of node
+   [i]'s subtree, so the children of [i] are [i+1], [vspan.(i+1)], ... —
+   a pure skip-walk that never touches the mutable tree. Views built
+   through the per-document cache identify nodes by stamping
+   [viewpos]/[viewstamp]; ad-hoc subtree views carry an id table
+   instead so they never disturb a document's stamps. *)
+type view = {
+  vdoc_uid : int;
+  vgeneration : int;
+  vstamp : int;
+  vnodes : node array;
+  vlabels : label array;
+  vattrs : (string * string) list array;
+  vparent : int array;  (* -1 at the view root *)
+  vspan : int array;  (* exclusive subtree end *)
+  vids : (int, int) Hashtbl.t option;  (* ad-hoc views only *)
+}
+
 type t = {
   mutable root : node;
   mutable next_id : int;
   mutable next_call_id : int;
+  uid : int;
+  mutable generation : int;
+  mutable view_cache : view option;
+  mutable reindexed : int;  (* cumulative nodes (re)indexed into views *)
 }
+
+let next_doc_uid = Atomic.make 0
+let next_view_stamp = Atomic.make 0
 
 let fresh_id d =
   let id = d.next_id in
   d.next_id <- id + 1;
   id
 
-let mk d label = { id = fresh_id d; label; attrs = []; children = []; parent = None }
+let mk d label =
+  {
+    id = fresh_id d;
+    label;
+    attrs = [];
+    children = [];
+    parent = None;
+    viewpos = -1;
+    viewstamp = -1;
+  }
 
 let adopt parent child =
   match child.parent with
@@ -51,16 +88,44 @@ let call d fname params =
   n
 
 let create () =
-  let dummy_root = { id = 0; label = Elem "root"; attrs = []; children = []; parent = None } in
-  { root = dummy_root; next_id = 1; next_call_id = 1 }
+  let dummy_root =
+    {
+      id = 0;
+      label = Elem "root";
+      attrs = [];
+      children = [];
+      parent = None;
+      viewpos = -1;
+      viewstamp = -1;
+    }
+  in
+  {
+    root = dummy_root;
+    next_id = 1;
+    next_call_id = 1;
+    uid = Atomic.fetch_and_add next_doc_uid 1;
+    generation = 0;
+    view_cache = None;
+    reindexed = 0;
+  }
+
+(* Every structural mutation bumps the generation; [replace_call] patches
+   the cached view in place of this wholesale invalidation. *)
+let touch d =
+  d.generation <- d.generation + 1;
+  d.view_cache <- None
 
 let set_root d n =
   (match n.parent with
   | Some _ -> invalid_arg "Doc.set_root: node has a parent"
   | None -> ());
-  d.root <- n
+  d.root <- n;
+  touch d
 
 let root d = d.root
+let uid d = d.uid
+let generation d = d.generation
+let view_indexed_total d = d.reindexed
 
 (* ------------------------------------------------------------------ *)
 
@@ -102,16 +167,102 @@ let to_string ?indent d = Axml_xml.Print.to_string ?indent (to_xml d)
 
 (* ------------------------------------------------------------------ *)
 
-let append_child _d parent child =
+let append_child d parent child =
   adopt parent child;
-  parent.children <- parent.children @ [ child ]
+  parent.children <- parent.children @ [ child ];
+  touch d
 
-let remove_node _d n =
+let remove_node d n =
   match n.parent with
   | None -> invalid_arg "Doc.remove_node: cannot detach the root"
   | Some p ->
     p.children <- List.filter (fun c -> c.id <> n.id) p.children;
-    n.parent <- None
+    n.parent <- None;
+    touch d
+
+let rec subtree_count n = List.fold_left (fun acc c -> acc + subtree_count c) 1 n.children
+
+(* Splice-patch the cached view: copy the prefix, index the fresh
+   subtrees in place of the call's span, shift the suffix. Only the
+   spliced region is re-walked; everything else is array blits plus an
+   O(depth) ancestor-span fix-up. Returns [None] when the invoked node
+   cannot be located in [v] (the caller then drops the cache). *)
+let patch_view v ~generation fnode fresh =
+  let n_old = Array.length v.vnodes in
+  if
+    not
+      (fnode.viewstamp = v.vstamp
+      && fnode.viewpos >= 0
+      && fnode.viewpos < n_old
+      && v.vnodes.(fnode.viewpos) == fnode)
+  then None
+  else begin
+    let s = fnode.viewpos in
+    let e = v.vspan.(s) in
+    let added = List.fold_left (fun acc n -> acc + subtree_count n) 0 fresh in
+    let delta = added - (e - s) in
+    let n_new = n_old + delta in
+    let pparent = v.vparent.(s) in
+    let nodes = Array.make n_new fnode in
+    let labels = Array.make n_new fnode.label in
+    let attrs = Array.make n_new [] in
+    let parent = Array.make n_new (-1) in
+    let span = Array.make n_new 0 in
+    Array.blit v.vnodes 0 nodes 0 s;
+    Array.blit v.vlabels 0 labels 0 s;
+    Array.blit v.vattrs 0 attrs 0 s;
+    Array.blit v.vparent 0 parent 0 s;
+    Array.blit v.vspan 0 span 0 s;
+    (* index the fresh subtrees where the call used to sit *)
+    let pos = ref s in
+    let rec fill p nd =
+      let i = !pos in
+      incr pos;
+      nodes.(i) <- nd;
+      labels.(i) <- nd.label;
+      attrs.(i) <- nd.attrs;
+      parent.(i) <- p;
+      nd.viewpos <- i;
+      nd.viewstamp <- v.vstamp;
+      List.iter (fill i) nd.children;
+      span.(i) <- !pos
+    in
+    List.iter (fill pparent) fresh;
+    (* shift the suffix: a node at [i >= e] is outside the call's
+       subtree, so its parent is never inside [s, e) *)
+    for i = e to n_old - 1 do
+      let j = i + delta in
+      let nd = v.vnodes.(i) in
+      nodes.(j) <- nd;
+      labels.(j) <- v.vlabels.(i);
+      attrs.(j) <- v.vattrs.(i);
+      parent.(j) <- (let p = v.vparent.(i) in if p < s then p else p + delta);
+      span.(j) <- v.vspan.(i) + delta;
+      nd.viewpos <- j
+    done;
+    (* every prefix node whose span reaches past [s] contains the splice
+       point, i.e. is an ancestor of the call: widen along the chain *)
+    let rec widen p =
+      if p >= 0 then begin
+        span.(p) <- span.(p) + delta;
+        widen parent.(p)
+      end
+    in
+    widen pparent;
+    Some
+      ( {
+          vdoc_uid = v.vdoc_uid;
+          vgeneration = generation;
+          vstamp = v.vstamp;
+          vnodes = nodes;
+          vlabels = labels;
+          vattrs = attrs;
+          vparent = parent;
+          vspan = span;
+          vids = None;
+        },
+        added )
+  end
 
 let replace_call d fnode result =
   (match fnode.label with
@@ -120,14 +271,32 @@ let replace_call d fnode result =
   match fnode.parent with
   | None -> invalid_arg "Doc.replace_call: function node has no parent"
   | Some parent ->
+    (* validate membership before touching anything: a failed replace
+       must not leave freshly imported nodes adopted but unspliced *)
+    if not (List.exists (fun c -> c.id = fnode.id) parent.children) then
+      invalid_arg "Doc.replace_call: node not among its parent's children";
+    let cache =
+      match d.view_cache with
+      | Some v when v.vgeneration = d.generation -> Some v
+      | _ -> None
+    in
     let fresh = List.map (import d) result in
     List.iter (adopt parent) fresh;
     let rec splice = function
-      | [] -> invalid_arg "Doc.replace_call: node not among its parent's children"
+      | [] -> assert false
       | c :: rest -> if c.id = fnode.id then fresh @ rest else c :: splice rest
     in
     parent.children <- splice parent.children;
     fnode.parent <- None;
+    d.generation <- d.generation + 1;
+    (match cache with
+    | None -> d.view_cache <- None
+    | Some v -> (
+      match patch_view v ~generation:d.generation fnode fresh with
+      | Some (v', added) ->
+        d.reindexed <- d.reindexed + added;
+        d.view_cache <- Some v'
+      | None -> d.view_cache <- None));
     fresh
 
 (* ------------------------------------------------------------------ *)
@@ -188,3 +357,144 @@ let rec pp_node ppf n =
       (Format.pp_print_list pp_node) n.children
 
 let pp ppf d = pp_node ppf d.root
+
+(* ------------------------------------------------------------------ *)
+
+type doc = t
+
+module View = struct
+  type t = view
+
+  let build ~stamped ~doc_uid ~generation root_node =
+    let n = subtree_count root_node in
+    let nodes = Array.make n root_node in
+    let labels = Array.make n root_node.label in
+    let attrs = Array.make n [] in
+    let parent = Array.make n (-1) in
+    let span = Array.make n 0 in
+    let ids = if stamped then None else Some (Hashtbl.create (max 16 n)) in
+    let stamp = if stamped then Atomic.fetch_and_add next_view_stamp 1 else -1 in
+    let pos = ref 0 in
+    let rec fill p nd =
+      let i = !pos in
+      incr pos;
+      nodes.(i) <- nd;
+      labels.(i) <- nd.label;
+      attrs.(i) <- nd.attrs;
+      parent.(i) <- p;
+      (match ids with
+      | None ->
+        nd.viewpos <- i;
+        nd.viewstamp <- stamp
+      | Some h -> Hashtbl.replace h nd.id i);
+      List.iter (fill i) nd.children;
+      span.(i) <- !pos
+    in
+    fill (-1) root_node;
+    {
+      vdoc_uid = doc_uid;
+      vgeneration = generation;
+      vstamp = stamp;
+      vnodes = nodes;
+      vlabels = labels;
+      vattrs = attrs;
+      vparent = parent;
+      vspan = span;
+      vids = ids;
+    }
+
+  let snapshot (d : doc) =
+    match d.view_cache with
+    | Some v when v.vgeneration = d.generation -> v
+    | _ ->
+      let v = build ~stamped:true ~doc_uid:d.uid ~generation:d.generation d.root in
+      d.reindexed <- d.reindexed + Array.length v.vnodes;
+      d.view_cache <- Some v;
+      v
+
+  let of_node n = build ~stamped:false ~doc_uid:(-1) ~generation:(-1) n
+  let size v = Array.length v.vnodes
+  let generation v = v.vgeneration
+  let doc_uid v = v.vdoc_uid
+  let root (_ : t) = 0
+  let node v i = v.vnodes.(i)
+  let label v i = v.vlabels.(i)
+  let attrs v i = v.vattrs.(i)
+  let parent v i = v.vparent.(i)
+  let subtree_end v i = v.vspan.(i)
+
+  let is_data v i = match v.vlabels.(i) with Elem _ | Data _ -> true | Call _ -> false
+  let is_call v i = match v.vlabels.(i) with Call _ -> true | Elem _ | Data _ -> false
+
+  let children v i =
+    let stop = v.vspan.(i) in
+    let rec go j acc = if j >= stop then List.rev acc else go v.vspan.(j) (j :: acc) in
+    go (i + 1) []
+
+  let index_of v n =
+    match v.vids with
+    | Some h -> Hashtbl.find_opt h n.id
+    | None ->
+      if
+        n.viewstamp = v.vstamp
+        && n.viewpos >= 0
+        && n.viewpos < Array.length v.vnodes
+        && v.vnodes.(n.viewpos) == n
+      then Some n.viewpos
+      else None
+
+  let top_subtrees v = children v 0
+
+  let partition v ~jobs tops =
+    let jobs = max 1 jobs in
+    if jobs <= 1 then [ tops ]
+    else begin
+      let weight i = v.vspan.(i) - i in
+      let total = List.fold_left (fun acc i -> acc + weight i) 0 tops in
+      let target = max 1 ((total + jobs - 1) / jobs) in
+      let chunks = ref [] in
+      let cur = ref [] in
+      let w = ref 0 in
+      let close () =
+        if !cur <> [] then begin
+          chunks := List.rev !cur :: !chunks;
+          cur := [];
+          w := 0
+        end
+      in
+      List.iter
+        (fun i ->
+          cur := i :: !cur;
+          w := !w + weight i;
+          if !w >= target && List.length !chunks < jobs - 1 then close ())
+        tops;
+      close ();
+      List.rev !chunks
+    end
+
+  let visible_calls v =
+    let n = Array.length v.vnodes in
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else
+        match v.vlabels.(i) with
+        | Call _ -> go v.vspan.(i) (v.vnodes.(i) :: acc)
+        | Elem _ | Data _ -> go (i + 1) acc
+    in
+    go 0 []
+
+  let rec subtree_to_xml v i =
+    match v.vlabels.(i) with
+    | Data s -> Tree.Text s
+    | Elem name ->
+      Tree.Element { name; attrs = v.vattrs.(i); children = List.map (subtree_to_xml v) (children v i) }
+    | Call { fname; _ } ->
+      Tree.Element
+        {
+          name = call_elem_name;
+          attrs = ("name", fname) :: v.vattrs.(i);
+          children = List.map (subtree_to_xml v) (children v i);
+        }
+
+  let materialize v = subtree_to_xml v 0
+end

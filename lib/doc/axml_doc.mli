@@ -20,6 +20,8 @@ type node = private {
       (** preserved for XML round-trips; invisible to queries *)
   mutable children : node list;
   mutable parent : node option;
+  mutable viewpos : int;  (** internal: position in the document's current view *)
+  mutable viewstamp : int;  (** internal: which view lineage stamped [viewpos] *)
 }
 
 and label =
@@ -30,7 +32,11 @@ and label =
 and call = { fname : string; call_id : int }
 
 type t
-(** A document: a root node plus id generators. *)
+(** A document: a root node plus id generators, a generation counter
+    bumped by every structural mutation, and the cached snapshot view. *)
+
+type doc = t
+(** Alias for use inside {!View}'s signature. *)
 
 (** {2 Construction} *)
 
@@ -75,9 +81,14 @@ val to_string : ?indent:int -> t -> string
 val replace_call : t -> node -> Axml_xml.Tree.forest -> node list
 (** [replace_call d fnode result] implements the rewriting step
     [d →v d'] (Def. 2): [fnode] (which must be a function node of [d]
-    with a parent; raise [Invalid_argument] otherwise) is removed and the
-    imported [result] forest is spliced at its position. Returns the
-    spliced-in nodes. *)
+    with a parent and among that parent's children; raise
+    [Invalid_argument] otherwise, {e before} importing anything — a
+    failed replace leaves the document untouched) is removed and the
+    imported [result] forest is spliced at its position. The empty
+    forest is a plain deletion: [fnode] ends up fully detached
+    ([parent = None], absent from its former parent's children). If the
+    document's snapshot view is current, only the spliced region is
+    re-indexed. Returns the spliced-in nodes. *)
 
 val append_child : t -> node -> node -> unit
 (** [append_child d parent child] attaches a parentless node. *)
@@ -127,3 +138,87 @@ val text_value : node -> string option
 
 val pp_node : Format.formatter -> node -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {2 Generation tracking} *)
+
+val uid : t -> int
+(** Process-unique document identity (for caches keyed by document). *)
+
+val generation : t -> int
+(** Bumped by every structural mutation ([set_root], [append_child],
+    [remove_node], [replace_call]). A view or cache tagged with an older
+    generation is stale. *)
+
+val view_indexed_total : t -> int
+(** Cumulative number of nodes (re)indexed into snapshot views of this
+    document — full builds plus incremental splice patches. The engine
+    differences this across a run to report [view_rebuild_nodes]. *)
+
+(** {2 Snapshot views}
+
+    An immutable index of one subtree in document (pre)order: parallel
+    arrays mapping position → label/attrs/parent/subtree-span plus the
+    underlying node. Every read-only pass (matching, relevance, F-guide
+    construction, projection context walks) can run against a view
+    without touching the mutable tree, which makes fan-out over
+    subtrees safe across domains. *)
+
+module View : sig
+  type t
+
+  val snapshot : doc -> t
+  (** The document's current view, built in one O(n) pass and cached on
+      the document; [replace_call] re-indexes only the spliced region,
+      every other mutation invalidates the cache. Cheap whenever the
+      generation is unchanged. *)
+
+  val of_node : node -> t
+  (** Ad-hoc view of one subtree (positions relative to [node] at index
+      0). Never cached and never disturbs the owning document's stamps;
+      [index_of] works through a private id table. *)
+
+  val size : t -> int
+  val generation : t -> int
+  val doc_uid : t -> int
+
+  val root : t -> int
+  (** Always [0]. *)
+
+  val node : t -> int -> node
+  val label : t -> int -> label
+  val attrs : t -> int -> (string * string) list
+
+  val parent : t -> int -> int
+  (** [-1] at the view root. *)
+
+  val subtree_end : t -> int -> int
+  (** Exclusive end of the subtree rooted at the index: the subtree of
+      [i] is exactly the index interval [[i, subtree_end t i)]. *)
+
+  val children : t -> int -> int list
+  (** Child indices in document order (an O(#children) skip-walk). *)
+
+  val is_data : t -> int -> bool
+  val is_call : t -> int -> bool
+
+  val index_of : t -> node -> int option
+  (** Position of a node in this view, or [None] when the node is not
+      covered (e.g. it was spliced out, or the view predates it). *)
+
+  val top_subtrees : t -> int list
+  (** The root's child indices — the natural units of intra-document
+      parallelism. *)
+
+  val partition : t -> jobs:int -> int list -> int list list
+  (** Contiguous, subtree-size-weighted partition of an index list into
+      at most [jobs] chunks; deterministic, order-preserving. *)
+
+  val visible_calls : t -> node list
+  (** Function nodes not nested inside other calls' parameters, in
+      document order (the view-side [visible_function_nodes]). *)
+
+  val subtree_to_xml : t -> int -> Axml_xml.Tree.t
+  val materialize : t -> Axml_xml.Tree.t
+  (** Serializes the view itself (never the mutable tree) — the
+      round-trip anchor: [materialize (snapshot d) = to_xml d]. *)
+end

@@ -50,6 +50,11 @@ type report = {
   sharded_calls : int;  (** calls placed on a named shard; 0 unsharded *)
   rebalanced_calls : int;  (** calls the balancer moved off shard 0 *)
   rerouted_calls : int;  (** failed-replica calls salvaged elsewhere *)
+  view_rebuild_nodes : int;
+      (** snapshot-view nodes (re)indexed after the initial build:
+          incremental splice patches plus any full rebuilds *)
+  parallel_match_batches : int;
+      (** intra-document parallel match dispatches; 0 when sequential *)
   complete : bool;  (** the answers are the full snapshot result *)
 }
 
@@ -92,6 +97,8 @@ let report_to_json (r : report) : Axml_obs.Json.t =
       ("sharded_calls", J.Int r.sharded_calls);
       ("rebalanced_calls", J.Int r.rebalanced_calls);
       ("rerouted_calls", J.Int r.rerouted_calls);
+      ("view_rebuild_nodes", J.Int r.view_rebuild_nodes);
+      ("parallel_match_batches", J.Int r.parallel_match_batches);
       ("complete", J.Bool r.complete);
     ]
 
@@ -141,6 +148,10 @@ type t = {
   failed : (int, unit) Hashtbl.t;
   projector : Project.t option;
   mutable projection : Project.stats;
+  (* [Doc.view_indexed_total] right after [create] built the initial
+     snapshot: [finish] differences against it so the report counts only
+     the view work done during the run *)
+  view_baseline : int;
   mutable on_replace : invoked:Doc.node -> added:Doc.node list -> unit;
   mutable invoked : int;
   mutable pushed : int;
@@ -169,6 +180,10 @@ let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) ?projector ?dispatch r
   let projection =
     match projector with None -> Project.zero_stats | Some p -> Project.doc p doc
   in
+  (* Index the (projected) document once up front: strategies hit this
+     cached snapshot, and every splice from here on patches it
+     incrementally instead of forcing full rebuilds. *)
+  ignore (Doc.View.snapshot doc);
   {
     registry;
     dispatch = (match dispatch with Some d -> d | None -> registry_dispatch registry);
@@ -179,6 +194,7 @@ let create ?(max_calls = 100_000) ?pool ?(obs = Obs.null) ?projector ?dispatch r
     failed = Hashtbl.create 8;
     projector;
     projection;
+    view_baseline = Doc.view_indexed_total doc;
     on_replace = (fun ~invoked:_ ~added:_ -> ());
     invoked = 0;
     pushed = 0;
@@ -240,18 +256,20 @@ let apply t ?push (call : Doc.node) outcome =
           name
           (if push = None then "" else " (pushed)")
           (match route.shard with None -> "" | Some s -> " @" ^ s));
-    let added = Doc.replace_call t.doc call result in
-    (* Layer 2: re-project the freshly materialized result before the
-       strategy's hook sees it, so F-guides and function scans only ever
-       observe the projected document. *)
-    let added =
-      match t.projector with
-      | None -> added
-      | Some p ->
-        let kept, st = Project.spliced p t.doc ~added in
+    (* Layer 2: project the freshly materialized result {e before} it is
+       spliced, so F-guides and function scans only ever observe the
+       projected document — and so the splice is the only mutation,
+       keeping the incremental snapshot-view patch valid (post-splice
+       pruning would invalidate it and force full O(n) rebuilds). *)
+    let result =
+      match (t.projector, call.Doc.parent) with
+      | Some p, Some parent ->
+        let kept, st = Project.spliced_forest p ~parent result in
         t.projection <- Project.add_stats t.projection st;
         kept
+      | _ -> result
     in
+    let added = Doc.replace_call t.doc call result in
     t.on_replace ~invoked:call ~added;
     t.invoked <- t.invoked + 1;
     Metrics.incr t.obs.Obs.metrics "eval.invoked";
@@ -350,8 +368,9 @@ let round ?(attrs = []) ?push ~accounting t calls =
 (* Finishing: final gauges, the root span, the report *)
 
 let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
-    ?analysis_seconds t ~root ~answers ~budget_ok =
+    ?analysis_seconds ?(parallel_match_batches = 0) t ~root ~answers ~budget_ok =
   let complete = budget_ok && Hashtbl.length t.failed = 0 in
+  let view_rebuild_nodes = Doc.view_indexed_total t.doc - t.view_baseline in
   if Obs.enabled t.obs then begin
     let m = t.obs.Obs.metrics in
     (match layer_count with
@@ -363,6 +382,8 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
     Metrics.set m "eval.projected_bytes_saved"
       (float_of_int t.projection.Project.bytes_saved);
     Metrics.set m "eval.complete" (if complete then 1.0 else 0.0);
+    Metrics.set m "eval.view_rebuild_nodes" (float_of_int view_rebuild_nodes);
+    Metrics.set m "eval.parallel_match_batches" (float_of_int parallel_match_batches);
     Metrics.set m "eval.simulated_seconds" t.simulated_seconds;
     (match analysis_seconds with
     | Some a -> Metrics.set m "eval.analysis_seconds" a
@@ -400,6 +421,8 @@ let finish ?passes ?(relevance_evals = 0) ?(candidates_checked = 0) ?layer_count
     sharded_calls = t.sharded_calls;
     rebalanced_calls = t.rebalanced_calls;
     rerouted_calls = t.rerouted_calls;
+    view_rebuild_nodes;
+    parallel_match_batches;
     complete;
   }
 

@@ -64,6 +64,15 @@ type report = {
   rerouted_calls : int;
       (** failed-replica attempts salvaged by re-routing to another
           replica before degrading to [complete = false] *)
+  view_rebuild_nodes : int;
+      (** snapshot-view nodes (re)indexed after {!create}'s initial
+          build: the spliced-region patches of
+          {!Axml_doc.replace_call} plus any full rebuilds forced by
+          out-of-band edits — the cost of keeping the pure view current *)
+  parallel_match_batches : int;
+      (** intra-document parallel match/detect dispatches performed by
+          the strategy ({!Axml_query.Eval.par_batches}); 0 when matching
+          ran sequentially *)
   complete : bool;
       (** the evaluation finished within budget and no call permanently
           failed: the answers are the full snapshot result. When [false]
@@ -133,11 +142,14 @@ val create :
   Axml_services.Registry.t ->
   Axml_doc.t ->
   t
-(** [max_calls] defaults to 100k; [obs] to disabled. [projector]
-    (default: none) projects the document in place before the strategy
-    sees it, and re-projects every spliced result forest before the
-    {!on_replace} hook runs — so strategies only ever observe the
-    projected document — accumulating the [full_nodes] /
+(** [max_calls] defaults to 100k; [obs] to disabled. Builds the initial
+    snapshot view (so later splices patch it incrementally) and records
+    the [view_rebuild_nodes] baseline. [projector] (default: none)
+    projects the document in place before the strategy sees it, and
+    projects every service-result forest {e before} it is spliced
+    ({!Axml_project.Project.spliced_forest}) — so strategies only ever
+    observe the projected document, and the view patch stays valid —
+    accumulating the [full_nodes] /
     [projected_nodes] / [projected_bytes_saved] report fields.
     [dispatch] (default: straight to [Registry.invoke] on the given
     registry) replaces the request half — this is where a scheduler
@@ -182,19 +194,23 @@ val finish :
   ?candidates_checked:int ->
   ?layer_count:int ->
   ?analysis_seconds:float ->
+  ?parallel_match_batches:int ->
   t ->
   root:Axml_obs.Trace.span ->
   answers:Axml_query.Eval.binding list ->
   budget_ok:bool ->
   report
 (** Emits the final gauges ([eval.answers], [eval.complete],
+    [eval.view_rebuild_nodes], [eval.parallel_match_batches],
     [eval.simulated_seconds], plus [eval.layer_count] /
     [eval.analysis_seconds] when given), closes the strategy's [root]
     span with the summary attributes, and assembles the report.
-    [complete] is [budget_ok] and no tombstones. The optional analysis
-    fields are the strategy's own counters; absent ones report zero (and
-    [passes] is also omitted from the root span's attributes, matching
-    the strategies that never sweep). *)
+    [complete] is [budget_ok] and no tombstones; [view_rebuild_nodes] is
+    computed by the engine ({!Axml_doc.view_indexed_total} differenced
+    against {!create}'s baseline). The optional analysis fields are the
+    strategy's own counters; absent ones report zero (and [passes] is
+    also omitted from the root span's attributes, matching the
+    strategies that never sweep). *)
 
 (** {2 The naive strategy}
 

@@ -132,3 +132,44 @@ let map_batch pool f xs =
            | Some (Ok v) -> v
            | _ -> assert false (* completed = n and no Error *))
          results)
+
+(* ------------------------------------------------------------------ *)
+
+let map_domains ~jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs <= 1 -> List.map f xs
+  | xs ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let drain () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (n - 1) (jobs - 1) in
+    let domains = List.init helpers (fun _ -> Domain.spawn drain) in
+    (* the caller is the jobs-th executor *)
+    drain ();
+    List.iter Domain.join domains;
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Error e) -> first_error := Some e
+      | _ -> ()
+    done;
+    (match !first_error with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | _ -> assert false)
+         results)

@@ -60,3 +60,16 @@ val shutdown : pool -> unit
 (** Stops the worker threads and joins them. Idempotent. Batches already
     dispatched complete first; calling {!map_batch} afterwards runs
     inline. *)
+
+val map_domains : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_domains ~jobs f xs] is {!map_batch} semantics on {e domains}
+    instead of pool threads: results in input order, every element
+    processed exactly once, the lowest-index exception re-raised after
+    the whole batch joined. Unlike the thread pool, domains run on
+    separate cores, so {b CPU-bound} work genuinely parallelizes — this
+    is the substrate for the intra-document match fan-out
+    ([--match-jobs]). [f] must only touch domain-safe state (immutable
+    snapshot views, its own tables). Helper domains are spawned per
+    call ([min (jobs-1) (length xs - 1)] of them, the caller being the
+    last executor) and joined before returning; [jobs <= 1], empty and
+    singleton batches run inline. *)

@@ -33,6 +33,7 @@ type case = {
   shards : int;
   replicate : bool;
   wire_binary : bool;
+  match_jobs : int;
 }
 
 type failure = { oracle : string; detail : string }
@@ -71,6 +72,11 @@ let case_of_seed seed =
   (* the wire dimension last, for the same reason again: remote cases
      split between the binary codec and pinned JSON *)
   let wire_binary = Random.State.bool rng in
+  (* the intra-document match fan-out, drawn last like the dimensions
+     above so every earlier draw is stable per seed; forced sequential
+     for naive, which has no detect passes to fan out *)
+  let mj_draw = Random.State.bool rng in
+  let match_jobs = if lazy_strategy && mj_draw then 4 else 1 in
   {
     case_seed = seed;
     family;
@@ -88,17 +94,20 @@ let case_of_seed seed =
     shards;
     replicate;
     wire_binary;
+    match_jobs;
   }
 
 let case_to_string c =
   Printf.sprintf
     "seed=%d family=%s scale=%d strategy=%s jobs=%d remote=%b push=%b memo=%b fault_rate=%.2f \
-     permanent=%b retries=%d budget=%d project=%b shards=%d replicate=%b wire=%s"
+     permanent=%b retries=%d budget=%d project=%b shards=%d replicate=%b wire=%s \
+     match_jobs=%d"
     c.case_seed (Adversary.family_name c.family) c.scale
     (if c.lazy_strategy then "lazy" else "naive")
     c.jobs c.remote c.push c.memoize c.fault_rate c.fault_permanent c.max_retries c.budget
     c.project c.shards c.replicate
     (if c.wire_binary then "binary" else "json")
+    c.match_jobs
 
 let replay_hint c =
   Printf.sprintf "axml fuzz --seed %d --iters 1 --family %s" c.case_seed
@@ -194,7 +203,8 @@ let with_remote ~wire ~registry:served f =
 
 (* One evaluation arm: a fresh instance every time (evaluation mutates
    the document in place). *)
-let run_arm ~watchdog (c : case) ~jobs ~push ?(project = false) ?obs () : Engine.report =
+let run_arm ~watchdog (c : case) ~jobs ?(match_jobs = 1) ~push ?(project = false) ?obs ()
+    : Engine.report =
   with_watchdog ~seconds:watchdog (fun () ->
       let acfg = adversary_config c in
       let inst = Adversary.generate acfg in
@@ -236,6 +246,7 @@ let run_arm ~watchdog (c : case) ~jobs ~push ?(project = false) ?obs () : Engine
         with_pool jobs (fun pool ->
             if c.lazy_strategy then begin
               let strategy = { Lazy_eval.nfqa with Lazy_eval.max_calls = c.budget } in
+              let strategy = Lazy_eval.with_match_jobs match_jobs strategy in
               let strategy = if push then Lazy_eval.with_push strategy else strategy in
               Lazy_eval.run ~strategy ?obs ?pool ?projector ?dispatch ~registry
                 inst.Adversary.query inst.Adversary.doc
@@ -299,6 +310,8 @@ let reconcile (obs : Obs.t) (r : Engine.report) =
     if v <> got then violate "reconcile" "%s: report %d, metrics %d" name got v
   in
   gauge "eval.full_nodes" r.Engine.full_nodes;
+  gauge "eval.view_rebuild_nodes" r.Engine.view_rebuild_nodes;
+  gauge "eval.parallel_match_batches" r.Engine.parallel_match_batches;
   gauge "eval.projected_nodes" r.Engine.projected_nodes;
   gauge "eval.projected_bytes_saved" r.Engine.projected_bytes_saved;
   (match Trace.well_formed obs.Obs.trace with
@@ -316,24 +329,24 @@ let reconcile (obs : Obs.t) (r : Engine.report) =
       violate "reconcile" "service.invoke spans %d <> invoked %d + failed %d" invokes
         r.Engine.invoked r.Engine.failed_calls
 
-let compare_jobs ~local (a : Engine.report) (b : Engine.report) =
+let compare_jobs ?(oracle = "jobs-determinism") ~local (a : Engine.report) (b : Engine.report) =
   if answer_bytes a <> answer_bytes b then
-    violate "jobs-determinism" "serialized answers differ between jobs 1 and 4";
+    violate oracle "serialized answers differ between jobs 1 and 4";
   let ck name f =
     if f a <> f b then
-      violate "jobs-determinism" "%s differs between jobs 1 and 4 (%d vs %d)" name (f a) (f b)
+      violate oracle "%s differs between jobs 1 and 4 (%d vs %d)" name (f a) (f b)
   in
   ck "invoked" (fun (r : Engine.report) -> r.Engine.invoked);
   ck "rounds" (fun (r : Engine.report) -> r.Engine.rounds);
   ck "failed_calls" (fun (r : Engine.report) -> r.Engine.failed_calls);
   if a.Engine.complete <> b.Engine.complete then
-    violate "jobs-determinism" "complete flag differs between jobs 1 and 4";
+    violate oracle "complete flag differs between jobs 1 and 4";
   if local then begin
     ck "bytes" (fun (r : Engine.report) -> r.Engine.bytes_transferred);
     ck "retries" (fun (r : Engine.report) -> r.Engine.retries);
     ck "timeouts" (fun (r : Engine.report) -> r.Engine.timeouts);
     if not (feq a.Engine.simulated_seconds b.Engine.simulated_seconds) then
-      violate "jobs-determinism" "simulated clock differs between jobs 1 and 4 (%g vs %g)"
+      violate oracle "simulated clock differs between jobs 1 and 4 (%g vs %g)"
         a.Engine.simulated_seconds b.Engine.simulated_seconds
   end
 
@@ -342,7 +355,10 @@ let check ?(watchdog = 30.0) (c : case) : failure option =
     let reference = tuples (reference_arm ~watchdog c).Engine.answers in
     (* the primary arm, fully instrumented *)
     let obs = Obs.create () in
-    let r = run_arm ~watchdog c ~jobs:c.jobs ~push:c.push ~project:c.project ~obs () in
+    let r =
+      run_arm ~watchdog c ~jobs:c.jobs ~match_jobs:c.match_jobs ~push:c.push
+        ~project:c.project ~obs ()
+    in
     let answers = tuples r.Engine.answers in
     if r.Engine.invoked > c.budget then
       violate "budget" "invoked %d > budget %d" r.Engine.invoked c.budget;
@@ -366,12 +382,24 @@ let check ?(watchdog = 30.0) (c : case) : failure option =
     then violate "budget" "unbounded recursion reported complete";
     reconcile obs r;
     (* jobs determinism + obs transparency *)
-    let r1 = run_arm ~watchdog c ~jobs:1 ~push:c.push ~project:c.project () in
-    let r4 = run_arm ~watchdog c ~jobs:4 ~push:c.push ~project:c.project () in
+    let r1 =
+      run_arm ~watchdog c ~jobs:1 ~match_jobs:c.match_jobs ~push:c.push ~project:c.project ()
+    in
+    let r4 =
+      run_arm ~watchdog c ~jobs:4 ~match_jobs:c.match_jobs ~push:c.push ~project:c.project ()
+    in
     let rj = if c.jobs = 1 then r1 else r4 in
     if answer_bytes r <> answer_bytes rj then
       violate "obs-transparency" "recording a trace changed the serialized answers";
     compare_jobs ~local:(not c.remote) r1 r4;
+    (* parallel ≡ sequential matching: fanning the match/detect passes
+       out over domains must be invisible in answers, counters and the
+       simulated clock *)
+    if c.lazy_strategy then begin
+      let rm1 = run_arm ~watchdog c ~jobs:1 ~match_jobs:1 ~push:c.push ~project:c.project () in
+      let rm4 = run_arm ~watchdog c ~jobs:1 ~match_jobs:4 ~push:c.push ~project:c.project () in
+      compare_jobs ~oracle:"match-jobs-determinism" ~local:(not c.remote) rm1 rm4
+    end;
     (* projected ≡ full: type-based projection must never change what a
        run can answer. Fault fates are keyed by (service, params, retry),
        so the projected run's calls — a subset of the full run's — draw
@@ -469,7 +497,10 @@ let shrink_candidates (c : case) =
   List.filter
     (fun c' -> c' <> c)
     [
-      (* routing off first: a failure that survives on one plain shard
+      (* sequential matching first: a failure that survives without the
+         domain fan-out rules the whole parallel layer out of the report *)
+      { c with match_jobs = 1 };
+      (* routing off next: a failure that survives on one plain shard
          is a simpler report than any scheduler interaction *)
       { c with shards = 1; replicate = false };
       { c with remote = false };

@@ -36,9 +36,9 @@
     routing-invisibility check: the scheduler may move calls between
     shards but must never change answers, counters or fates.
 
-    Failures are shrunk by a greedy deterministic pass (drop the
-    scheduler first, then remoteness, parallelism, push, memoization,
-    faults; halve scale and budget) and
+    Failures are shrunk by a greedy deterministic pass (drop the match
+    fan-out first, then the scheduler, remoteness, parallelism, push,
+    memoization, faults; halve scale and budget) and
     reported with a one-line replay: because case derivation, generation
     and shrinking are all pure functions of the seed, re-running
     [axml fuzz --seed S --iters 1 --family F] reproduces the failure
@@ -77,6 +77,11 @@ type case = {
           ({!Axml_net.Wire.cap_binary}) instead of pinning JSON; every
           remote case additionally checks the binary ≡ JSON
           wire-equivalence oracle with both codecs at jobs = 1 *)
+  match_jobs : int;
+      (** intra-document match/detect fan-out of the primary lazy arm:
+          1 or 4 (always 1 for naive); every lazy case additionally
+          checks the parallel ≡ sequential matching oracle with both
+          levels at jobs = 1 *)
 }
 
 val case_of_seed : int -> case

@@ -401,6 +401,23 @@ let parent_context t (parent : Doc.node) =
   in
   go (start_ctx t) chain
 
+(* Pre-splice variant: project the service-result forest {e before}
+   {!Doc.replace_call} imports it, against the state context of the
+   call's parent. Same decisions and stats as {!spliced} (the kept/
+   dropped sets and serialized sizes coincide tree-for-tree), but the
+   document is never mutated after the splice — so an incremental
+   snapshot-view patch installed by [replace_call] stays valid. *)
+let spliced_forest t ~parent (f : Tree.forest) =
+  match parent_context t parent with
+  | `Keep_all ->
+    let k = List.fold_left (fun a tr -> a + Tree.size tr) 0 f in
+    (f, { full_nodes = k; kept_nodes = k; bytes_saved = 0 })
+  | `Ctx ctx ->
+    let full_bytes = Print.forest_byte_size f in
+    let st = ref zero_stats in
+    let kept = List.filter_map (fun tr -> keep_tree t ctx tr st) f in
+    (kept, { !st with bytes_saved = full_bytes - Print.forest_byte_size kept })
+
 let spliced t d ~added =
   match added with
   | [] -> ([], zero_stats)

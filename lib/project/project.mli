@@ -73,6 +73,16 @@ val doc : t -> Axml_doc.t -> stats
 (** In-place projection of a live document: dropped subtrees are
     detached with {!Axml_doc.remove_node}. *)
 
+val spliced_forest :
+  t -> parent:Axml_doc.node -> Axml_xml.Tree.forest -> Axml_xml.Tree.forest * stats
+(** [spliced_forest t ~parent f] projects a service-result forest
+    {e before} it is spliced under [parent] (the invoked call's parent):
+    the state context is recomputed along the root-to-[parent] path and
+    each tree kept, pruned or dropped exactly as {!spliced} would after
+    the fact — same survivors, same stats — without mutating the
+    document post-splice, so the engine's incremental snapshot-view
+    patch stays valid. *)
+
 val spliced : t -> Axml_doc.t -> added:Axml_doc.node list -> Axml_doc.node list * stats
 (** [spliced t d ~added] re-projects the nodes just spliced into [d] by
     {!Axml_doc.replace_call} (all sharing one parent): the state context

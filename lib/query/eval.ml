@@ -1,4 +1,6 @@
 module Doc = Axml_doc
+module View = Axml_doc.View
+module Exec = Axml_exec.Exec
 
 module P = Pattern
 
@@ -9,14 +11,16 @@ type binding = {
 
 let empty_binding = { results = []; vars = [] }
 
-let doc_label (n : Doc.node) =
-  match n.Doc.label with
+let label_string (lbl : Doc.label) =
+  match lbl with
   | Doc.Elem name -> Some name
   | Doc.Data value -> Some value
   | Doc.Call _ -> None
 
-let label_matches (ql : P.label) (n : Doc.node) =
-  match ql, n.Doc.label with
+let doc_label (n : Doc.node) = label_string n.Doc.label
+
+let label_matches (ql : P.label) (lbl : Doc.label) =
+  match ql, lbl with
   | P.Const s, Doc.Elem e -> String.equal s e
   | P.Value v, Doc.Data d -> String.equal v d
   | (P.Var _ | P.Wildcard), (Doc.Elem _ | Doc.Data _) -> true
@@ -86,29 +90,59 @@ let join_lists ~relax_joins l1 l2 =
       (List.concat_map (fun b1 -> List.filter_map (fun b2 -> join ~relax_joins b1 b2) l2) l1)
 
 (* ------------------------------------------------------------------ *)
-(* Evaluation context: per-run memo tables.                             *)
+(* Parallel fan-out accounting: one [par] per evaluation run, shared by
+   every context that should count into the same report.               *)
+
+type par = {
+  par_jobs : int;
+  mutable batches : int;  (* parallel map dispatches *)
+}
+
+let par ~jobs = { par_jobs = max 1 jobs; batches = 0 }
+let par_jobs p = p.par_jobs
+let par_batches p = p.batches
+let par_count p chunks = p.batches <- p.batches + chunks
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation context: per-run memo tables over one snapshot view.      *)
 
 type ctx = {
   relax_joins : bool;
   record_images : bool;
-  (* (pattern pid, doc id) -> bindings with the pattern node mapped to
-     that doc node *)
+  par : par option;
+  mutable view : View.t option;
+      (* bound on first use; rebinding to a different view resets the
+         memo tables, so a long-lived context self-heals across document
+         mutations instead of serving stale entries *)
+  (* (pattern pid, view index) -> bindings with the pattern node mapped
+     to that position *)
   memo_at : (int * int, binding list) Hashtbl.t;
-  (* (pattern pid, doc id) -> bindings with the pattern node mapped
-     strictly below that doc node *)
+  (* (pattern pid, view index) -> bindings with the pattern node mapped
+     strictly below that position *)
   memo_below : (int * int, binding list) Hashtbl.t;
   (* pattern pid -> subtree contains result nodes or variables *)
   interesting : (int, bool) Hashtbl.t;
 }
 
-let make_ctx ?(record_images = false) ~relax_joins () =
+let make_ctx ?(record_images = false) ?par ~relax_joins () =
   {
     relax_joins;
     record_images;
+    par;
+    view = None;
     memo_at = Hashtbl.create 256;
     memo_below = Hashtbl.create 256;
     interesting = Hashtbl.create 64;
   }
+
+let bind ctx v =
+  match ctx.view with
+  | Some v0 when v0 == v -> ()
+  | None -> ctx.view <- Some v
+  | Some _ ->
+    Hashtbl.reset ctx.memo_at;
+    Hashtbl.reset ctx.memo_below;
+    ctx.view <- Some v
 
 let rec is_interesting ctx (p : P.node) =
   match Hashtbl.find_opt ctx.interesting p.P.pid with
@@ -122,20 +156,20 @@ let rec is_interesting ctx (p : P.node) =
     Hashtbl.replace ctx.interesting p.P.pid v;
     v
 
-let self_binding ctx (p : P.node) (n : Doc.node) =
+let self_binding ctx v (p : P.node) i =
   let results =
-    if p.P.result || ctx.record_images then [ (p.P.pid, n) ] else []
+    if p.P.result || ctx.record_images then [ (p.P.pid, View.node v i) ] else []
   in
   let vars =
     match p.P.label with
-    | P.Var x -> ( match doc_label n with Some l -> [ (x, l) ] | None -> [])
+    | P.Var x -> ( match label_string (View.label v i) with Some l -> [ (x, l) ] | None -> [])
     | _ -> []
   in
   { results; vars }
 
-(* Matches pattern node [p] with image exactly [n]. *)
-let rec match_at_ctx ctx (p : P.node) (n : Doc.node) : binding list =
-  let key = (p.P.pid, n.Doc.id) in
+(* Matches pattern node [p] with image exactly position [i] of [v]. *)
+let rec match_at_ctx ctx v (p : P.node) i : binding list =
+  let key = (p.P.pid, i) in
   match Hashtbl.find_opt ctx.memo_at key with
   | Some r -> r
   | None ->
@@ -144,41 +178,41 @@ let rec match_at_ctx ctx (p : P.node) (n : Doc.node) : binding list =
       | P.Or ->
         (* The OR node itself has no image; its chosen alternative is
            matched at this position. *)
-        dedup (List.concat_map (fun alt -> match_alternative ctx alt n) p.P.children)
-      | _ -> match_concrete ctx p n
+        dedup (List.concat_map (fun alt -> match_alternative ctx v alt i) p.P.children)
+      | _ -> match_concrete ctx v p i
     in
     let r = if is_interesting ctx p then r else if r = [] then [] else [ empty_binding ] in
     Hashtbl.replace ctx.memo_at key r;
     r
 
-and match_alternative ctx (alt : P.node) (n : Doc.node) =
+and match_alternative ctx v (alt : P.node) i =
   (* Alternatives are matched at the OR's position; their own axis is
      ignored. Nested ORs are permitted. *)
   match alt.P.label with
-  | P.Or -> dedup (List.concat_map (fun a -> match_alternative ctx a n) alt.P.children)
-  | _ -> match_concrete ctx alt n
+  | P.Or -> dedup (List.concat_map (fun a -> match_alternative ctx v a i) alt.P.children)
+  | _ -> match_concrete ctx v alt i
 
-and match_concrete ctx (p : P.node) (n : Doc.node) =
-  if not (label_matches p.P.label n) then []
+and match_concrete ctx v (p : P.node) i =
+  if not (label_matches p.P.label (View.label v i)) then []
   else begin
-    let self = [ self_binding ctx p n ] in
+    let self = [ self_binding ctx v p i ] in
     List.fold_left
       (fun acc child ->
         if acc = [] then []
-        else join_lists ~relax_joins:ctx.relax_joins acc (match_child ctx child n))
+        else join_lists ~relax_joins:ctx.relax_joins acc (match_child ctx v child i))
       self p.P.children
   end
 
-(* Matches pattern node [p] with image a child of [n] (Child axis) or any
-   node strictly below [n] reachable through data nodes (Descendant). *)
-and match_child ctx (p : P.node) (n : Doc.node) =
+(* Matches pattern node [p] with image a child of [i] (Child axis) or any
+   position strictly below [i] reachable through data nodes (Descendant). *)
+and match_child ctx v (p : P.node) i =
   match p.P.axis with
   | P.Child ->
-    dedup (List.concat_map (fun c -> match_at_ctx ctx p c) (positions_under n))
-  | P.Descendant -> match_below ctx p n
+    dedup (List.concat_map (fun c -> match_at_ctx ctx v p c) (positions_under v i))
+  | P.Descendant -> match_below ctx v p i
 
-and match_below ctx (p : P.node) (n : Doc.node) =
-  let key = (p.P.pid, n.Doc.id) in
+and match_below ctx v (p : P.node) i =
+  let key = (p.P.pid, i) in
   match Hashtbl.find_opt ctx.memo_below key with
   | Some r -> r
   | None ->
@@ -186,10 +220,10 @@ and match_below ctx (p : P.node) (n : Doc.node) =
       dedup
         (List.concat_map
            (fun c ->
-             let here = match_at_ctx ctx p c in
-             let deeper = if Doc.is_data c then match_below ctx p c else [] in
+             let here = match_at_ctx ctx v p c in
+             let deeper = if View.is_data v c then match_below ctx v p c else [] in
              here @ deeper)
-           (positions_under n))
+           (positions_under v i))
     in
     let r = if is_interesting ctx p then r else if r = [] then [] else [ empty_binding ] in
     Hashtbl.replace ctx.memo_below key r;
@@ -197,36 +231,107 @@ and match_below ctx (p : P.node) (n : Doc.node) =
 
 (* Children visible to queries: all children of a data node; none for a
    function node (parameters are not document content). *)
-and positions_under (n : Doc.node) =
-  if Doc.is_data n then n.Doc.children else []
+and positions_under v i = if View.is_data v i then View.children v i else []
+
+(* ------------------------------------------------------------------ *)
+(* Root fan-out: decompose the match at the view root over its top-level
+   subtrees and run contiguous chunks on domains. The reassembly
+   replicates the sequential order exactly — per pattern child, chunk
+   contributions concatenate in document order before the same dedup,
+   interesting-collapse and join/fold — so the bindings are identical,
+   element for element, at every jobs level.                            *)
+
+let match_root ctx v (p : P.node) =
+  let ri = View.root v in
+  let sequential () = match_at_ctx ctx v p ri in
+  match ctx.par with
+  | None -> sequential ()
+  | Some _ when p.P.label = P.Or -> sequential ()
+  | Some par when par.par_jobs <= 1 -> sequential ()
+  | Some par ->
+    if not (label_matches p.P.label (View.label v ri)) then sequential ()
+    else begin
+      let tops = positions_under v ri in
+      let chunks = View.partition v ~jobs:par.par_jobs tops in
+      match chunks with
+      | [] | [ _ ] -> sequential ()
+      | chunks ->
+        let work chunk =
+          let cctx =
+            make_ctx ~record_images:ctx.record_images ~relax_joins:ctx.relax_joins ()
+          in
+          cctx.view <- Some v;
+          List.map
+            (fun (c : P.node) ->
+              List.concat_map
+                (fun t ->
+                  match c.P.axis with
+                  | P.Child -> match_at_ctx cctx v c t
+                  | P.Descendant ->
+                    let here = match_at_ctx cctx v c t in
+                    let deeper =
+                      if View.is_data v t then match_below cctx v c t else []
+                    in
+                    here @ deeper)
+                chunk)
+            p.P.children
+        in
+        let results = Exec.map_domains ~jobs:par.par_jobs work chunks in
+        par_count par (List.length chunks);
+        let per_child =
+          List.mapi
+            (fun ci (c : P.node) ->
+              let contrib = List.concat_map (fun r -> List.nth r ci) results in
+              match c.P.axis with
+              | P.Child -> dedup contrib
+              | P.Descendant ->
+                let r = dedup contrib in
+                if is_interesting ctx c then r
+                else if r = [] then []
+                else [ empty_binding ])
+            p.P.children
+        in
+        let self = [ self_binding ctx v p ri ] in
+        let r =
+          List.fold_left
+            (fun acc rc ->
+              if acc = [] then [] else join_lists ~relax_joins:ctx.relax_joins acc rc)
+            self per_child
+        in
+        if is_interesting ctx p then r else if r = [] then [] else [ empty_binding ]
+    end
 
 (* ------------------------------------------------------------------ *)
 
 type context = ctx
 
-let context ?(relax_joins = false) () = make_ctx ~relax_joins ()
+let context ?(relax_joins = false) ?par () = make_ctx ~relax_joins ?par ()
 
 let match_at ?(relax_joins = false) p n =
+  let v = View.of_node n in
   let ctx = make_ctx ~relax_joins () in
-  match_at_ctx ctx p n
+  bind ctx v;
+  match_at_ctx ctx v p (View.root v)
 
-let eval_in ctx (q : P.t) (d : Doc.t) = match_at_ctx ctx q.P.root (Doc.root d)
+let eval_view_in ctx (q : P.t) v =
+  bind ctx v;
+  match_root ctx v q.P.root
 
-let eval ?(relax_joins = false) (q : P.t) (d : Doc.t) =
-  eval_in (make_ctx ~relax_joins ()) q d
+let eval_view ?(relax_joins = false) ?par (q : P.t) v =
+  eval_view_in (make_ctx ~relax_joins ?par ()) q v
 
-let matches_of_in ctx (q : P.t) (d : Doc.t) ~target =
-  (match P.find q target with
-  | Some n when n.P.result -> ()
-  | Some _ -> invalid_arg "Eval.matches_of: target is not a result node"
-  | None -> invalid_arg "Eval.matches_of: no such pattern node");
-  let bindings = eval_in ctx q d in
+let eval_in ctx (q : P.t) (d : Doc.t) = eval_view_in ctx q (View.snapshot d)
+
+let eval ?(relax_joins = false) ?par (q : P.t) (d : Doc.t) =
+  eval_in (make_ctx ~relax_joins ?par ()) q d
+
+let collect_target (bindings : binding list) ~target =
   let seen = Hashtbl.create 16 in
   let out = ref [] in
   List.iter
     (fun b ->
       List.iter
-        (fun (pid, n) ->
+        (fun (pid, (n : Doc.node)) ->
           if pid = target && not (Hashtbl.mem seen n.Doc.id) then begin
             Hashtbl.replace seen n.Doc.id ();
             out := n :: !out
@@ -235,13 +340,29 @@ let matches_of_in ctx (q : P.t) (d : Doc.t) ~target =
     bindings;
   List.rev !out
 
-let matches_of ?(relax_joins = false) (q : P.t) (d : Doc.t) ~target =
-  matches_of_in (make_ctx ~relax_joins ()) q d ~target
+let check_target (q : P.t) ~target =
+  match P.find q target with
+  | Some n when n.P.result -> ()
+  | Some _ -> invalid_arg "Eval.matches_of: target is not a result node"
+  | None -> invalid_arg "Eval.matches_of: no such pattern node"
+
+let matches_of_view_in ctx (q : P.t) v ~target =
+  check_target q ~target;
+  collect_target (eval_view_in ctx q v) ~target
+
+let matches_of_view ?(relax_joins = false) ?par (q : P.t) v ~target =
+  matches_of_view_in (make_ctx ~relax_joins ?par ()) q v ~target
+
+let matches_of_in ctx (q : P.t) (d : Doc.t) ~target =
+  matches_of_view_in ctx q (View.snapshot d) ~target
+
+let matches_of ?(relax_joins = false) ?par (q : P.t) (d : Doc.t) ~target =
+  matches_of_in (make_ctx ~relax_joins ?par ()) q d ~target
 
 (* ------------------------------------------------------------------ *)
 (* Candidate-anchored matching (§6.2).                                  *)
 
-let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.node) =
+let anchored_matches_view ?(relax_joins = false) (q : P.t) ~target v ci =
   let target_node =
     match P.find q target with
     | Some n -> n
@@ -250,9 +371,13 @@ let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.n
   let path = P.path_to q target_node in
   if List.exists (fun (p : P.node) -> p.P.label = P.Or) path then
     invalid_arg "Eval.anchored_matches: OR node on the path to the target";
-  (* The document chain the path must align with: root … candidate. *)
-  let chain = Array.of_list (List.rev (candidate :: Doc.ancestors candidate)) in
+  (* The index chain the path must align with: view root … candidate. *)
+  let chain =
+    let rec up acc i = if i < 0 then acc else up (i :: acc) (View.parent v i) in
+    Array.of_list (up [] ci)
+  in
   let ctx = make_ctx ~relax_joins () in
+  bind ctx v;
   let m = Array.length chain in
   (* Conditions of a path node, excluding the continuation to the next
      path node. *)
@@ -272,7 +397,7 @@ let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.n
         let try_at j =
           if j >= m then false
           else if last && j <> m - 1 then false
-          else if not (label_matches_or ctx p chain.(j)) then false
+          else if not (label_matches_or p (View.label v chain.(j))) then false
           else begin
             let conds =
               match rest with
@@ -283,7 +408,7 @@ let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.n
               List.fold_left
                 (fun acc c ->
                   if acc = [] then []
-                  else join_lists ~relax_joins acc (match_child ctx c chain.(j)))
+                  else join_lists ~relax_joins acc (match_child ctx v c chain.(j)))
                 acc conds
             in
             align rest (j + 1) here
@@ -295,10 +420,10 @@ let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.n
           let rec try_from j = j < m && (try_at j || try_from (j + 1)) in
           try_from j)
 
-  and label_matches_or ctx p n =
+  and label_matches_or p lbl =
     match p.P.label with
-    | P.Or -> List.exists (fun alt -> label_matches_or ctx alt n) p.P.children
-    | _ -> label_matches p.P.label n
+    | P.Or -> List.exists (fun alt -> label_matches_or alt lbl) p.P.children
+    | _ -> label_matches p.P.label lbl
   in
   (* The pattern root must align with the document root (chain.(0)); the
      root's own axis is irrelevant, as in the top-down evaluator. *)
@@ -306,18 +431,30 @@ let anchored_matches ?(relax_joins = false) (q : P.t) ~target (candidate : Doc.n
   | [] -> false
   | root :: rest -> align (P.with_axis root P.Child :: rest) 0 [ empty_binding ]
 
+let anchored_matches ?(relax_joins = false) (q : P.t) ~target (d : Doc.t)
+    (candidate : Doc.node) =
+  let v = View.snapshot d in
+  match View.index_of v candidate with
+  | Some ci -> anchored_matches_view ~relax_joins q ~target v ci
+  | None ->
+    (* not covered by the document's view: detached (already invoked) or
+       foreign — it cannot be an image of the target *)
+    false
+
 (* ------------------------------------------------------------------ *)
 (* Complete homomorphisms, for witnesses (query pushing) and oracles.   *)
 
 type embedding = (int * Doc.node) list
 
 let embeddings ?(relax_joins = false) ?(limit = 10_000) p n =
+  let v = View.of_node n in
   let ctx = make_ctx ~record_images:true ~relax_joins () in
-  let bindings = match_at_ctx ctx p n in
+  bind ctx v;
+  let bindings = match_at_ctx ctx v p (View.root v) in
   let bindings = if List.length bindings > limit then List.filteri (fun i _ -> i < limit) bindings else bindings in
   List.map (fun b -> b.results) bindings
 
-let label_matches_exposed = label_matches
+let label_matches_exposed ql (n : Doc.node) = label_matches ql n.Doc.label
 
 let bindings_to_xml bindings =
   let module Tree = Axml_xml.Tree in

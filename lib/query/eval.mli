@@ -9,51 +9,94 @@
     children. Queries never traverse {e into} a function node (a call's
     parameters are invisible to queries until the call is invoked).
 
-    The evaluator is memoized on (pattern node, document node) pairs, and
-    collapses sub-patterns that contain neither result nodes nor variables
-    to pure existence tests. *)
+    The evaluator runs as a pure function over an immutable snapshot
+    {!Axml_doc.View} — the document-taking entry points below just bind
+    the document's cached view first. It is memoized on (pattern node,
+    view position) pairs, and collapses sub-patterns that contain neither
+    result nodes nor variables to pure existence tests.
+
+    With a {!par} handle carrying [jobs > 1], the match at the view root
+    fans out over top-level subtrees on domains ({!Exec.map_domains}).
+    The reassembly preserves document order before the same
+    deduplication and joins, so the bindings are identical — element for
+    element — at every jobs level. *)
 
 type binding = {
   results : (int * Axml_doc.node) list;  (** result-node pid → image, sorted by pid *)
   vars : (string * string) list;  (** variable → label of its image, sorted *)
 }
 
+type par
+(** Shared accounting for intra-document parallel matching: the jobs
+    level plus a counter of parallel map dispatches. One [par] value is
+    threaded through every context of an evaluation run so the engine
+    can report [parallel_match_batches]. *)
+
+val par : jobs:int -> par
+val par_jobs : par -> int
+val par_batches : par -> int
+
+val par_count : par -> int -> unit
+(** [par_count p n] accounts [n] more parallel batches — for callers
+    (e.g. the candidate filter) that dispatch their own chunked maps
+    outside the evaluator. *)
+
 type context
 (** A reusable evaluation context: memo tables keyed by (pattern node,
-    document node) pairs. Pattern-node ids are globally unique, so one
+    view position) pairs. Pattern-node ids are globally unique, so one
     context can be shared across {e different} queries over the same
     document state — the multi-query optimization the paper's §4.1 calls
-    essential. The context must be discarded whenever the document
-    changes. *)
+    essential. The context binds the document's snapshot view on first
+    use and resets itself when evaluated against a different view (i.e.
+    after the document changed), so stale entries are never served. *)
 
-val context : ?relax_joins:bool -> unit -> context
+val context : ?relax_joins:bool -> ?par:par -> unit -> context
 
 val eval_in : context -> Pattern.t -> Axml_doc.t -> binding list
 val matches_of_in : context -> Pattern.t -> Axml_doc.t -> target:int -> Axml_doc.node list
 
-val eval : ?relax_joins:bool -> Pattern.t -> Axml_doc.t -> binding list
+val eval : ?relax_joins:bool -> ?par:par -> Pattern.t -> Axml_doc.t -> binding list
 (** [eval q d] is the snapshot result [q(d)]: the distinct bindings of
     result nodes and variables over all embeddings. With
     [relax_joins:true], occurrences of the same variable need not agree
     (the lenient §6.1 approximation — a superset of the exact result). *)
 
-val matches_of : ?relax_joins:bool -> Pattern.t -> Axml_doc.t -> target:int -> Axml_doc.node list
+val matches_of : ?relax_joins:bool -> ?par:par -> Pattern.t -> Axml_doc.t -> target:int -> Axml_doc.node list
 (** [matches_of q d ~target] lists the distinct document nodes that the
     result node with pid [target] takes over all embeddings, in document
     order. The node must be marked [result] (raise [Invalid_argument]
     otherwise). This is how NFQs retrieve relevant calls. *)
 
+(** {2 View-level entry points}
+
+    Pure evaluation over an explicit snapshot view — what the
+    document-taking functions above delegate to. *)
+
+val eval_view : ?relax_joins:bool -> ?par:par -> Pattern.t -> Axml_doc.View.t -> binding list
+val eval_view_in : context -> Pattern.t -> Axml_doc.View.t -> binding list
+val matches_of_view :
+  ?relax_joins:bool -> ?par:par -> Pattern.t -> Axml_doc.View.t -> target:int -> Axml_doc.node list
+val matches_of_view_in : context -> Pattern.t -> Axml_doc.View.t -> target:int -> Axml_doc.node list
+
+val anchored_matches_view :
+  ?relax_joins:bool -> Pattern.t -> target:int -> Axml_doc.View.t -> int -> bool
+(** [anchored_matches_view q ~target v i] tests whether some embedding of
+    [q] maps the result node [target] to position [i] of [v]. *)
+
 val match_at : ?relax_joins:bool -> Pattern.node -> Axml_doc.node -> binding list
 (** [match_at p n] matches the pattern subtree [p] with its root mapped
     exactly to [n] (used by services evaluating pushed queries, where the
-    pattern root is tried against each tree of the result forest). *)
+    pattern root is tried against each tree of the result forest). Builds
+    an ad-hoc view of [n]'s subtree. *)
 
-val anchored_matches : ?relax_joins:bool -> Pattern.t -> target:int -> Axml_doc.node -> bool
-(** [anchored_matches q ~target n] tests whether some embedding of [q]
-    maps the result node [target] to the specific node [n] — the
+val anchored_matches : ?relax_joins:bool -> Pattern.t -> target:int -> Axml_doc.t -> Axml_doc.node -> bool
+(** [anchored_matches q ~target d n] tests whether some embedding of [q]
+    maps the result node [target] to the specific node [n] of [d] — the
     candidate-driven check used after F-guide filtering (§6.2). Matching
-    starts from [n]'s ancestor chain rather than from the document root,
-    so it is fast when [q] would otherwise scan a large document. *)
+    aligns the pattern path with [n]'s ancestor chain rather than
+    scanning from the document root, so it is fast when [q] would
+    otherwise scan a large document. A node no longer covered by the
+    document (e.g. an already-invoked call) never matches. *)
 
 type embedding = (int * Axml_doc.node) list
 (** Total images: pattern pid → document node, for every pattern node on

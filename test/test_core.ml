@@ -556,7 +556,7 @@ let prop_anchored_equals_topdown_for_nfqs =
         (fun rq ->
           let top = node_ids (Relevance.relevant_calls rq instance.City.doc) in
           List.for_all
-            (fun c -> Relevance.retrieves rq c = List.mem c.Doc.id top)
+            (fun c -> Relevance.retrieves rq instance.City.doc c = List.mem c.Doc.id top)
             calls)
         (Nfq.of_query instance.City.query))
 

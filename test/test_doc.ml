@@ -105,6 +105,48 @@ let test_replace_call_splice_order () =
   in
   Alcotest.(check (list string)) "in place" [ "a"; "x"; "y"; "b" ] labels
 
+(* Regression: an empty result forest is a plain deletion — the call
+   detaches (stale parent pointer cleared), the siblings close ranks,
+   and the cached snapshot view stays consistent. *)
+let test_replace_with_empty_forest () =
+  let d = Doc.parse {|<r><a/><axml:call name="f">p</axml:call><b/></r>|} in
+  ignore (Doc.View.snapshot d);
+  let call = List.hd (Doc.visible_function_nodes d) in
+  let added = Doc.replace_call d call [] in
+  Alcotest.(check int) "nothing spliced" 0 (List.length added);
+  Alcotest.(check bool) "stale parent cleared" true (call.Doc.parent = None);
+  let labels =
+    List.filter_map
+      (fun (n : Doc.node) -> match n.Doc.label with Doc.Elem l -> Some l | _ -> None)
+      (Doc.root d).Doc.children
+  in
+  Alcotest.(check (list string)) "siblings close ranks" [ "a"; "b" ] labels;
+  Alcotest.(check int) "no calls left" 0 (Doc.count_calls d);
+  let v = Doc.View.snapshot d in
+  Alcotest.(check int) "patched view matches doc" (Doc.size d) (Doc.View.size v)
+
+(* Regression: a failed replace must leave the document untouched — in
+   particular it must not import and adopt the result forest before
+   discovering the target is invalid. *)
+let test_failed_replace_leaves_doc_untouched () =
+  let d = sample () in
+  let getrating =
+    List.find (fun n -> Doc.call_name n = Some "getrating") (Doc.function_nodes d)
+  in
+  ignore (Doc.replace_call d getrating [ Tree.text "5" ]);
+  let size = Doc.size d in
+  let rating =
+    List.find
+      (fun (n : Doc.node) -> n.Doc.label = Doc.Elem "rating")
+      (Doc.fold (fun acc n -> n :: acc) [] d)
+  in
+  let arity = List.length rating.Doc.children in
+  (match Doc.replace_call d getrating [ Tree.element "orphan" [] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  Alcotest.(check int) "no orphans adopted" size (Doc.size d);
+  Alcotest.(check int) "parent arity unchanged" arity (List.length rating.Doc.children)
+
 let test_replace_non_call () =
   let d = sample () in
   match Doc.replace_call d (Doc.root d) [] with
@@ -164,6 +206,8 @@ let () =
         [
           quick "replace_call" test_replace_call;
           quick "splice order" test_replace_call_splice_order;
+          quick "empty forest is deletion" test_replace_with_empty_forest;
+          quick "failed replace leaves doc untouched" test_failed_replace_leaves_doc_untouched;
           quick "replace non-call" test_replace_non_call;
           quick "append/remove" test_append_remove;
         ] );

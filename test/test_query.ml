@@ -215,14 +215,14 @@ let test_anchored () =
   let all_calls = Doc.function_nodes d in
   let getrating = List.find (fun n -> Doc.call_name n = Some "getrating") all_calls in
   let getrestos = List.find (fun n -> Doc.call_name n = Some "getnearbyrestos") all_calls in
-  Alcotest.(check bool) "getrating matches" true (Eval.anchored_matches q ~target getrating);
-  Alcotest.(check bool) "other call does not" false (Eval.anchored_matches q ~target getrestos);
+  Alcotest.(check bool) "getrating matches" true (Eval.anchored_matches q ~target d getrating);
+  Alcotest.(check bool) "other call does not" false (Eval.anchored_matches q ~target d getrestos);
   (* Agreement with the top-down evaluator over every call in the doc. *)
   let top_down = Eval.matches_of q d ~target in
   List.iter
     (fun c ->
       let want = List.exists (fun n -> n.Doc.id = c.Doc.id) top_down in
-      Alcotest.(check bool) "agrees" want (Eval.anchored_matches q ~target c))
+      Alcotest.(check bool) "agrees" want (Eval.anchored_matches q ~target d c))
     all_calls
 
 let test_anchored_descendant () =
@@ -234,7 +234,7 @@ let test_anchored_descendant () =
   List.iter
     (fun c ->
       let want = List.exists (fun n -> n.Doc.id = c.Doc.id) top_down in
-      Alcotest.(check bool) "agrees" want (Eval.anchored_matches q ~target c))
+      Alcotest.(check bool) "agrees" want (Eval.anchored_matches q ~target d c))
     (Doc.function_nodes d)
 
 (* ------------------------------------------------------------------ *)
@@ -483,7 +483,7 @@ let prop_anchored_agrees =
       List.for_all
         (fun c ->
           let want = List.exists (fun n -> n.Doc.id = c.Doc.id) top_down in
-          Eval.anchored_matches q ~target c = want)
+          Eval.anchored_matches q ~target d c = want)
         (Doc.function_nodes d))
 
 let () =

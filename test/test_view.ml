@@ -1,0 +1,260 @@
+(* Property tests for the snapshot-view layer (lib/doc Axml_doc.View):
+   round-trips, incremental splice patching, parallel ≡ sequential
+   matching and F-guide memoization on the generation counter. *)
+
+module Doc = Axml_doc
+module View = Axml_doc.View
+module Tree = Axml_xml.Tree
+module Parser = Axml_query.Parser
+module Eval = Axml_query.Eval
+module Fguide = Axml_core.Fguide
+
+(* ------------------------------------------------------------------ *)
+(* Generators: random trees that, unlike [Gen.gen_tree], also embed
+   function calls — the splice driver needs something to invoke. *)
+
+let gen_axml_tree =
+  let open QCheck.Gen in
+  let label = oneofl [ "a"; "b"; "c"; "hotel" ] in
+  let text_gen = oneofl [ "x"; "1"; "v" ] in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then map Tree.text text_gen
+         else
+           frequency
+             [
+               (1, map Tree.text text_gen);
+               ( 1,
+                 map
+                   (fun p ->
+                     Tree.element Doc.call_elem_name ~attrs:[ ("name", "f") ] [ p ])
+                   (self 0) );
+               ( 3,
+                 map2
+                   (fun name children -> Tree.element name children)
+                   label
+                   (list_size (int_bound 3) (self (n / 2))) );
+             ])
+
+let gen_rooted =
+  QCheck.Gen.map (fun c -> Tree.element "root" [ c ]) gen_axml_tree
+
+type splice_case = { tree : Tree.t; splice_seed : int }
+
+let print_splice_case c =
+  Printf.sprintf "seed=%d doc=%s" c.splice_seed
+    (Axml_xml.Print.to_string c.tree)
+
+let arb_splice_case =
+  QCheck.make ~print:print_splice_case
+    QCheck.Gen.(
+      map
+        (fun (tree, splice_seed) -> { tree; splice_seed })
+        (pair gen_rooted (int_bound 100_000)))
+
+(* The result-forest pool a seeded splice driver draws from; includes
+   the empty forest (plain deletion) and a forest that introduces a
+   fresh call. *)
+let result_pool =
+  [|
+    [];
+    [ Tree.text "5" ];
+    [ Tree.element "b" []; Tree.text "y" ];
+    [
+      Tree.element "a"
+        [ Tree.element Doc.call_elem_name ~attrs:[ ("name", "g") ] [ Tree.text "p" ] ];
+    ];
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants of a view: spans nest, parents point backwards
+   and enclose their children, labels mirror the underlying nodes. *)
+
+let check_view_invariants v =
+  let n = View.size v in
+  for i = 0 to n - 1 do
+    let e = View.subtree_end v i in
+    if not (e > i && e <= n) then
+      Alcotest.failf "bad span at %d: [%d,%d) of %d" i i e n;
+    let p = View.parent v i in
+    if i = 0 then (
+      if p <> -1 then Alcotest.failf "root parent %d" p)
+    else begin
+      if not (p >= 0 && p < i) then Alcotest.failf "parent %d of %d" p i;
+      if not (View.subtree_end v p >= e) then
+        Alcotest.failf "parent span of %d does not enclose child %d" p i
+    end;
+    if View.label v i <> (View.node v i).Doc.label then
+      Alcotest.failf "label mismatch at %d" i;
+    (match View.index_of v (View.node v i) with
+    | Some j when j = i -> ()
+    | _ -> Alcotest.failf "index_of broken at %d" i);
+    let kids = View.children v i in
+    List.iter
+      (fun k ->
+        if View.parent v k <> i then
+          Alcotest.failf "children/parent disagree at %d -> %d" i k)
+      kids
+  done
+
+let check_same_xml msg d v =
+  let doc_xml = Doc.to_xml d in
+  let view_xml = View.materialize v in
+  if not (Tree.equal doc_xml view_xml) then
+    Alcotest.failf "%s: view diverged from document\n doc: %s\nview: %s" msg
+      (Axml_xml.Print.to_string doc_xml)
+      (Axml_xml.Print.to_string view_xml)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+(* A fresh snapshot is a faithful pre-order index of the tree. *)
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"snapshot round-trips the document"
+    Gen.arb_tree (fun tr ->
+      let d = Doc.of_xml tr in
+      let v = View.snapshot d in
+      check_view_invariants v;
+      check_same_xml "fresh snapshot" d v;
+      Alcotest.(check int) "size" (Doc.size d) (View.size v);
+      (* the ad-hoc per-node view agrees with the cached one *)
+      let v' = View.of_node (Doc.root d) in
+      check_view_invariants v';
+      check_same_xml "of_node" d v';
+      true)
+
+(* Driving a random sequence of splices (empty forests included) keeps
+   the incrementally-patched snapshot equal to a from-scratch index. *)
+let prop_splice_consistency =
+  QCheck.Test.make ~count:150 ~name:"patched snapshot survives splice sequences"
+    arb_splice_case (fun c ->
+      let d = Doc.of_xml c.tree in
+      let rng = Random.State.make [| 0x51EE7; c.splice_seed |] in
+      ignore (View.snapshot d);
+      let steps = ref 0 in
+      let continue = ref true in
+      while !continue && !steps < 12 do
+        match Doc.visible_function_nodes d with
+        | [] -> continue := false
+        | calls ->
+          let call = List.nth calls (Random.State.int rng (List.length calls)) in
+          let forest =
+            result_pool.(Random.State.int rng (Array.length result_pool))
+          in
+          ignore (Doc.replace_call d call forest);
+          incr steps;
+          let patched = View.snapshot d in
+          check_view_invariants patched;
+          check_same_xml "after splice" d patched;
+          Alcotest.(check int) "generation stamped" (Doc.generation d)
+            (View.generation patched);
+          (* byte-identical to a full rebuild of the same tree *)
+          let fresh = View.of_node (Doc.root d) in
+          Alcotest.(check int) "sizes agree" (View.size fresh)
+            (View.size patched);
+          if
+            not
+              (Tree.equal (View.materialize fresh) (View.materialize patched))
+          then Alcotest.fail "patched view differs from full rebuild"
+      done;
+      true)
+
+(* Parallel matching is invisible: same bindings, element for element,
+   at every jobs level, across splice sequences. *)
+let prop_parallel_matching =
+  QCheck.Test.make ~count:100 ~name:"parallel matching ≡ sequential"
+    arb_splice_case (fun c ->
+      let queries =
+        [ Parser.parse "//a!"; Parser.parse "/root//b!"; Parser.parse "//hotel!" ]
+      in
+      let d = Doc.of_xml c.tree in
+      let rng = Random.State.make [| 0xFA9; c.splice_seed |] in
+      let check_round () =
+        List.iter
+          (fun q ->
+            let seq = Eval.eval q d in
+            let par4 = Eval.eval ~par:(Eval.par ~jobs:4) q d in
+            if Gen.tuples seq <> Gen.tuples par4 then
+              Alcotest.failf "bindings diverge at jobs=4 for %s"
+                (Axml_query.Pattern.to_string q);
+            (* element-for-element, not just as sets *)
+            if List.length seq <> List.length par4 then
+              Alcotest.failf "binding multiplicity diverges for %s"
+                (Axml_query.Pattern.to_string q))
+          queries
+      in
+      check_round ();
+      (match Doc.visible_function_nodes d with
+      | [] -> ()
+      | calls ->
+        let call = List.nth calls (Random.State.int rng (List.length calls)) in
+        ignore
+          (Doc.replace_call d call
+             result_pool.(Random.State.int rng (Array.length result_pool)));
+        check_round ());
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* F-guide memoization on the generation counter. *)
+
+let fguide_doc () =
+  Doc.parse
+    {|<root><a><axml:call name="f">x</axml:call></a><b><axml:call name="g">y</axml:call></b></root>|}
+
+let test_fguide_reuse () =
+  let d = fguide_doc () in
+  let g1, reused1 = Fguide.memoized d in
+  Alcotest.(check bool) "first build is fresh" false reused1;
+  let g2, reused2 = Fguide.memoized d in
+  Alcotest.(check bool) "second lookup reuses" true reused2;
+  Alcotest.(check bool) "same guide" true (g1 == g2)
+
+let test_fguide_invalidated_by_mutation () =
+  let d = fguide_doc () in
+  let g1, _ = Fguide.memoized d in
+  Doc.append_child d (Doc.root d) (Doc.elem d "c" []);
+  let g2, reused = Fguide.memoized d in
+  Alcotest.(check bool) "stale after mutation" false reused;
+  Alcotest.(check bool) "fresh guide" true (not (g1 == g2))
+
+let test_fguide_sync_after_maintenance () =
+  let d = fguide_doc () in
+  let g, _ = Fguide.memoized d in
+  let call =
+    List.find (fun n -> Doc.call_name n = Some "f") (Doc.visible_function_nodes d)
+  in
+  let added = Doc.replace_call d call [ Tree.text "5" ] in
+  Fguide.update_after_replace g ~invoked:call ~added;
+  Fguide.sync g d;
+  let g2, reused = Fguide.memoized d in
+  Alcotest.(check bool) "maintained guide stays reusable" true reused;
+  Alcotest.(check bool) "same guide" true (g == g2);
+  Alcotest.(check int) "one call left" 1 (Fguide.call_count g2)
+
+let test_fguide_independent_docs () =
+  let d1 = fguide_doc () in
+  let d2 = fguide_doc () in
+  let g1, _ = Fguide.memoized d1 in
+  let g2, _ = Fguide.memoized d2 in
+  Alcotest.(check bool) "distinct docs, distinct guides" true (not (g1 == g2));
+  let _, r1 = Fguide.memoized d1 in
+  let _, r2 = Fguide.memoized d2 in
+  Alcotest.(check bool) "both cached" true (r1 && r2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "view"
+    [
+      ( "properties",
+        [ prop prop_roundtrip; prop prop_splice_consistency; prop prop_parallel_matching ] );
+      ( "fguide memo",
+        [
+          quick "reuse on unchanged generation" test_fguide_reuse;
+          quick "invalidated by mutation" test_fguide_invalidated_by_mutation;
+          quick "sync keeps maintained guide live" test_fguide_sync_after_maintenance;
+          quick "independent documents" test_fguide_independent_docs;
+        ] );
+    ]
